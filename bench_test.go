@@ -1,0 +1,447 @@
+package ddgms_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§V), plus the ablations DESIGN.md calls out —
+// warehouse/cube versus direct flat scan (B1), the aggregate lattice on
+// and off (B2), and the mining algorithms over an OLAP-isolated subset
+// (B3). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers depend on the host; EXPERIMENTS.md records the
+// qualitative shapes (who wins, by what factor) that must hold.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/dgsql"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/etl"
+	"github.com/ddgms/ddgms/internal/experiments"
+	"github.com/ddgms/ddgms/internal/flatquery"
+	"github.com/ddgms/ddgms/internal/mining"
+	"github.com/ddgms/ddgms/internal/oltp"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Shared fixtures: platforms are expensive to build (generate + ETL +
+// warehouse load), so each cohort size is constructed once.
+var (
+	platforms   = map[int]*core.Platform{}
+	platformsMu sync.Mutex
+)
+
+func platformFor(b *testing.B, patients int) *core.Platform {
+	b.Helper()
+	platformsMu.Lock()
+	defer platformsMu.Unlock()
+	if p, ok := platforms[patients]; ok {
+		return p
+	}
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = patients
+	p, err := core.NewDiScRiPlatform(core.Config{}, dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	platforms[patients] = p
+	return p
+}
+
+// scanEngine returns an engine over the same warehouse with the aggregate
+// lattice disabled, so query benchmarks measure steady-state scan cost
+// rather than cache hits.
+func scanEngine(b *testing.B, patients int) *cube.Engine {
+	b.Helper()
+	p := platformFor(b, patients)
+	e := cube.NewEngine(p.Warehouse(), cube.WithAggregateCache(false))
+	// Warm the memoised attribute columns and bitmaps so iterations
+	// measure aggregation, not one-off materialisation.
+	if _, err := e.Execute(experiments.Fig5Query()); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// --- Table I -------------------------------------------------------------
+
+// BenchmarkTableIDiscretisation measures applying the paper's four
+// clinical discretisation schemes across the full cohort (the
+// transformation cost the Table I section describes).
+func BenchmarkTableIDiscretisation(b *testing.B) {
+	p := platformFor(b, 900)
+	flat := p.Flat()
+	schemes := map[string]etl.Discretizer{
+		"Age":               core.AgeScheme,
+		"DiagnosticHTYears": core.HTYearsScheme,
+		"FBG":               core.FBGScheme,
+		"LyingDBPAverage":   core.DBPScheme,
+	}
+	cols := map[string]storage.Column{}
+	for name := range schemes {
+		cols[name] = flat.MustColumn(name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, d := range schemes {
+			col := cols[name]
+			for r := 0; r < col.Len(); r++ {
+				if _, err := d.Apply(col.Value(r)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTableIAlgorithmic measures the supervised fallback
+// discretizers (MDLP and ChiMerge) fitting FBG against the diabetes
+// label — the scheme-less-attribute path of Table I.
+func BenchmarkTableIAlgorithmic(b *testing.B) {
+	p := platformFor(b, 900)
+	flat := p.Flat()
+	fbg := flat.MustColumn("FBG")
+	dia := flat.MustColumn("DiabetesStatus")
+	var vals, labels []value.Value
+	for i := 0; i < flat.Len(); i++ {
+		vals = append(vals, fbg.Value(i))
+		labels = append(labels, dia.Value(i))
+	}
+	b.Run("mdlp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := etl.FitMDLP(vals, labels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chimerge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := etl.FitChiMerge(vals, labels, 3.84, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figures -------------------------------------------------------------
+
+// BenchmarkFig3WarehouseBuild measures the Fig 3 dimensional load: flat
+// table to star schema with all eight dimensions.
+func BenchmarkFig3WarehouseBuild(b *testing.B) {
+	p := platformFor(b, 900)
+	flat := p.Flat()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewDiScRiBuilder().Build(flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4CrossTab measures the Fig 4 query: family history of
+// diabetes by age group × gender, counting distinct patients.
+func BenchmarkFig4CrossTab(b *testing.B) {
+	e := scanEngine(b, 900)
+	q := experiments.Fig4Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5DrillDown measures the Fig 5 exploration: the coarse
+// 10-year query followed by the 5-year drill-down.
+func BenchmarkFig5DrillDown(b *testing.B) {
+	e := scanEngine(b, 900)
+	coarse := experiments.Fig5Query()
+	fine, err := e.DrillDown(coarse, core.RefAgeBand10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(coarse); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Execute(fine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6HTYears measures the Fig 6 query: years since
+// hypertension diagnosis by age group, with drill-down.
+func BenchmarkFig6HTYears(b *testing.B) {
+	e := scanEngine(b, 900)
+	coarse := experiments.Fig6Query()
+	fine, err := e.DrillDown(coarse, core.RefAgeBand10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(coarse); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Execute(fine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigAllRender regenerates every figure end-to-end including
+// text rendering (what cmd/figures does), on a reduced cohort.
+func BenchmarkFigAllRender(b *testing.B) {
+	p := platformFor(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig5(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig6(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- B1: warehouse/cube vs direct flat scan ------------------------------
+
+// BenchmarkWarehouseVsFlat runs the same multivariate aggregation (the
+// Fig 5 query) through the cube engine and through the no-warehouse
+// direct-scan baseline, across cohort sizes. The paper's claim is that
+// the warehouse intermediary makes interactive multivariate exploration
+// practical; the cube should win and the gap should widen with size.
+func BenchmarkWarehouseVsFlat(b *testing.B) {
+	for _, patients := range []int{225, 900, 3600} {
+		p := platformFor(b, patients)
+		flat := p.Flat()
+		e := scanEngine(b, patients)
+		cq := experiments.Fig5Query()
+		fq := flatquery.Query{
+			Rows:    []string{"AgeBand10"},
+			Cols:    []string{"Gender"},
+			Filters: []flatquery.Filter{{Column: "DiabetesStatus", Values: []value.Value{value.Str("Yes")}}},
+			Agg:     storage.DistinctAgg,
+			Measure: "PatientID",
+		}
+		b.Run(benchName("cube", patients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Execute(cq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("flat", patients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := flatquery.Execute(flat, fq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDGSQLBaseline runs the Fig 5 aggregation through the DG-SQL
+// style language over the flat table — the language-level form of the
+// no-warehouse baseline (parse + scan + group per query).
+func BenchmarkDGSQLBaseline(b *testing.B) {
+	p := platformFor(b, 900)
+	db := dgsql.NewDB()
+	if err := db.Register("visits", p.Flat()); err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT AgeBand10, Gender, distinct(PatientID) AS patients FROM visits WHERE DiabetesStatus = 'Yes' GROUP BY AgeBand10, Gender"
+	if _, err := db.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(kind string, patients int) string {
+	switch patients {
+	case 225:
+		return kind + "/patients=225"
+	case 900:
+		return kind + "/patients=900"
+	default:
+		return kind + "/patients=3600"
+	}
+}
+
+// --- B2: aggregate lattice on vs off --------------------------------------
+
+// BenchmarkLattice measures repeated interactive exploration (the Fig 5
+// coarse query, its drill-down, and the roll-up back) with the aggregate
+// lattice enabled versus disabled. With the lattice, the roll-up after a
+// drill-down is answered from cache.
+func BenchmarkLattice(b *testing.B) {
+	p := platformFor(b, 900)
+	coarse := experiments.Fig5Query()
+	// Count measure so the lattice applies (distinct is non-additive).
+	coarse.Measure = cube.MeasureRef{Agg: storage.CountAgg}
+	run := func(b *testing.B, useCache bool) {
+		e := cube.NewEngine(p.Warehouse(), cube.WithAggregateCache(useCache))
+		fine, err := e.DrillDown(coarse, core.RefAgeBand10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Execute(fine); err != nil { // warm columns (+cache)
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Execute(fine); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Execute(coarse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("lattice=on", func(b *testing.B) { run(b, true) })
+	b.Run("lattice=off", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkBitmapSlicer measures slicer evaluation with bitmap member
+// indexes on versus off (direct column scans).
+func BenchmarkBitmapSlicer(b *testing.B) {
+	p := platformFor(b, 900)
+	q := experiments.Fig6Query()
+	run := func(b *testing.B, bitmaps bool) {
+		e := cube.NewEngine(p.Warehouse(), cube.WithBitmapIndex(bitmaps), cube.WithAggregateCache(false))
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bitmap=on", func(b *testing.B) { run(b, true) })
+	b.Run("bitmap=off", func(b *testing.B) { run(b, false) })
+}
+
+// --- B3: mining over an OLAP-isolated subset -------------------------------
+
+// BenchmarkMining measures each analytics algorithm fitting and
+// predicting on warehouse features (the data-analytics feature of Fig 2).
+func BenchmarkMining(b *testing.B) {
+	p := platformFor(b, 900)
+	ds, err := p.Mine([]string{"FBGBand", "ReflexStatus", "Gender", "AgeBandClinical", "ExerciseFrequency"},
+		"DiabetesStatus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factories := map[string]func() mining.Classifier{
+		"naivebayes": func() mining.Classifier { return mining.NewNaiveBayes() },
+		"tree":       func() mining.Classifier { return mining.NewDecisionTree() },
+		"knn":        func() mining.Classifier { return mining.NewKNN(7) },
+		"awsum":      func() mining.Classifier { return mining.NewAWSum() },
+	}
+	for _, name := range []string{"naivebayes", "tree", "knn", "awsum"} {
+		factory := factories[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clf := factory()
+				if err := clf.Fit(ds); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := clf.Predict(ds.X[i%ds.Len()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApriori measures association-rule mining over the discretised
+// clinical attributes.
+func BenchmarkApriori(b *testing.B) {
+	p := platformFor(b, 900)
+	flat := p.Flat()
+	cfg := mining.AprioriConfig{MinSupport: 0.05, MinConfidence: 0.8}
+	cols := []string{"FBGBand", "ReflexStatus", "DiabetesStatus", "HypertensionStatus", "ExerciseFrequency"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.Apriori(flat, cols, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Supporting substrates -------------------------------------------------
+
+// BenchmarkMDX measures MDX parse + execute for the Fig 5 query text.
+func BenchmarkMDX(b *testing.B) {
+	p := platformFor(b, 900)
+	src := `SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS,
+		{[PersonalInformation].[AgeBand10].MEMBERS} ON ROWS
+		FROM [MedicalMeasures]
+		WHERE ([MedicalCondition].[DiabetesStatus].[Yes], [Measures].[PatientCount])`
+	if _, err := p.QueryMDX(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.QueryMDX(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkETLPipeline measures the full Fig 2 transformation layer over
+// the raw cohort.
+func BenchmarkETLPipeline(b *testing.B) {
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 300
+	raw, err := discri.Generate(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewDiScRiPipeline().Run(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOLTPCommit measures transactional insert throughput of the
+// acquisition store (in-memory, no WAL) — the "DB" box of Fig 2.
+func BenchmarkOLTPCommit(b *testing.B) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "PatientID", Kind: value.IntKind},
+		storage.Field{Name: "FBG", Kind: value.FloatKind},
+	)
+	s, err := oltp.Open("", schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if _, err := tx.Insert(oltp.Row{value.Int(int64(i)), value.Float(5.5)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

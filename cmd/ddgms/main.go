@@ -1,0 +1,419 @@
+// Command ddgms is the DD-DGMS command-line front end: it drives the
+// platform phases over files on disk, using the storage engine's binary
+// table format (.ddgt) between stages.
+//
+// Subcommands:
+//
+//	generate  -out raw.ddgt [-patients N] [-seed S] [-csv]
+//	transform -in raw.ddgt -out flat.ddgt
+//	query     -in flat.ddgt 'SELECT ... FROM [MedicalMeasures] ...'
+//	mine      -in flat.ddgt [-algo nb|tree|knn|awsum] [-folds K]
+//	rules     -in flat.ddgt [-support S] [-confidence C]
+//	predict   -in flat.ddgt [-state preDiabetic]
+//	stability -in flat.ddgt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/dgsql"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/ewing"
+	"github.com/ddgms/ddgms/internal/mining"
+	"github.com/ddgms/ddgms/internal/report"
+	"github.com/ddgms/ddgms/internal/server"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "transform":
+		err = cmdTransform(args)
+	case "query":
+		err = cmdQuery(args)
+	case "mine":
+		err = cmdMine(args)
+	case "rules":
+		err = cmdRules(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "stability":
+		err = cmdStability(args)
+	case "serve":
+		err = cmdServe(args)
+	case "report":
+		err = cmdReport(args)
+	case "sql":
+		err = cmdSQL(args)
+	case "can":
+		err = cmdCAN(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddgms %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ddgms <command> [flags]
+
+commands:
+  generate   synthesise the DiScRi cohort to a table file
+  transform  run the ETL pipeline (cleaning, Table I discretisation, cardinality)
+  query      execute an MDX query against the warehouse built from a flat table
+  mine       cross-validate a classifier on warehouse features
+  rules      mine association rules (Apriori) from discretised attributes
+  predict    fit the FBG disease-trajectory Markov model and report transitions
+  stability  run the decision-optimisation dimension-ablation check
+  serve      expose the warehouse over HTTP/JSON (the CDS service model)
+  report     render the strategic screening-programme report
+  sql        run a DG-SQL-style query directly over a flat table (no warehouse)
+  can        Ewing battery CAN assessment and hand-grip substitute ranking`)
+}
+
+func readTable(path string) (*storage.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return storage.ReadBinary(f)
+}
+
+func writeTable(path string, t *storage.Table, asCSV bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if asCSV {
+		return t.WriteCSV(f)
+	}
+	return t.WriteBinary(f)
+}
+
+// platformFromFlat rebuilds the warehouse from an already-transformed
+// table file.
+func platformFromFlat(path string) (*core.Platform, error) {
+	flat, err := readTable(path)
+	if err != nil {
+		return nil, err
+	}
+	p := core.New(core.Config{})
+	if err := p.Acquire(flat); err != nil {
+		return nil, err
+	}
+	// The table is already transformed; run an empty pipeline.
+	if err := p.Transform(core.NewPassthroughPipeline()); err != nil {
+		p.Close()
+		return nil, err
+	}
+	if err := p.BuildWarehouse(core.NewDiScRiBuilder()); err != nil {
+		p.Close()
+		return nil, err
+	}
+	if err := core.FinishDiScRiSetup(p); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "raw.ddgt", "output path")
+	patients := fs.Int("patients", 900, "cohort size")
+	seed := fs.Int64("seed", 0, "generator seed (0 = paper default)")
+	asCSV := fs.Bool("csv", false, "write CSV instead of the binary format")
+	fs.Parse(args)
+	cfg := discri.DefaultConfig()
+	cfg.Patients = *patients
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	tbl, err := discri.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeTable(*out, tbl, *asCSV); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d attendances × %d attributes to %s\n", tbl.Len(), tbl.Schema().Len(), *out)
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ExitOnError)
+	in := fs.String("in", "raw.ddgt", "input path (binary table)")
+	out := fs.String("out", "flat.ddgt", "output path")
+	asCSV := fs.Bool("csv", false, "write CSV instead of the binary format")
+	fs.Parse(args)
+	raw, err := readTable(*in)
+	if err != nil {
+		return err
+	}
+	flat, err := core.NewDiScRiPipeline().Run(raw)
+	if err != nil {
+		return err
+	}
+	if err := writeTable(*out, flat, *asCSV); err != nil {
+		return err
+	}
+	fmt.Printf("transformed %d rows: %d -> %d columns, steps: %s\n",
+		flat.Len(), raw.Schema().Len(), flat.Schema().Len(),
+		strings.Join(core.NewDiScRiPipeline().Steps(), ", "))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	chart := fs.Bool("chart", false, "render as bar chart")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need an MDX query argument")
+	}
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	cs, err := p.QueryMDX(strings.Join(fs.Args(), " "))
+	if err != nil {
+		return err
+	}
+	if *chart {
+		return viz.GroupedBarChart(os.Stdout, "", cs)
+	}
+	return viz.CrossTab(os.Stdout, "", cs)
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	algo := fs.String("algo", "nb", "classifier: nb, tree, knn, awsum")
+	folds := fs.Int("folds", 5, "cross-validation folds")
+	fs.Parse(args)
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	ds, err := p.Mine([]string{"FBGBand", "ReflexStatus", "Gender", "AgeBandClinical", "ExerciseFrequency"},
+		"DiabetesStatus")
+	if err != nil {
+		return err
+	}
+	factory, err := classifierFactory(*algo)
+	if err != nil {
+		return err
+	}
+	cm, err := mining.CrossValidate(factory, ds, *folds, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s, %d-fold stratified cross-validation on %d attendances:\n%s",
+		*algo, *folds, ds.Len(), cm)
+	return nil
+}
+
+func classifierFactory(algo string) (func() mining.Classifier, error) {
+	switch algo {
+	case "nb":
+		return func() mining.Classifier { return mining.NewNaiveBayes() }, nil
+	case "tree":
+		return func() mining.Classifier { return mining.NewDecisionTree() }, nil
+	case "knn":
+		return func() mining.Classifier { return mining.NewKNN(7) }, nil
+	case "awsum":
+		return func() mining.Classifier { return mining.NewAWSum() }, nil
+	}
+	return nil, fmt.Errorf("unknown classifier %q", algo)
+}
+
+func cmdRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	support := fs.Float64("support", 0.05, "minimum support")
+	confidence := fs.Float64("confidence", 0.8, "minimum confidence")
+	top := fs.Int("top", 20, "rules to print")
+	fs.Parse(args)
+	flat, err := readTable(*in)
+	if err != nil {
+		return err
+	}
+	rules, err := mining.Apriori(flat,
+		[]string{"FBGBand", "ReflexStatus", "DiabetesStatus", "HypertensionStatus", "ExerciseFrequency"},
+		mining.AprioriConfig{MinSupport: *support, MinConfidence: *confidence})
+	if err != nil {
+		return err
+	}
+	if len(rules) > *top {
+		rules = rules[:*top]
+	}
+	for _, r := range rules {
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d rules)\n", len(rules))
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	state := fs.String("state", "preDiabetic", "state to predict from")
+	fs.Parse(args)
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	m, err := p.TrajectoryModel("PatientID", "VisitDate", "FBG", core.FBGScheme)
+	if err != nil {
+		return err
+	}
+	dist, err := m.Next(*state)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("next-state distribution from %q:\n", *state)
+	for _, sp := range dist {
+		fmt.Printf("  %-12s %.3f\n", sp.State, sp.P)
+	}
+	stat, err := m.Stationary(500)
+	if err != nil {
+		return err
+	}
+	fmt.Println("long-run state occupancy:")
+	for _, sp := range stat {
+		fmt.Printf("  %-12s %.3f\n", sp.State, sp.P)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	addr := fs.String("addr", "127.0.0.1:8360", "listen address")
+	fs.Parse(args)
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Printf("serving DD-DGMS on http://%s (endpoints: /healthz /schema /query /findings)\n", *addr)
+	return http.ListenAndServe(*addr, server.New(p))
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	fs.Parse(args)
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	return report.Write(os.Stdout, p, report.Options{})
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "table path (registered as 'visits')")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need a SQL query argument, e.g. \"SELECT Gender, count(*) FROM visits GROUP BY Gender\"")
+	}
+	tbl, err := readTable(*in)
+	if err != nil {
+		return err
+	}
+	db := dgsql.NewDB()
+	if err := db.Register("visits", tbl); err != nil {
+		return err
+	}
+	out, err := db.Query(strings.Join(fs.Args(), " "))
+	if err != nil {
+		return err
+	}
+	return out.WriteCSV(os.Stdout)
+}
+
+func cmdCAN(args []string) error {
+	fs := flag.NewFlagSet("can", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	fs.Parse(args)
+	flat, err := readTable(*in)
+	if err != nil {
+		return err
+	}
+	battery := ewing.StandardBattery()
+	sum, err := ewing.Summarise(flat, battery)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ewing battery over %d attendances:\n", sum.Total)
+	for _, r := range []ewing.Risk{ewing.RiskNormal, ewing.RiskEarly, ewing.RiskDefinite, ewing.RiskSevere, ewing.RiskUnknown} {
+		fmt.Printf("  %-10s %d\n", r, sum.ByRisk[r])
+	}
+	fmt.Printf("hand-grip missing: %d\n\n", sum.MissingGrip)
+	candidates := []ewing.Test{
+		{Name: "rr-variability", Column: "RRVariability", NormalMin: 30, AbnormalMax: 15},
+		{Name: "postural drop", Column: "PosturalDrop", NormalMin: 10, AbnormalMax: 25, Invert: true},
+		{Name: "monofilament", Column: "MonofilamentScore", NormalMin: 8, AbnormalMax: 5},
+	}
+	ranked, err := ewing.RankSubstitutes(flat, battery, "sustained hand grip", candidates)
+	if err != nil {
+		return err
+	}
+	fmt.Println("hand-grip substitutes by risk-category agreement:")
+	for _, ev := range ranked {
+		fmt.Printf("  %-20s %.3f (%d evaluable)\n", ev.Candidate, ev.Agreement, ev.Evaluable)
+	}
+	return nil
+}
+
+func cmdStability(args []string) error {
+	fs := flag.NewFlagSet("stability", flag.ExitOnError)
+	in := fs.String("in", "flat.ddgt", "transformed table path")
+	fs.Parse(args)
+	p, err := platformFromFlat(*in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	base := cube.Query{
+		Rows:    []cube.AttrRef{core.RefGender},
+		Cols:    []cube.AttrRef{core.RefDiabetes},
+		Measure: cube.MeasureRef{Agg: storage.CountAgg},
+	}
+	rep, err := p.ValidateStability(base,
+		[]cube.AttrRef{core.RefExercise, core.RefFBGBand, core.RefRRVarBand}, 1e-9)
+	if err != nil {
+		return err
+	}
+	fmt.Println("dimension-ablation stability of gender × diabetes counts:")
+	for _, r := range rep.Results {
+		fmt.Printf("  %-36s maxRelDelta=%.3g missingShare=%.3f stable=%v\n",
+			r.Candidate, r.MaxRelDelta, r.MissingShare, r.Stable)
+	}
+	return nil
+}

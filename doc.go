@@ -1,0 +1,18 @@
+// Package ddgms is a reproduction of "Multivariate Data-Driven Decision
+// Guidance for Clinical Scientists" (Burstein, De Silva, Jelinek,
+// Stranieri; ICDE Workshops 2013): a Decision Guidance Management System
+// whose intermediary layer is a dimensional clinical data warehouse.
+//
+// The implementation lives under internal/: the platform (internal/core),
+// the dimensional warehouse (internal/star), the OLAP engine and MDX
+// language (internal/cube, internal/mdx), the ETL layer with the paper's
+// clinical discretisation schemes (internal/etl), the transactional store
+// (internal/oltp), the analytics, prediction, optimisation and knowledge
+// substrates (internal/mining, internal/predict, internal/optimize,
+// internal/kb), and the synthetic DiScRi cohort (internal/discri).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmark suite in bench_test.go
+// regenerates and times every table and figure of the paper's evaluation.
+package ddgms

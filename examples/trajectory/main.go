@@ -1,0 +1,105 @@
+// Disease-trajectory prediction: the Prediction feature of the
+// architecture — temporal abstraction of each patient's fasting-glucose
+// series into qualitative states, a Markov model of state transitions,
+// and a cohort (patient-similarity) predictor for an individual patient.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/predict"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func main() {
+	p, err := core.NewDiScRiPlatform(core.Config{}, discri.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// Fit the Markov trajectory model over the Table I FBG states.
+	m, err := p.TrajectoryModel("PatientID", "VisitDate", "FBG", core.FBGScheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fasting-glucose state transition probabilities:")
+	states := m.States()
+	fmt.Printf("  %-14s", "from \\ to")
+	for _, to := range states {
+		fmt.Printf("%14s", to)
+	}
+	fmt.Println()
+	for _, from := range states {
+		fmt.Printf("  %-14s", from)
+		for _, to := range states {
+			pr, err := m.TransitionProb(from, to)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%14.3f", pr)
+		}
+		fmt.Println()
+	}
+
+	// A clinician's question: a patient currently preDiabetic — what
+	// comes next, and what does the long run look like?
+	dist, err := m.Next("preDiabetic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnext state from preDiabetic:")
+	for _, sp := range dist {
+		fmt.Printf("  %-14s %.3f\n", sp.State, sp.P)
+	}
+	traj, err := m.Simulate("preDiabetic", 6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\none simulated 6-visit trajectory: %v\n", traj)
+	stat, err := m.Stationary(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlong-run state occupancy (strategic view):")
+	for _, sp := range stat {
+		fmt.Printf("  %-14s %.3f\n", sp.State, sp.P)
+	}
+
+	// Cohort prediction for one patient: find similar past patients and
+	// vote on the next phase. Features are the current circumstance.
+	flat := p.Flat()
+	var features [][]value.Value
+	var outcomes []value.Value
+	for i := 0; i < flat.Len(); i++ {
+		visitNo := flat.MustValue(i, "VisitNo")
+		fbgBand := flat.MustValue(i, "FBGBand")
+		if visitNo.IsNA() || fbgBand.IsNA() || visitNo.Int() != 1 {
+			continue
+		}
+		features = append(features, []value.Value{
+			flat.MustValue(i, "FBG"),
+			flat.MustValue(i, "ReflexStatus"),
+			flat.MustValue(i, "Age"),
+		})
+		outcomes = append(outcomes, flat.MustValue(i, "DiabetesStatus"))
+	}
+	c := predict.NewCohort(9)
+	if err := c.Fit([]string{"FBG", "ReflexStatus", "Age"}, features, outcomes); err != nil {
+		log.Fatal(err)
+	}
+	newPatient := []value.Value{value.Float(6.4), value.Str("absent"), value.Float(68)}
+	pred, err := c.Predict(newPatient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, neighbourOutcomes, err := c.Explain(newPatient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnew patient (FBG 6.4, absent reflexes, age 68): predicted diabetes status %s\n", pred)
+	fmt.Printf("evidence — outcomes of the 9 most similar past patients: %v\n", neighbourOutcomes)
+}

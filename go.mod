@@ -1,0 +1,3 @@
+module github.com/ddgms/ddgms
+
+go 1.22

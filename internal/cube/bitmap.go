@@ -1,0 +1,82 @@
+// Package cube implements the OLAP engine of the DD-DGMS architecture:
+// multidimensional aggregation queries over a star schema, producing cell
+// sets that can be sliced, diced, drilled down, rolled up and pivoted —
+// the operations behind the paper's Figs 4–6. Bitmap member indexes and a
+// partial aggregate lattice accelerate repeated exploration, which is the
+// workload of an interactive clinical scientist.
+package cube
+
+// Bitmap is a fixed-capacity bitset over fact-row ordinals.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap creates an all-zero bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in rows.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks row i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether row i is marked.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// And intersects o into b in place.
+func (b *Bitmap) And(o *Bitmap) {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &= o.words[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+}
+
+// Or unions o into b in place.
+func (b *Bitmap) Or(o *Bitmap) {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] |= o.words[i]
+		}
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Fill marks every row.
+func (b *Bitmap) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Clear the tail beyond n.
+	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight population count.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,68 @@
+package cube
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// DrillThrough is the classic OLAP operation behind "show me the patients
+// behind this bar": given a query and one cell coordinate, it returns the
+// ordinals of the fact rows that aggregated into that cell. Clinicians
+// use it to move from an aggregate anomaly to the underlying attendances.
+
+// DrillThrough returns the fact-row ordinals contributing to the cell at
+// (rowTuple, colTuple) of the query's result. Tuples are matched by value
+// against the query's axis attributes; the query's slicers apply.
+func (e *Engine) DrillThrough(q Query, rowTuple, colTuple []value.Value) ([]int, error) {
+	if len(rowTuple) != len(q.Rows) {
+		return nil, fmt.Errorf("cube: drill-through row tuple has %d values, query has %d row attrs",
+			len(rowTuple), len(q.Rows))
+	}
+	if len(colTuple) != len(q.Cols) {
+		return nil, fmt.Errorf("cube: drill-through column tuple has %d values, query has %d column attrs",
+			len(colTuple), len(q.Cols))
+	}
+	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
+	want := append(append([]value.Value{}, rowTuple...), colTuple...)
+	axisCols := make([][]value.Value, len(axes))
+	for i, ref := range axes {
+		col, err := e.attrColumn(ref)
+		if err != nil {
+			return nil, err
+		}
+		axisCols[i] = col
+	}
+	filter, err := e.filterBitmap(q.Slicers)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	n := e.schema.Fact().Len()
+	for i := 0; i < n; i++ {
+		if !filter.Get(i) {
+			continue
+		}
+		match := true
+		for a := range axes {
+			if !axisCols[a][i].Equal(want[a]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// DrillThroughCell is a convenience form addressing the cell by its
+// position in an executed cell set (which must have come from the same
+// query).
+func (e *Engine) DrillThroughCell(q Query, cs *CellSet, row, col int) ([]int, error) {
+	if row < 0 || row >= cs.Rows() || col < 0 || col >= cs.Columns() {
+		return nil, fmt.Errorf("cube: cell (%d,%d) outside %dx%d result", row, col, cs.Rows(), cs.Columns())
+	}
+	return e.DrillThrough(q, cs.RowHeaders[row], cs.ColHeaders[col])
+}

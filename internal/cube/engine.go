@@ -1,0 +1,489 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ddgms/ddgms/internal/star"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Engine executes OLAP queries against a star schema. It memoises
+// materialised attribute columns, bitmap member indexes and (optionally) a
+// partial aggregate lattice, so repeated interactive exploration of the
+// same warehouse is fast. Engine is safe for concurrent query execution.
+type Engine struct {
+	schema *star.Schema
+
+	useBitmaps bool
+	useLattice bool
+
+	mu          sync.Mutex
+	attrCols    map[AttrRef][]value.Value
+	bitmaps     map[AttrRef]map[value.Value]*Bitmap
+	lattice     map[string][]*latticeEntry
+	memberOrder map[AttrRef]map[value.Value]int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBitmapIndex enables or disables bitmap member indexes for slicer
+// evaluation (default on). Disabling falls back to direct column scans —
+// the B2 ablation baseline.
+func WithBitmapIndex(on bool) Option { return func(e *Engine) { e.useBitmaps = on } }
+
+// WithAggregateCache enables or disables the partial aggregate lattice
+// (default on). When enabled, additive queries (count/sum) can be answered
+// by rolling up previously computed finer-grained results.
+func WithAggregateCache(on bool) Option { return func(e *Engine) { e.useLattice = on } }
+
+// NewEngine creates an engine over a loaded star schema.
+func NewEngine(schema *star.Schema, opts ...Option) *Engine {
+	e := &Engine{
+		schema:      schema,
+		useBitmaps:  true,
+		useLattice:  true,
+		attrCols:    make(map[AttrRef][]value.Value),
+		bitmaps:     make(map[AttrRef]map[value.Value]*Bitmap),
+		lattice:     make(map[string][]*latticeEntry),
+		memberOrder: make(map[AttrRef]map[value.Value]int),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Schema returns the underlying star schema.
+func (e *Engine) Schema() *star.Schema { return e.schema }
+
+// SetMemberOrder declares the display order of an attribute's members
+// (e.g. age bands "<40", "40-60", "60-80", ">80", which would otherwise
+// sort lexicographically). Unlisted members sort after listed ones in
+// natural order.
+func (e *Engine) SetMemberOrder(ref AttrRef, members []value.Value) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := make(map[value.Value]int, len(members))
+	for i, v := range members {
+		m[v] = i
+	}
+	e.memberOrder[ref] = m
+}
+
+// InvalidateCaches clears every memoised structure. Call after mutating
+// the star schema (feedback dimensions, SCD updates).
+func (e *Engine) InvalidateCaches() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.attrCols = make(map[AttrRef][]value.Value)
+	e.bitmaps = make(map[AttrRef]map[value.Value]*Bitmap)
+	e.lattice = make(map[string][]*latticeEntry)
+}
+
+// attrColumn materialises (and caches) the value of ref for every fact
+// row; facts with NoKey get NA.
+func (e *Engine) attrColumn(ref AttrRef) ([]value.Value, error) {
+	e.mu.Lock()
+	if col, ok := e.attrCols[ref]; ok {
+		e.mu.Unlock()
+		return col, nil
+	}
+	e.mu.Unlock()
+
+	dim, ok := e.schema.Dimension(ref.Dim)
+	if !ok {
+		return nil, fmt.Errorf("cube: unknown dimension %q", ref.Dim)
+	}
+	if !dim.HasAttr(ref.Attr) {
+		return nil, fmt.Errorf("cube: dimension %q has no attribute %q", ref.Dim, ref.Attr)
+	}
+	keys, err := e.schema.Fact().KeyColumn(ref.Dim)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-resolve member attributes once, then fan out to facts.
+	memberVals := make([]value.Value, dim.Len())
+	for k := 0; k < dim.Len(); k++ {
+		v, err := dim.Attr(star.Key(k), ref.Attr)
+		if err != nil {
+			return nil, err
+		}
+		memberVals[k] = v
+	}
+	col := make([]value.Value, len(keys))
+	for i, k := range keys {
+		if k == star.NoKey {
+			col[i] = value.NA()
+			continue
+		}
+		col[i] = memberVals[k]
+	}
+	e.mu.Lock()
+	e.attrCols[ref] = col
+	e.mu.Unlock()
+	return col, nil
+}
+
+// bitmapFor returns (building if needed) the member bitmaps of ref.
+func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
+	e.mu.Lock()
+	if m, ok := e.bitmaps[ref]; ok {
+		e.mu.Unlock()
+		return m, nil
+	}
+	e.mu.Unlock()
+
+	col, err := e.attrColumn(ref)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[value.Value]*Bitmap)
+	for i, v := range col {
+		b, ok := m[v]
+		if !ok {
+			b = NewBitmap(len(col))
+			m[v] = b
+		}
+		b.Set(i)
+	}
+	e.mu.Lock()
+	e.bitmaps[ref] = m
+	e.mu.Unlock()
+	return m, nil
+}
+
+// filterBitmap evaluates all slicers into one fact-row bitmap.
+func (e *Engine) filterBitmap(slicers []Slicer) (*Bitmap, error) {
+	n := e.schema.Fact().Len()
+	out := NewBitmap(n)
+	out.Fill()
+	for _, s := range slicers {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("cube: slicer on %s has no values", s.Ref)
+		}
+		if e.useBitmaps {
+			members, err := e.bitmapFor(s.Ref)
+			if err != nil {
+				return nil, err
+			}
+			union := NewBitmap(n)
+			for _, v := range s.Values {
+				if b, ok := members[v]; ok {
+					union.Or(b)
+				}
+			}
+			out.And(union)
+			continue
+		}
+		// Scan fallback.
+		col, err := e.attrColumn(s.Ref)
+		if err != nil {
+			return nil, err
+		}
+		match := NewBitmap(n)
+		want := make(map[value.Value]struct{}, len(s.Values))
+		for _, v := range s.Values {
+			want[v] = struct{}{}
+		}
+		for i, v := range col {
+			if _, ok := want[v]; ok {
+				match.Set(i)
+			}
+		}
+		out.And(match)
+	}
+	return out, nil
+}
+
+// measureColumn resolves the values the measure aggregates over, or nil
+// for a plain fact count.
+func (e *Engine) measureColumn(m MeasureRef) ([]value.Value, error) {
+	switch {
+	case m.Column != "" && m.Attr != nil:
+		return nil, fmt.Errorf("cube: measure cannot name both a column and an attribute")
+	case m.Column != "":
+		col, err := e.schema.Fact().Measure(m.Column)
+		if err != nil {
+			return nil, fmt.Errorf("cube: %w", err)
+		}
+		out := make([]value.Value, col.Len())
+		for i := range out {
+			out[i] = col.Value(i)
+		}
+		return out, nil
+	case m.Attr != nil:
+		if m.Agg != storage.CountAgg && m.Agg != storage.DistinctAgg {
+			return nil, fmt.Errorf("cube: attribute measures support count/distinct only, got %s", m.Agg)
+		}
+		return e.attrColumn(*m.Attr)
+	default:
+		if m.Agg != storage.CountAgg {
+			return nil, fmt.Errorf("cube: aggregate %s requires a measure column", m.Agg)
+		}
+		return nil, nil
+	}
+}
+
+// cellAgg accumulates one cell.
+type cellAgg struct {
+	count    int64
+	sum      float64
+	min, max float64
+	seen     map[value.Value]struct{}
+	any      bool
+}
+
+func newCellAgg(kind storage.AggKind) *cellAgg {
+	a := &cellAgg{min: math.Inf(1), max: math.Inf(-1)}
+	if kind == storage.DistinctAgg {
+		a.seen = make(map[value.Value]struct{})
+	}
+	return a
+}
+
+func (a *cellAgg) observe(kind storage.AggKind, v value.Value, haveMeasure bool) {
+	if !haveMeasure {
+		a.count++
+		a.any = true
+		return
+	}
+	if v.IsNA() {
+		return
+	}
+	a.count++
+	a.any = true
+	if kind == storage.DistinctAgg {
+		a.seen[v] = struct{}{}
+		return
+	}
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+		if f < a.min {
+			a.min = f
+		}
+		if f > a.max {
+			a.max = f
+		}
+	}
+}
+
+func (a *cellAgg) result(kind storage.AggKind) value.Value {
+	switch kind {
+	case storage.CountAgg:
+		return value.Int(a.count)
+	case storage.DistinctAgg:
+		return value.Int(int64(len(a.seen)))
+	case storage.SumAgg:
+		if !a.any {
+			return value.NA()
+		}
+		return value.Float(a.sum)
+	case storage.AvgAgg:
+		if a.count == 0 {
+			return value.NA()
+		}
+		return value.Float(a.sum / float64(a.count))
+	case storage.MinAgg:
+		if !a.any {
+			return value.NA()
+		}
+		return value.Float(a.min)
+	case storage.MaxAgg:
+		if !a.any {
+			return value.NA()
+		}
+		return value.Float(a.max)
+	}
+	return value.NA()
+}
+
+// Execute runs a query and returns its cell set.
+func (e *Engine) Execute(q Query) (*CellSet, error) {
+	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
+	axisCols := make([][]value.Value, len(axes))
+	for i, ref := range axes {
+		col, err := e.attrColumn(ref)
+		if err != nil {
+			return nil, err
+		}
+		axisCols[i] = col
+	}
+	mcol, err := e.measureColumn(q.Measure)
+	if err != nil {
+		return nil, err
+	}
+
+	// Try the aggregate lattice before scanning facts.
+	if e.useLattice {
+		if cs, ok := e.latticeLookup(q); ok {
+			return cs, nil
+		}
+	}
+
+	filter, err := e.filterBitmap(q.Slicers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group every filtered fact, including those with NA axis coordinates;
+	// NA tuples are dropped at assembly time unless IncludeMissing is set.
+	// Keeping them in the grouped form makes the cached lattice entry
+	// correct for later roll-ups to coarser attribute subsets.
+	groups := make(map[string]*tupleGroup)
+	tupleBuf := make([]value.Value, len(axes))
+	nfacts := e.schema.Fact().Len()
+	for i := 0; i < nfacts; i++ {
+		if !filter.Get(i) {
+			continue
+		}
+		for a := range axes {
+			tupleBuf[a] = axisCols[a][i]
+		}
+		gk := encodeTuple(tupleBuf)
+		g, ok := groups[gk]
+		if !ok {
+			g = &tupleGroup{tuple: append([]value.Value(nil), tupleBuf...), agg: newCellAgg(q.Measure.Agg)}
+			groups[gk] = g
+		}
+		var mv value.Value
+		if mcol != nil {
+			mv = mcol[i]
+		}
+		g.agg.observe(q.Measure.Agg, mv, mcol != nil)
+	}
+
+	cs := e.assembleCellSet(q, func(yield func(tuple []value.Value, cell value.Value)) {
+		for _, g := range groups {
+			if !q.IncludeMissing && tupleHasNA(g.tuple) {
+				continue
+			}
+			yield(g.tuple, g.agg.result(q.Measure.Agg))
+		}
+	})
+
+	if e.useLattice && latticeable(q.Measure) {
+		e.latticeStore(q, groups)
+	}
+	return cs, nil
+}
+
+// tupleGroup pairs an axis coordinate tuple with its accumulating
+// aggregate.
+type tupleGroup struct {
+	tuple []value.Value
+	agg   *cellAgg
+}
+
+func tupleHasNA(tuple []value.Value) bool {
+	for _, v := range tuple {
+		if v.IsNA() {
+			return true
+		}
+	}
+	return false
+}
+
+// assembleCellSet lays grouped tuples out on the two axes.
+func (e *Engine) assembleCellSet(q Query, emit func(yield func([]value.Value, value.Value))) *CellSet {
+	nr, nc := len(q.Rows), len(q.Cols)
+	rowSet := make(map[string][]value.Value)
+	colSet := make(map[string][]value.Value)
+	type pending struct {
+		rk, ck string
+		cell   value.Value
+	}
+	var cells []pending
+	emit(func(tuple []value.Value, cell value.Value) {
+		rt, ct := tuple[:nr], tuple[nr:nr+nc]
+		rk, ck := encodeTuple(rt), encodeTuple(ct)
+		if _, ok := rowSet[rk]; !ok {
+			rowSet[rk] = append([]value.Value(nil), rt...)
+		}
+		if _, ok := colSet[ck]; !ok {
+			colSet[ck] = append([]value.Value(nil), ct...)
+		}
+		cells = append(cells, pending{rk: rk, ck: ck, cell: cell})
+	})
+
+	rowHeaders := e.sortTuples(rowSet, q.Rows)
+	colHeaders := e.sortTuples(colSet, q.Cols)
+	rowIdx := make(map[string]int, len(rowHeaders))
+	for i, t := range rowHeaders {
+		rowIdx[encodeTuple(t)] = i
+	}
+	colIdx := make(map[string]int, len(colHeaders))
+	for i, t := range colHeaders {
+		colIdx[encodeTuple(t)] = i
+	}
+	matrix := make([][]value.Value, len(rowHeaders))
+	for i := range matrix {
+		matrix[i] = make([]value.Value, len(colHeaders))
+		for j := range matrix[i] {
+			matrix[i][j] = value.NA()
+		}
+	}
+	for _, p := range cells {
+		matrix[rowIdx[p.rk]][colIdx[p.ck]] = p.cell
+	}
+	return &CellSet{
+		RowAttrs:   append([]AttrRef(nil), q.Rows...),
+		ColAttrs:   append([]AttrRef(nil), q.Cols...),
+		RowHeaders: rowHeaders,
+		ColHeaders: colHeaders,
+		Cells:      matrix,
+		Measure:    q.Measure,
+	}
+}
+
+// sortTuples orders axis header tuples, honouring declared member orders.
+func (e *Engine) sortTuples(set map[string][]value.Value, attrs []AttrRef) [][]value.Value {
+	out := make([][]value.Value, 0, len(set))
+	for _, t := range set {
+		out = append(out, t)
+	}
+	e.mu.Lock()
+	orders := make([]map[value.Value]int, len(attrs))
+	for i, ref := range attrs {
+		orders[i] = e.memberOrder[ref]
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		for k := range attrs {
+			va, vb := out[a][k], out[b][k]
+			if ord := orders[k]; ord != nil {
+				ia, oka := ord[va]
+				ib, okb := ord[vb]
+				switch {
+				case oka && okb:
+					if ia != ib {
+						return ia < ib
+					}
+					continue
+				case oka:
+					return true
+				case okb:
+					return false
+				}
+			}
+			if c := va.Compare(vb); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func encodeTuple(vals []value.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&sb, "%d:%s\x00", v.Kind(), v.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,241 @@
+package cube
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// The partial aggregate lattice caches the grouped form of every additive
+// query (count/sum) keyed by its slicer set and measure. A later query
+// over the same slicers and measure whose axis attributes are a subset of
+// a cached entry's attributes is answered by rolling the cached groups up
+// — no fact scan. This is the classic data-cube lattice of Harinarayan et
+// al. restricted to materialising what the user has already asked for,
+// which matches the interactive drill-down/roll-up workload of Figs 5–6:
+// after the fine-grained drill-down runs, the coarse roll-up is free.
+
+// latticeEntry is one cached group-by: the attribute set (sorted) and the
+// grouped tuples in that sorted attribute order with additive aggregate
+// state.
+type latticeEntry struct {
+	attrs  []AttrRef
+	groups []latticeGroup
+}
+
+type latticeGroup struct {
+	tuple []value.Value
+	sum   float64
+	count int64
+}
+
+// latticeable reports whether a measure can be cached and rolled up:
+// count and sum are additive; avg/min/max/distinct are not.
+func latticeable(m MeasureRef) bool {
+	return m.Agg == storage.CountAgg || m.Agg == storage.SumAgg
+}
+
+// latticeBase canonically encodes the parts of a query that must match a
+// cached entry exactly: slicers (order-insensitive) and measure.
+func latticeBase(q Query) string {
+	slicers := make([]string, len(q.Slicers))
+	for i, s := range q.Slicers {
+		vals := make([]string, len(s.Values))
+		for j, v := range s.Values {
+			vals[j] = v.String()
+		}
+		sort.Strings(vals)
+		slicers[i] = s.Ref.String() + "=" + strings.Join(vals, "|")
+	}
+	sort.Strings(slicers)
+	return strings.Join(slicers, ";") + "#" + q.Measure.String()
+}
+
+// sortedAxes returns the query's axis attributes sorted by name, plus the
+// permutation mapping sorted position -> original axis position.
+func sortedAxes(q Query) ([]AttrRef, []int) {
+	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
+	idx := make([]int, len(axes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return axes[idx[a]].String() < axes[idx[b]].String()
+	})
+	sorted := make([]AttrRef, len(axes))
+	for p, orig := range idx {
+		sorted[p] = axes[orig]
+	}
+	return sorted, idx
+}
+
+func sameAttrs(a, b []AttrRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetPositions returns, for each attr of want, its position in have, or
+// ok=false when want is not a subset of have.
+func subsetPositions(want, have []AttrRef) ([]int, bool) {
+	pos := make([]int, len(want))
+	for i, w := range want {
+		found := -1
+		for j, h := range have {
+			if w == h {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		pos[i] = found
+	}
+	return pos, true
+}
+
+// latticeStore records the grouped form of an executed additive query.
+// Groups arrive keyed in the query's axis order; they are stored in sorted
+// attribute order so permuted queries share entries.
+func (e *Engine) latticeStore(q Query, groups map[string]*tupleGroup) {
+	sorted, perm := sortedAxes(q)
+	entry := &latticeEntry{attrs: sorted, groups: make([]latticeGroup, 0, len(groups))}
+	for _, g := range groups {
+		tuple := make([]value.Value, len(perm))
+		for p, orig := range perm {
+			tuple[p] = g.tuple[orig]
+		}
+		entry.groups = append(entry.groups, latticeGroup{
+			tuple: tuple,
+			sum:   g.agg.sum,
+			count: g.agg.count,
+		})
+	}
+	base := latticeBase(q)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, ex := range e.lattice[base] {
+		if sameAttrs(ex.attrs, sorted) {
+			e.lattice[base][i] = entry
+			return
+		}
+	}
+	e.lattice[base] = append(e.lattice[base], entry)
+}
+
+// latticeLookup answers q from the cache if possible: an entry with the
+// exact attribute set is re-assembled directly; an entry whose attribute
+// set is a superset is rolled up. Only additive measures qualify.
+func (e *Engine) latticeLookup(q Query) (*CellSet, bool) {
+	if !latticeable(q.Measure) {
+		return nil, false
+	}
+	base := latticeBase(q)
+	want, perm := sortedAxes(q)
+
+	e.mu.Lock()
+	entries := e.lattice[base]
+	e.mu.Unlock()
+
+	var src *latticeEntry
+	var pos []int
+	for _, entry := range entries {
+		if sameAttrs(entry.attrs, want) {
+			src, pos = entry, identity(len(want))
+			break
+		}
+	}
+	if src == nil {
+		for _, entry := range entries {
+			if p, ok := subsetPositions(want, entry.attrs); ok {
+				src, pos = entry, p
+				break
+			}
+		}
+	}
+	if src == nil {
+		return nil, false
+	}
+
+	// Roll up src groups onto the wanted attrs (in sorted order), then map
+	// back to the query's axis order via perm.
+	type acc struct {
+		tuple []value.Value
+		sum   float64
+		count int64
+	}
+	rolled := make(map[string]*acc)
+	buf := make([]value.Value, len(want))
+	for _, g := range src.groups {
+		for i, p := range pos {
+			buf[i] = g.tuple[p]
+		}
+		k := encodeTuple(buf)
+		a, ok := rolled[k]
+		if !ok {
+			a = &acc{tuple: append([]value.Value(nil), buf...)}
+			rolled[k] = a
+		}
+		a.sum += g.sum
+		a.count += g.count
+	}
+
+	// perm maps sorted position -> original axis position; invert it to
+	// rebuild tuples in axis order.
+	inv := make([]int, len(perm))
+	for p, orig := range perm {
+		inv[orig] = p
+	}
+	cs := e.assembleCellSet(q, func(yield func([]value.Value, value.Value)) {
+		for _, a := range rolled {
+			tuple := make([]value.Value, len(inv))
+			for orig, p := range inv {
+				tuple[orig] = a.tuple[p]
+			}
+			if !q.IncludeMissing && tupleHasNA(tuple) {
+				continue
+			}
+			var cell value.Value
+			if q.Measure.Agg == storage.SumAgg {
+				if a.count == 0 {
+					cell = value.NA()
+				} else {
+					cell = value.Float(a.sum)
+				}
+			} else {
+				cell = value.Int(a.count)
+			}
+			yield(tuple, cell)
+		}
+	})
+	return cs, true
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LatticeSize reports the number of cached aggregate entries (for tests
+// and the B2 ablation harness).
+func (e *Engine) LatticeSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, entries := range e.lattice {
+		n += len(entries)
+	}
+	return n
+}

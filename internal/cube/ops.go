@@ -1,0 +1,100 @@
+package cube
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// The classic OLAP navigation operations, each producing a derived Query
+// from an existing one. They are pure: the original query is never
+// modified, so an exploration session can branch (exactly how a clinical
+// scientist uses the drag-and-drop interface of the paper's Fig 4).
+
+// Slice restricts the query to facts whose attribute equals v.
+func Slice(q Query, ref AttrRef, v value.Value) Query {
+	return Dice(q, Slicer{Ref: ref, Values: []value.Value{v}})
+}
+
+// Dice adds one or more slicers (each may carry multiple values).
+func Dice(q Query, slicers ...Slicer) Query {
+	out := q
+	out.Slicers = append(append([]Slicer(nil), q.Slicers...), slicers...)
+	return out
+}
+
+// Unslice removes every slicer on the given attribute.
+func Unslice(q Query, ref AttrRef) Query {
+	out := q
+	out.Slicers = nil
+	for _, s := range q.Slicers {
+		if s.Ref != ref {
+			out.Slicers = append(out.Slicers, s)
+		}
+	}
+	return out
+}
+
+// DrillDown replaces the axis attribute ref with the next finer level of
+// the hierarchy that contains it (e.g. AgeBand10 -> AgeBand5 for the
+// paper's Fig 5). It returns an error when ref is not on an axis, belongs
+// to no hierarchy, or is already at the finest level.
+func (e *Engine) DrillDown(q Query, ref AttrRef) (Query, error) {
+	finer, err := e.adjacentLevel(ref, true)
+	if err != nil {
+		return Query{}, err
+	}
+	return replaceAxisAttr(q, ref, AttrRef{Dim: ref.Dim, Attr: finer})
+}
+
+// RollUp replaces the axis attribute ref with the next coarser level of
+// the hierarchy that contains it.
+func (e *Engine) RollUp(q Query, ref AttrRef) (Query, error) {
+	coarser, err := e.adjacentLevel(ref, false)
+	if err != nil {
+		return Query{}, err
+	}
+	return replaceAxisAttr(q, ref, AttrRef{Dim: ref.Dim, Attr: coarser})
+}
+
+func (e *Engine) adjacentLevel(ref AttrRef, finer bool) (string, error) {
+	dim, ok := e.schema.Dimension(ref.Dim)
+	if !ok {
+		return "", fmt.Errorf("cube: unknown dimension %q", ref.Dim)
+	}
+	for _, h := range dim.Hierarchies() {
+		var next string
+		if finer {
+			next = h.Finer(ref.Attr)
+		} else {
+			next = h.Coarser(ref.Attr)
+		}
+		if next != "" {
+			return next, nil
+		}
+	}
+	dir := "finer"
+	if !finer {
+		dir = "coarser"
+	}
+	return "", fmt.Errorf("cube: no %s level than %s in any hierarchy of %q", dir, ref, ref.Dim)
+}
+
+func replaceAxisAttr(q Query, from, to AttrRef) (Query, error) {
+	out := q
+	out.Rows = append([]AttrRef(nil), q.Rows...)
+	out.Cols = append([]AttrRef(nil), q.Cols...)
+	for i, r := range out.Rows {
+		if r == from {
+			out.Rows[i] = to
+			return out, nil
+		}
+	}
+	for i, r := range out.Cols {
+		if r == from {
+			out.Cols[i] = to
+			return out, nil
+		}
+	}
+	return Query{}, fmt.Errorf("cube: %s is not on an axis of the query", from)
+}

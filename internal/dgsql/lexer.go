@@ -1,0 +1,141 @@
+// Package dgsql implements a small SQL-style query language over flat
+// tables — the shape of the DG-SQL intermediation layer of the original
+// DGMS (the paper's ref [4]) that the DD-DGMS architecture replaces with
+// the dimensional warehouse. It exists both as a usable reporting tool
+// over un-warehoused data and as the faithful "what came before"
+// comparator for benchmark B1.
+//
+// Supported grammar:
+//
+//	SELECT item [, item]...
+//	FROM ident
+//	[WHERE cond [AND cond]...]
+//	[GROUP BY col [, col]...]
+//	[ORDER BY col [DESC] [, col [DESC]]...]
+//	[LIMIT n]
+//
+//	item := col | agg '(' (col | '*') ')' [AS ident]
+//	agg  := COUNT | SUM | AVG | MIN | MAX | DISTINCT
+//	cond := col op literal      op := = | != | <> | < | <= | > | >=
+//	literal := number | 'string' | TRUE | FALSE | NULL
+package dgsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tStar
+	tComma
+	tLParen
+	tRParen
+	tOp // comparison operator
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tString:
+		return "string"
+	case tStar:
+		return "*"
+	case tComma:
+		return ","
+	case tLParen:
+		return "("
+	case tRParen:
+		return ")"
+	case tOp:
+		return "operator"
+	}
+	return "token"
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '*':
+			out = append(out, tok{tStar, "*", i})
+			i++
+		case c == ',':
+			out = append(out, tok{tComma, ",", i})
+			i++
+		case c == '(':
+			out = append(out, tok{tLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, tok{tRParen, ")", i})
+			i++
+		case c == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("dgsql: unterminated string at offset %d", i)
+			}
+			out = append(out, tok{tString, src[i+1 : i+1+j], i})
+			i += j + 2
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			j := i + 1
+			if j < len(src) && (src[j] == '=' || (c == '<' && src[j] == '>')) {
+				j++
+			}
+			op := src[i:j]
+			switch op {
+			case "=", "!=", "<>", "<", "<=", ">", ">=":
+				out = append(out, tok{tOp, op, i})
+			default:
+				return nil, fmt.Errorf("dgsql: bad operator %q at offset %d", op, i)
+			}
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			seenDot := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' && !seenDot) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			out = append(out, tok{tNumber, src[i:j], i})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			out = append(out, tok{tIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("dgsql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, tok{tEOF, "", len(src)})
+	return out, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,288 @@
+package dgsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// SelectItem is one projection: a plain column or an aggregate.
+type SelectItem struct {
+	Column string
+	Agg    storage.AggKind
+	IsAgg  bool
+	Star   bool // COUNT(*)
+	As     string
+}
+
+// Cond is one WHERE conjunct.
+type Cond struct {
+	Column  string
+	Op      string
+	Literal value.Value
+	IsNull  bool // comparison against NULL (only = and != are meaningful)
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Column     string
+	Descending bool
+}
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Items   []SelectItem
+	Table   string
+	Where   []Cond
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // -1 means no limit
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("trailing input")
+	}
+	return st, nil
+}
+
+func (p *parser) cur() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKind(k tokKind) (tok, error) {
+	if p.cur().kind != k {
+		return tok{}, p.errf("expected %s, got %s %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("dgsql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+var aggNames = map[string]storage.AggKind{
+	"count": storage.CountAgg, "sum": storage.SumAgg, "avg": storage.AvgAgg,
+	"min": storage.MinAgg, "max": storage.MaxAgg, "distinct": storage.DistinctAgg,
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{Limit: -1}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.cur().kind == tComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectKind(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	st.Table = nameTok.text
+
+	if p.atKeyword("WHERE") {
+		p.next()
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if p.atKeyword("AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectKind(tIdent)
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, col.text)
+			if p.cur().kind == tComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectKind(tIdent)
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: col.text}
+			if p.atKeyword("DESC") {
+				p.next()
+				key.Descending = true
+			} else if p.atKeyword("ASC") {
+				p.next()
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if p.cur().kind == tComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		numTok, err := p.expectKind(tNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(numTok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", numTok.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	identTok, err := p.expectKind(tIdent)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Column: identTok.text}
+	if agg, isAgg := aggNames[strings.ToLower(identTok.text)]; isAgg && p.cur().kind == tLParen {
+		p.next()
+		item.IsAgg = true
+		item.Agg = agg
+		switch p.cur().kind {
+		case tStar:
+			p.next()
+			if agg != storage.CountAgg {
+				return SelectItem{}, p.errf("only COUNT accepts *")
+			}
+			item.Star = true
+			item.Column = ""
+		case tIdent:
+			item.Column = p.next().text
+		default:
+			return SelectItem{}, p.errf("expected column or * in aggregate")
+		}
+		if _, err := p.expectKind(tRParen); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	if p.atKeyword("AS") {
+		p.next()
+		asTok, err := p.expectKind(tIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = asTok.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	colTok, err := p.expectKind(tIdent)
+	if err != nil {
+		return Cond{}, err
+	}
+	opTok, err := p.expectKind(tOp)
+	if err != nil {
+		return Cond{}, err
+	}
+	op := opTok.text
+	if op == "<>" {
+		op = "!="
+	}
+	cond := Cond{Column: colTok.text, Op: op}
+	switch p.cur().kind {
+	case tNumber:
+		text := p.next().text
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Cond{}, p.errf("bad number %q", text)
+			}
+			cond.Literal = value.Float(f)
+		} else {
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return Cond{}, p.errf("bad number %q", text)
+			}
+			cond.Literal = value.Int(n)
+		}
+	case tString:
+		cond.Literal = value.Str(p.next().text)
+	case tIdent:
+		switch strings.ToLower(p.cur().text) {
+		case "true":
+			p.next()
+			cond.Literal = value.Bool(true)
+		case "false":
+			p.next()
+			cond.Literal = value.Bool(false)
+		case "null":
+			p.next()
+			cond.IsNull = true
+			if op != "=" && op != "!=" {
+				return Cond{}, p.errf("NULL supports only = and !=")
+			}
+		default:
+			return Cond{}, p.errf("expected literal, got %q", p.cur().text)
+		}
+	default:
+		return Cond{}, p.errf("expected literal")
+	}
+	return cond, nil
+}

@@ -1,0 +1,182 @@
+package etl
+
+import (
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func visitsTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "PatientID", Kind: value.IntKind},
+		storage.Field{Name: "VisitDate", Kind: value.TimeKind},
+		storage.Field{Name: "FBG", Kind: value.FloatKind},
+	))
+	add := func(p int64, d int, fbg float64) {
+		row := []value.Value{value.Int(p), value.Time(day(d)), value.Float(fbg)}
+		if fbg < 0 {
+			row[2] = value.NA()
+		}
+		if err := tbl.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 20, 5.2)
+	add(2, 5, 6.3)
+	add(1, 10, 5.0)
+	add(2, 15, 7.5)
+	add(1, 30, -1) // missing FBG
+	add(3, 1, 400) // erroneous FBG
+	return tbl
+}
+
+func TestAssignCardinality(t *testing.T) {
+	tbl := visitsTable(t)
+	if err := AssignCardinality(tbl, "PatientID", "VisitDate", "VisitNo"); err != nil {
+		t.Fatal(err)
+	}
+	// Patient 1 visits on days 10, 20, 30 → cardinalities 1, 2, 3 in row
+	// order 20→2, 10→1, 30→3.
+	wantCard := []int64{2, 1, 1, 2, 3, 1}
+	for i, w := range wantCard {
+		if got := tbl.MustValue(i, "VisitNo"); got.Int() != w {
+			t.Errorf("row %d cardinality = %v, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAssignCardinalityErrors(t *testing.T) {
+	tbl := visitsTable(t)
+	if err := AssignCardinality(tbl, "Nope", "VisitDate", "C"); err == nil {
+		t.Error("unknown patient column must fail")
+	}
+	if err := AssignCardinality(tbl, "PatientID", "Nope", "C"); err == nil {
+		t.Error("unknown time column must fail")
+	}
+	if err := AssignCardinality(tbl, "PatientID", "FBG", "C"); err == nil {
+		t.Error("non-time time column must fail")
+	}
+}
+
+func TestAssignCardinalityMissingKeys(t *testing.T) {
+	tbl := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "P", Kind: value.IntKind},
+		storage.Field{Name: "D", Kind: value.TimeKind},
+	))
+	tbl.AppendRow([]value.Value{value.NA(), value.Time(day(1))})
+	tbl.AppendRow([]value.Value{value.Int(1), value.NA()})
+	tbl.AppendRow([]value.Value{value.Int(1), value.Time(day(2))})
+	if err := AssignCardinality(tbl, "P", "D", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.MustValue(0, "C").IsNA() || !tbl.MustValue(1, "C").IsNA() {
+		t.Error("rows with missing keys must get NA cardinality")
+	}
+	if tbl.MustValue(2, "C").Int() != 1 {
+		t.Errorf("valid row cardinality = %v", tbl.MustValue(2, "C"))
+	}
+}
+
+func TestVisitCounts(t *testing.T) {
+	tbl := visitsTable(t)
+	counts, err := VisitCounts(tbl, "PatientID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[value.Int(1)] != 3 || counts[value.Int(2)] != 2 || counts[value.Int(3)] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if _, err := VisitCounts(tbl, "Nope"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	tbl := visitsTable(t)
+	fbgScheme := MustManualScheme("FBG", []float64{5.5, 6.1, 7},
+		[]string{"very good", "high", "preDiabetic", "Diabetic"})
+	var p Pipeline
+	p.AddRangeRule("FBG", 2, 30).
+		AddImputeMean("FBG").
+		AddDiscretize("FBG", "FBGBand", fbgScheme).
+		AddCardinality("PatientID", "VisitDate", "VisitNo")
+
+	out, err := p.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input untouched: erroneous 400 still present.
+	if tbl.MustValue(5, "FBG").Float() != 400 {
+		t.Error("pipeline modified its input")
+	}
+	// The erroneous 400 was nulled then imputed with the mean of the rest.
+	v := out.MustValue(5, "FBG")
+	if v.IsNA() {
+		t.Fatal("erroneous value not imputed")
+	}
+	mean := (5.2 + 6.3 + 5.0 + 7.5) / 4
+	if diff := v.Float() - mean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("imputed = %v, want %g", v, mean)
+	}
+	// Discretised companion column exists alongside the original.
+	if _, ok := out.Schema().Lookup("FBG"); !ok {
+		t.Error("original column missing")
+	}
+	band := out.MustValue(3, "FBGBand")
+	if band.Str() != "Diabetic" {
+		t.Errorf("FBG 7.5 band = %v", band)
+	}
+	// Cardinality column attached.
+	if out.MustValue(4, "VisitNo").Int() != 3 {
+		t.Errorf("cardinality = %v", out.MustValue(4, "VisitNo"))
+	}
+	// Step names recorded in order.
+	steps := p.Steps()
+	if len(steps) != 4 || steps[0] != "range[FBG]" {
+		t.Errorf("steps = %v", steps)
+	}
+}
+
+func TestPipelineErrorPropagation(t *testing.T) {
+	tbl := visitsTable(t)
+	var p Pipeline
+	p.AddImputeMean("Nope")
+	if _, err := p.Run(tbl); err == nil {
+		t.Error("pipeline must surface step errors")
+	}
+	var p2 Pipeline
+	p2.AddDiscretize("Nope", "X", MustManualScheme("X", []float64{1}, []string{"a", "b"}))
+	if _, err := p2.Run(tbl); err == nil {
+		t.Error("discretize on unknown column must fail")
+	}
+}
+
+func TestPipelineDiscretizeNonNumericFails(t *testing.T) {
+	tbl := storage.MustTable(storage.MustSchema(storage.Field{Name: "G", Kind: value.StringKind}))
+	tbl.AppendRow([]value.Value{value.Str("M")})
+	var p Pipeline
+	p.AddDiscretize("G", "GB", MustManualScheme("X", []float64{1}, []string{"a", "b"}))
+	if _, err := p.Run(tbl); err == nil {
+		t.Error("discretising a string column must fail")
+	}
+}
+
+func TestPipelineCustomStep(t *testing.T) {
+	tbl := visitsTable(t)
+	var p Pipeline
+	p.Add(Step{
+		Name: "drop-missing",
+		Apply: func(t *storage.Table) (*storage.Table, error) {
+			return DropMissing(t, "FBG")
+		},
+	})
+	out, err := p.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Errorf("rows = %d, want 5", out.Len())
+	}
+}

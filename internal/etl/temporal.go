@@ -1,0 +1,215 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Temporal abstraction (paper §IV.2) derives high-level qualitative
+// descriptions from low-level time-stamped quantitative measures: state
+// abstraction maps each reading into a qualitative state via a
+// discretisation scheme, trend abstraction classifies the local slope, and
+// persistence merging collapses consecutive identical states into
+// intervals. Conflict detection verifies that independently derived
+// abstractions agree where they overlap.
+
+// Observation is one time-stamped reading of a variable.
+type Observation struct {
+	At time.Time
+	V  value.Value
+}
+
+// Interval is one qualitative abstraction: the variable held State from
+// Start to End (inclusive of both observation times).
+type Interval struct {
+	State      string
+	Start, End time.Time
+	N          int // number of raw observations covered
+}
+
+// sortObservations orders observations by time, in place.
+func sortObservations(obs []Observation) {
+	sort.SliceStable(obs, func(a, b int) bool { return obs[a].At.Before(obs[b].At) })
+}
+
+// AbstractStates maps each observation through the discretizer and merges
+// consecutive identical states into intervals (state abstraction followed
+// by persistence merging). Observations with NA values are skipped.
+func AbstractStates(obs []Observation, d Discretizer) ([]Interval, error) {
+	sorted := append([]Observation(nil), obs...)
+	sortObservations(sorted)
+	var out []Interval
+	for _, o := range sorted {
+		if o.V.IsNA() {
+			continue
+		}
+		sv, err := d.Apply(o.V)
+		if err != nil {
+			return nil, fmt.Errorf("etl: state abstraction: %w", err)
+		}
+		state := sv.String()
+		if n := len(out); n > 0 && out[n-1].State == state {
+			out[n-1].End = o.At
+			out[n-1].N++
+			continue
+		}
+		out = append(out, Interval{State: state, Start: o.At, End: o.At, N: 1})
+	}
+	return out, nil
+}
+
+// Trend labels produced by AbstractTrends.
+const (
+	TrendIncreasing = "increasing"
+	TrendDecreasing = "decreasing"
+	TrendSteady     = "steady"
+)
+
+// AbstractTrends classifies the change between consecutive numeric
+// observations as increasing, decreasing or steady (absolute slope per day
+// below epsilonPerDay), then persistence-merges runs of the same trend.
+// At least two non-NA observations are required to produce any interval.
+func AbstractTrends(obs []Observation, epsilonPerDay float64) ([]Interval, error) {
+	if epsilonPerDay < 0 {
+		return nil, fmt.Errorf("etl: trend abstraction: negative epsilon")
+	}
+	sorted := make([]Observation, 0, len(obs))
+	for _, o := range obs {
+		if o.V.IsNA() {
+			continue
+		}
+		if _, ok := o.V.AsFloat(); !ok {
+			return nil, fmt.Errorf("etl: trend abstraction: non-numeric %v value", o.V.Kind())
+		}
+		sorted = append(sorted, o)
+	}
+	sortObservations(sorted)
+	var out []Interval
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		pf, _ := prev.V.AsFloat()
+		cf, _ := cur.V.AsFloat()
+		days := cur.At.Sub(prev.At).Hours() / 24
+		var slope float64
+		if days > 0 {
+			slope = (cf - pf) / days
+		} else {
+			slope = 0
+		}
+		state := TrendSteady
+		switch {
+		case slope > epsilonPerDay:
+			state = TrendIncreasing
+		case slope < -epsilonPerDay:
+			state = TrendDecreasing
+		}
+		if n := len(out); n > 0 && out[n-1].State == state {
+			out[n-1].End = cur.At
+			out[n-1].N++
+			continue
+		}
+		out = append(out, Interval{State: state, Start: prev.At, End: cur.At, N: 2})
+	}
+	return out, nil
+}
+
+// TrendBaseline labels a visit with no usable predecessor (the patient's
+// first visit, or missing data either side).
+const TrendBaseline = "baseline"
+
+// assignTrend implements Pipeline.AddTrend: it adds the per-visit trend
+// label column in place.
+func assignTrend(t *storage.Table, patientCol, timeCol, measureCol, out string, epsilonPerDay float64) error {
+	if epsilonPerDay < 0 {
+		return fmt.Errorf("etl: trend: negative epsilon")
+	}
+	for _, c := range []string{patientCol, timeCol, measureCol} {
+		if _, ok := t.Schema().Lookup(c); !ok {
+			return fmt.Errorf("etl: trend: unknown column %q", c)
+		}
+	}
+	type visit struct {
+		row int
+		at  time.Time
+		v   value.Value
+	}
+	byPatient := make(map[value.Value][]visit)
+	for i := 0; i < t.Len(); i++ {
+		pid := t.MustValue(i, patientCol)
+		at := t.MustValue(i, timeCol)
+		if pid.IsNA() || at.IsNA() || at.Kind() != value.TimeKind {
+			continue
+		}
+		byPatient[pid] = append(byPatient[pid], visit{row: i, at: at.Time(), v: t.MustValue(i, measureCol)})
+	}
+	labels := make([]value.Value, t.Len())
+	for i := range labels {
+		labels[i] = value.NA()
+	}
+	for _, visits := range byPatient {
+		sort.SliceStable(visits, func(a, b int) bool { return visits[a].at.Before(visits[b].at) })
+		var prev *visit
+		for k := range visits {
+			cur := &visits[k]
+			cf, curOK := cur.v.AsFloat()
+			if !curOK {
+				labels[cur.row] = value.NA()
+				continue
+			}
+			if prev == nil {
+				labels[cur.row] = value.Str(TrendBaseline)
+				prev = cur
+				continue
+			}
+			pf, _ := prev.v.AsFloat()
+			days := cur.at.Sub(prev.at).Hours() / 24
+			var slope float64
+			if days > 0 {
+				slope = (cf - pf) / days
+			}
+			state := TrendSteady
+			switch {
+			case slope > epsilonPerDay:
+				state = TrendIncreasing
+			case slope < -epsilonPerDay:
+				state = TrendDecreasing
+			}
+			labels[cur.row] = value.Str(state)
+			prev = cur
+		}
+	}
+	return t.AddColumn(storage.Field{Name: out, Kind: value.StringKind}, func(i int) value.Value {
+		return labels[i]
+	})
+}
+
+// Conflict reports a disagreement between two abstraction sequences over
+// the same variable: overlapping intervals that assert different states.
+type Conflict struct {
+	A, B Interval
+}
+
+// FindConflicts returns every pair of overlapping intervals from a and b
+// that disagree on state. The paper stresses that multivariate clinical
+// abstractions must not conflict; this is the checking half of that
+// requirement. Sequences with disjoint state vocabularies (e.g. states vs
+// trends) will report every overlap, so callers should compare like with
+// like.
+func FindConflicts(a, b []Interval) []Conflict {
+	var out []Conflict
+	for _, ia := range a {
+		for _, ib := range b {
+			if ia.End.Before(ib.Start) || ib.End.Before(ia.Start) {
+				continue
+			}
+			if ia.State != ib.State {
+				out = append(out, Conflict{A: ia, B: ib})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package etl
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func day(n int) time.Time {
+	return time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func obs(n int, v float64) Observation {
+	return Observation{At: day(n), V: value.Float(v)}
+}
+
+func TestAbstractStates(t *testing.T) {
+	scheme := MustManualScheme("FBG", []float64{5.5, 7}, []string{"normal", "elevated", "diabetic"})
+	readings := []Observation{
+		obs(0, 5.0), obs(30, 5.2), // normal ×2
+		obs(60, 6.0), obs(90, 6.5), obs(120, 6.9), // elevated ×3
+		obs(150, 7.5), // diabetic ×1
+		obs(180, 6.0), // back to elevated
+	}
+	ivals, err := AbstractStates(readings, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		state string
+		n     int
+	}{{"normal", 2}, {"elevated", 3}, {"diabetic", 1}, {"elevated", 1}}
+	if len(ivals) != len(want) {
+		t.Fatalf("intervals = %d, want %d: %+v", len(ivals), len(want), ivals)
+	}
+	for i, w := range want {
+		if ivals[i].State != w.state || ivals[i].N != w.n {
+			t.Errorf("interval %d = %s/%d, want %s/%d", i, ivals[i].State, ivals[i].N, w.state, w.n)
+		}
+	}
+	if !ivals[0].Start.Equal(day(0)) || !ivals[0].End.Equal(day(30)) {
+		t.Errorf("interval 0 span = %v..%v", ivals[0].Start, ivals[0].End)
+	}
+}
+
+func TestAbstractStatesUnorderedInputAndNA(t *testing.T) {
+	scheme := MustManualScheme("X", []float64{5}, []string{"lo", "hi"})
+	readings := []Observation{
+		obs(60, 9), {At: day(30), V: value.NA()}, obs(0, 1),
+	}
+	ivals, err := AbstractStates(readings, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivals) != 2 || ivals[0].State != "lo" || ivals[1].State != "hi" {
+		t.Errorf("intervals = %+v", ivals)
+	}
+	// Input slice order must be preserved.
+	if !readings[0].At.Equal(day(60)) {
+		t.Error("AbstractStates reordered its input")
+	}
+}
+
+func TestAbstractStatesEmpty(t *testing.T) {
+	scheme := MustManualScheme("X", []float64{5}, []string{"lo", "hi"})
+	ivals, err := AbstractStates(nil, scheme)
+	if err != nil || len(ivals) != 0 {
+		t.Errorf("empty input: %v, %v", ivals, err)
+	}
+}
+
+func TestAbstractTrends(t *testing.T) {
+	readings := []Observation{
+		obs(0, 100), obs(10, 120), obs(20, 140), // increasing (2/day)
+		obs(30, 140.1), // steady (0.01/day)
+		obs(40, 100),   // decreasing
+	}
+	ivals, err := AbstractTrends(readings, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{TrendIncreasing, TrendSteady, TrendDecreasing}
+	if len(ivals) != len(want) {
+		t.Fatalf("intervals = %+v", ivals)
+	}
+	for i, w := range want {
+		if ivals[i].State != w {
+			t.Errorf("interval %d = %s, want %s", i, ivals[i].State, w)
+		}
+	}
+	// The increasing run covers three observations merged into one interval.
+	if ivals[0].N != 3 {
+		t.Errorf("increasing N = %d, want 3 (2 pairs merge to 3 observations)", ivals[0].N)
+	}
+}
+
+func TestAbstractTrendsEdgeCases(t *testing.T) {
+	if _, err := AbstractTrends(nil, -1); err == nil {
+		t.Error("negative epsilon must fail")
+	}
+	if ivals, err := AbstractTrends([]Observation{obs(0, 1)}, 0.5); err != nil || len(ivals) != 0 {
+		t.Errorf("single observation: %v, %v", ivals, err)
+	}
+	if _, err := AbstractTrends([]Observation{{At: day(0), V: value.Str("x")}, obs(1, 2)}, 0.5); err == nil {
+		t.Error("non-numeric must fail")
+	}
+	// Same-timestamp observations: zero elapsed time counts as steady.
+	ivals, err := AbstractTrends([]Observation{obs(0, 1), obs(0, 100)}, 0.5)
+	if err != nil || len(ivals) != 1 || ivals[0].State != TrendSteady {
+		t.Errorf("zero-elapsed = %+v, %v", ivals, err)
+	}
+}
+
+func TestFindConflicts(t *testing.T) {
+	a := []Interval{
+		{State: "normal", Start: day(0), End: day(30)},
+		{State: "elevated", Start: day(31), End: day(60)},
+	}
+	b := []Interval{
+		{State: "normal", Start: day(10), End: day(40)}, // overlaps both
+	}
+	conflicts := FindConflicts(a, b)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1: %+v", len(conflicts), conflicts)
+	}
+	if conflicts[0].A.State != "elevated" || conflicts[0].B.State != "normal" {
+		t.Errorf("conflict = %+v", conflicts[0])
+	}
+	// Disjoint intervals never conflict.
+	c := []Interval{{State: "x", Start: day(100), End: day(110)}}
+	if got := FindConflicts(a, c); len(got) != 0 {
+		t.Errorf("disjoint conflicts = %+v", got)
+	}
+	// Agreement never conflicts.
+	d := []Interval{{State: "normal", Start: day(0), End: day(30)}}
+	if got := FindConflicts(a[:1], d); len(got) != 0 {
+		t.Errorf("agreeing conflicts = %+v", got)
+	}
+}

@@ -1,0 +1,88 @@
+package etl
+
+import (
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func trendTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "P", Kind: value.IntKind},
+		storage.Field{Name: "D", Kind: value.TimeKind},
+		storage.Field{Name: "FBG", Kind: value.FloatKind},
+	))
+	add := func(p int64, dayN int, fbg float64) {
+		row := []value.Value{value.Int(p), value.Time(day(dayN)), value.Float(fbg)}
+		if fbg < 0 {
+			row[2] = value.NA()
+		}
+		if err := tbl.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Patient 1: rising course, entered out of order.
+	add(1, 365, 6.2)
+	add(1, 0, 5.0)
+	add(1, 730, 7.4)
+	// Patient 2: flat course.
+	add(2, 0, 5.5)
+	add(2, 365, 5.52)
+	// Patient 3: falling, with a missing middle reading.
+	add(3, 0, 8.0)
+	add(3, 365, -1) // NA
+	add(3, 730, 6.0)
+	return tbl
+}
+
+func TestPipelineAddTrend(t *testing.T) {
+	var p Pipeline
+	p.AddTrend("P", "D", "FBG", "Trend", 0.001)
+	out, err := p.Run(trendTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"increasing", // p1 day 365 (row 0): +1.2 over a year
+		"baseline",   // p1 day 0 (row 1)
+		"increasing", // p1 day 730 (row 2)
+		"baseline",   // p2 day 0
+		"steady",     // p2 day 365: +0.02 over a year, below epsilon
+		"baseline",   // p3 day 0
+		"",           // p3 day 365: NA measure -> NA label
+		"decreasing", // p3 day 730: vs day-0 reading (NA skipped)
+	}
+	for i, w := range want {
+		got := out.MustValue(i, "Trend")
+		if w == "" {
+			if !got.IsNA() {
+				t.Errorf("row %d trend = %v, want NA", i, got)
+			}
+			continue
+		}
+		if got.IsNA() || got.Str() != w {
+			t.Errorf("row %d trend = %v, want %q", i, got, w)
+		}
+	}
+}
+
+func TestAddTrendErrors(t *testing.T) {
+	tbl := trendTable(t)
+	if err := assignTrend(tbl, "Nope", "D", "FBG", "T", 0.001); err == nil {
+		t.Error("unknown patient column must fail")
+	}
+	if err := assignTrend(tbl, "P", "Nope", "FBG", "T", 0.001); err == nil {
+		t.Error("unknown time column must fail")
+	}
+	if err := assignTrend(tbl, "P", "D", "Nope", "T", 0.001); err == nil {
+		t.Error("unknown measure column must fail")
+	}
+	if err := assignTrend(tbl, "P", "D", "FBG", "T", -1); err == nil {
+		t.Error("negative epsilon must fail")
+	}
+	if err := assignTrend(tbl, "P", "D", "FBG", "FBG", 0.001); err == nil {
+		t.Error("duplicate output column must fail")
+	}
+}

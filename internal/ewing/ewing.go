@@ -1,0 +1,284 @@
+// Package ewing implements the Ewing battery of cardiovascular autonomic
+// neuropathy (CAN) tests the paper discusses in §V.C (its ref [24]:
+// Ewing, Campbell & Clarke 1980). Each test yields a ratio or pressure
+// response graded normal / borderline / abnormal; the battery combines
+// the grades into a CAN risk category.
+//
+// The paper's motivating gap is that "some of the procedures such as the
+// hand grip test cannot be applied to the elderly because of arthritis",
+// and proposes using the DD-DGMS to find substitute patient
+// characteristics. SubstituteEvaluation quantifies exactly that: how well
+// a candidate warehouse attribute stands in for the missing test.
+package ewing
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Grade is the outcome of one battery test.
+type Grade uint8
+
+// Test outcomes. Missing marks a test that could not be performed.
+const (
+	Missing Grade = iota
+	Normal
+	Borderline
+	Abnormal
+)
+
+// String renders the grade.
+func (g Grade) String() string {
+	switch g {
+	case Missing:
+		return "missing"
+	case Normal:
+		return "normal"
+	case Borderline:
+		return "borderline"
+	case Abnormal:
+		return "abnormal"
+	}
+	return fmt.Sprintf("Grade(%d)", uint8(g))
+}
+
+// Test grades one battery measurement: values at or above NormalMin are
+// normal, values at or below AbnormalMax are abnormal, between is
+// borderline. (All Ewing ratio tests are "higher is healthier"; for the
+// postural-hypotension pressure drop, which is "lower is healthier", set
+// Invert.)
+type Test struct {
+	Name        string
+	Column      string
+	NormalMin   float64
+	AbnormalMax float64
+	Invert      bool
+}
+
+// Grade classifies a single measurement.
+func (t Test) Grade(v value.Value) Grade {
+	f, ok := v.AsFloat()
+	if !ok {
+		return Missing
+	}
+	if t.Invert {
+		switch {
+		case f <= t.NormalMin:
+			return Normal
+		case f >= t.AbnormalMax:
+			return Abnormal
+		}
+		return Borderline
+	}
+	switch {
+	case f >= t.NormalMin:
+		return Normal
+	case f <= t.AbnormalMax:
+		return Abnormal
+	}
+	return Borderline
+}
+
+// StandardBattery returns the five classical Ewing tests with thresholds
+// over the columns of the DiScRi flat table. Ratio thresholds follow the
+// conventional Ewing cut-offs scaled to the generator's design ranges.
+func StandardBattery() []Test {
+	return []Test{
+		{Name: "heart rate response to standing", Column: "EwingLyingStanding", NormalMin: 1.12, AbnormalMax: 1.04},
+		{Name: "Valsalva manoeuvre", Column: "EwingValsalva", NormalMin: 1.21, AbnormalMax: 1.10},
+		{Name: "deep breathing", Column: "EwingDeepBreathing", NormalMin: 1.14, AbnormalMax: 1.07},
+		{Name: "sustained hand grip", Column: "EwingHandGrip", NormalMin: 16, AbnormalMax: 10},
+		{Name: "postural hypotension", Column: "EwingPosturalHypotension", NormalMin: 10, AbnormalMax: 25, Invert: true},
+	}
+}
+
+// Risk is the battery-level CAN assessment.
+type Risk uint8
+
+// Risk categories per Ewing's original scheme (collapsed).
+const (
+	RiskUnknown Risk = iota // too few performable tests
+	RiskNormal
+	RiskEarly
+	RiskDefinite
+	RiskSevere
+)
+
+// String renders the risk category.
+func (r Risk) String() string {
+	switch r {
+	case RiskUnknown:
+		return "unknown"
+	case RiskNormal:
+		return "normal"
+	case RiskEarly:
+		return "early"
+	case RiskDefinite:
+		return "definite"
+	case RiskSevere:
+		return "severe"
+	}
+	return fmt.Sprintf("Risk(%d)", uint8(r))
+}
+
+// Assessment is the graded battery for one attendance.
+type Assessment struct {
+	Grades    map[string]Grade // test name -> grade
+	Performed int
+	Abnormal  int
+	Border    int
+	Risk      Risk
+}
+
+// Assess grades every battery test on row i of the flat table and
+// combines them: two or more abnormal tests are definite CAN (three or
+// more severe), one abnormal or two borderline are early involvement, and
+// fewer than two performable tests give an unknown risk.
+func Assess(t *storage.Table, row int, battery []Test) (Assessment, error) {
+	a := Assessment{Grades: make(map[string]Grade, len(battery))}
+	for _, test := range battery {
+		v, err := t.Value(row, test.Column)
+		if err != nil {
+			return Assessment{}, fmt.Errorf("ewing: %w", err)
+		}
+		g := test.Grade(v)
+		a.Grades[test.Name] = g
+		switch g {
+		case Missing:
+			continue
+		case Abnormal:
+			a.Abnormal++
+		case Borderline:
+			a.Border++
+		}
+		a.Performed++
+	}
+	switch {
+	case a.Performed < 2:
+		a.Risk = RiskUnknown
+	case a.Abnormal >= 3:
+		a.Risk = RiskSevere
+	case a.Abnormal >= 2:
+		a.Risk = RiskDefinite
+	case a.Abnormal == 1 || a.Border >= 2:
+		a.Risk = RiskEarly
+	default:
+		a.Risk = RiskNormal
+	}
+	return a, nil
+}
+
+// CohortSummary tallies risk categories across a table.
+type CohortSummary struct {
+	Total       int
+	ByRisk      map[Risk]int
+	MissingGrip int // attendances where the hand-grip test was missing
+}
+
+// Summarise assesses every attendance.
+func Summarise(t *storage.Table, battery []Test) (CohortSummary, error) {
+	s := CohortSummary{ByRisk: make(map[Risk]int)}
+	for i := 0; i < t.Len(); i++ {
+		a, err := Assess(t, i, battery)
+		if err != nil {
+			return CohortSummary{}, err
+		}
+		s.Total++
+		s.ByRisk[a.Risk]++
+		if a.Grades["sustained hand grip"] == Missing {
+			s.MissingGrip++
+		}
+	}
+	return s, nil
+}
+
+// SubstituteEvaluation measures how well a candidate attribute stands in
+// for a missing battery test: across attendances where the full battery
+// IS available, it compares the risk computed with the real test against
+// the risk computed with the candidate test instead, reporting agreement.
+// High agreement justifies using the candidate when the real test cannot
+// be performed (the elderly hand-grip case).
+type SubstituteEvaluation struct {
+	Candidate  string
+	Evaluable  int
+	Agreements int
+	// Agreement is Agreements/Evaluable.
+	Agreement float64
+	// Confusion maps original risk -> substituted risk -> count.
+	Confusion map[Risk]map[Risk]int
+}
+
+// EvaluateSubstitute replaces `replace` (a test name from the battery)
+// with candidate and measures risk agreement on rows where the original
+// test was performed.
+func EvaluateSubstitute(t *storage.Table, battery []Test, replace string, candidate Test) (SubstituteEvaluation, error) {
+	origIdx := -1
+	for i, test := range battery {
+		if test.Name == replace {
+			origIdx = i
+			break
+		}
+	}
+	if origIdx < 0 {
+		return SubstituteEvaluation{}, fmt.Errorf("ewing: battery has no test %q", replace)
+	}
+	substituted := append([]Test(nil), battery...)
+	candidate.Name = replace // keep grade-map keys aligned
+	substituted[origIdx] = candidate
+
+	ev := SubstituteEvaluation{Candidate: candidate.Column, Confusion: make(map[Risk]map[Risk]int)}
+	for i := 0; i < t.Len(); i++ {
+		orig, err := Assess(t, i, battery)
+		if err != nil {
+			return SubstituteEvaluation{}, err
+		}
+		if orig.Grades[replace] == Missing || orig.Risk == RiskUnknown {
+			continue // can only score where ground truth exists
+		}
+		sub, err := Assess(t, i, substituted)
+		if err != nil {
+			return SubstituteEvaluation{}, err
+		}
+		if sub.Risk == RiskUnknown {
+			continue
+		}
+		ev.Evaluable++
+		if sub.Risk == orig.Risk {
+			ev.Agreements++
+		}
+		m := ev.Confusion[orig.Risk]
+		if m == nil {
+			m = make(map[Risk]int)
+			ev.Confusion[orig.Risk] = m
+		}
+		m[sub.Risk]++
+	}
+	if ev.Evaluable > 0 {
+		ev.Agreement = float64(ev.Agreements) / float64(ev.Evaluable)
+	}
+	return ev, nil
+}
+
+// RankSubstitutes evaluates several candidates and returns them sorted by
+// descending agreement — the decision-guidance output for "what could
+// replace the hand-grip test?".
+func RankSubstitutes(t *storage.Table, battery []Test, replace string, candidates []Test) ([]SubstituteEvaluation, error) {
+	out := make([]SubstituteEvaluation, 0, len(candidates))
+	for _, c := range candidates {
+		ev, err := EvaluateSubstitute(t, battery, replace, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Agreement != out[b].Agreement {
+			return out[a].Agreement > out[b].Agreement
+		}
+		return out[a].Candidate < out[b].Candidate
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package ewing
+
+import (
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func TestGradeThresholds(t *testing.T) {
+	ratio := Test{Name: "r", Column: "C", NormalMin: 1.12, AbnormalMax: 1.04}
+	cases := []struct {
+		v    value.Value
+		want Grade
+	}{
+		{value.Float(1.20), Normal},
+		{value.Float(1.12), Normal},
+		{value.Float(1.08), Borderline},
+		{value.Float(1.04), Abnormal},
+		{value.Float(0.95), Abnormal},
+		{value.NA(), Missing},
+		{value.Str("x"), Missing},
+	}
+	for _, c := range cases {
+		if got := ratio.Grade(c.v); got != c.want {
+			t.Errorf("Grade(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	// Inverted test: lower is healthier.
+	drop := Test{Name: "d", Column: "C", NormalMin: 10, AbnormalMax: 25, Invert: true}
+	if g := drop.Grade(value.Float(5)); g != Normal {
+		t.Errorf("drop 5 = %v", g)
+	}
+	if g := drop.Grade(value.Float(18)); g != Borderline {
+		t.Errorf("drop 18 = %v", g)
+	}
+	if g := drop.Grade(value.Float(30)); g != Abnormal {
+		t.Errorf("drop 30 = %v", g)
+	}
+}
+
+// batteryTable builds a table with controllable Ewing values.
+func batteryTable(t *testing.T, rows ...[5]value.Value) *storage.Table {
+	t.Helper()
+	tbl := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "EwingLyingStanding", Kind: value.FloatKind},
+		storage.Field{Name: "EwingValsalva", Kind: value.FloatKind},
+		storage.Field{Name: "EwingDeepBreathing", Kind: value.FloatKind},
+		storage.Field{Name: "EwingHandGrip", Kind: value.FloatKind},
+		storage.Field{Name: "EwingPosturalHypotension", Kind: value.FloatKind},
+	))
+	for _, r := range rows {
+		if err := tbl.AppendRow(r[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func f(x float64) value.Value { return value.Float(x) }
+
+func TestAssessRiskCategories(t *testing.T) {
+	tbl := batteryTable(t,
+		[5]value.Value{f(1.25), f(1.45), f(1.30), f(20), f(5)},               // all normal
+		[5]value.Value{f(1.02), f(1.45), f(1.30), f(20), f(5)},               // one abnormal -> early
+		[5]value.Value{f(1.02), f(1.05), f(1.30), f(20), f(5)},               // two abnormal -> definite
+		[5]value.Value{f(1.02), f(1.05), f(1.04), f(20), f(5)},               // three abnormal -> severe
+		[5]value.Value{f(1.08), f(1.15), f(1.30), f(20), f(5)},               // two borderline -> early
+		[5]value.Value{value.NA(), value.NA(), value.NA(), value.NA(), f(5)}, // one performable -> unknown
+	)
+	want := []Risk{RiskNormal, RiskEarly, RiskDefinite, RiskSevere, RiskEarly, RiskUnknown}
+	for i, w := range want {
+		a, err := Assess(tbl, i, StandardBattery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Risk != w {
+			t.Errorf("row %d risk = %v, want %v (grades %v)", i, a.Risk, w, a.Grades)
+		}
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	tbl := storage.MustTable(storage.MustSchema(storage.Field{Name: "X", Kind: value.FloatKind}))
+	tbl.AppendRow([]value.Value{f(1)})
+	if _, err := Assess(tbl, 0, StandardBattery()); err == nil {
+		t.Error("missing battery columns must fail")
+	}
+}
+
+func TestSummariseOnCohort(t *testing.T) {
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 300
+	tbl, err := discri.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarise(tbl, StandardBattery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != tbl.Len() {
+		t.Fatalf("total = %d", s.Total)
+	}
+	// The generator plants widespread elderly hand-grip missingness.
+	if s.MissingGrip == 0 {
+		t.Error("no missing hand-grip tests found")
+	}
+	// Both healthy and impaired participants exist.
+	if s.ByRisk[RiskNormal] == 0 || s.ByRisk[RiskDefinite]+s.ByRisk[RiskSevere] == 0 {
+		t.Errorf("degenerate risk distribution: %v", s.ByRisk)
+	}
+}
+
+func TestEvaluateSubstituteSelf(t *testing.T) {
+	// Substituting a test with itself must agree perfectly.
+	tbl := batteryTable(t,
+		[5]value.Value{f(1.25), f(1.45), f(1.30), f(20), f(5)},
+		[5]value.Value{f(1.02), f(1.05), f(1.30), f(8), f(30)},
+	)
+	battery := StandardBattery()
+	self := Test{Name: "self", Column: "EwingHandGrip", NormalMin: 16, AbnormalMax: 10}
+	ev, err := EvaluateSubstitute(tbl, battery, "sustained hand grip", self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Evaluable != 2 || ev.Agreement != 1 {
+		t.Errorf("self substitution = %+v", ev)
+	}
+}
+
+func TestEvaluateSubstituteErrors(t *testing.T) {
+	tbl := batteryTable(t)
+	if _, err := EvaluateSubstitute(tbl, StandardBattery(), "no such test", Test{}); err == nil {
+		t.Error("unknown test must fail")
+	}
+}
+
+func TestRankSubstitutesOnCohort(t *testing.T) {
+	// On the synthetic cohort, RR variability (driven by the same latent
+	// neuropathy) should be a better hand-grip substitute than a noise
+	// panel column.
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 400
+	tbl, err := discri.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []Test{
+		{Name: "rr", Column: "RRVariability", NormalMin: 30, AbnormalMax: 15},
+		{Name: "noise", Column: "Biochem01", NormalMin: 60, AbnormalMax: 40},
+	}
+	ranked, err := RankSubstitutes(tbl, StandardBattery(), "sustained hand grip", candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Candidate != "RRVariability" {
+		t.Errorf("best substitute = %s (agreement %.2f) over RRVariability (%.2f)",
+			ranked[0].Candidate, ranked[0].Agreement, ranked[1].Agreement)
+	}
+	if ranked[0].Agreement <= ranked[1].Agreement {
+		t.Errorf("RRVariability agreement %.2f not above noise %.2f",
+			ranked[0].Agreement, ranked[1].Agreement)
+	}
+	if ranked[0].Evaluable == 0 {
+		t.Error("nothing evaluable")
+	}
+}
+
+func TestRiskAndGradeStrings(t *testing.T) {
+	if RiskSevere.String() != "severe" || Risk(99).String() != "Risk(99)" {
+		t.Error("risk strings")
+	}
+	if Abnormal.String() != "abnormal" || Grade(99).String() != "Grade(99)" {
+		t.Error("grade strings")
+	}
+}

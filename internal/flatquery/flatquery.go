@@ -1,0 +1,123 @@
+// Package flatquery implements the no-warehouse baseline: multivariate
+// aggregation queries answered by direct filtered scans over the flat
+// (un-dimensionalised) clinical table. It is the comparator for the
+// paper's central claim that a data-warehouse intermediary makes
+// multivariate exploration practical — benchmark B1 runs the same queries
+// through this package and through the cube engine.
+package flatquery
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Filter keeps rows whose column value is one of Values.
+type Filter struct {
+	Column string
+	Values []value.Value
+}
+
+// Query is a flat aggregation: group-by columns split between two axes (to
+// mirror the cube API), filters, and one aggregate.
+type Query struct {
+	Rows    []string
+	Cols    []string
+	Filters []Filter
+	Agg     storage.AggKind
+	Measure string // measure column; empty means count rows
+}
+
+// Result is the flat analogue of a cell set: one grouped table with
+// row-axis columns, column-axis columns and an "agg" column.
+type Result struct {
+	Grouped *storage.Table
+	AggName string
+}
+
+// Execute answers the query with a full scan: filter, then group-by, with
+// no indexes, no member interning and no caching. Rows with NA in any
+// grouping column are dropped, matching the cube engine's default.
+func Execute(t *storage.Table, q Query) (*Result, error) {
+	for _, f := range q.Filters {
+		if len(f.Values) == 0 {
+			return nil, fmt.Errorf("flatquery: filter on %q has no values", f.Column)
+		}
+		if _, ok := t.Schema().Lookup(f.Column); !ok {
+			return nil, fmt.Errorf("flatquery: unknown filter column %q", f.Column)
+		}
+	}
+	groupCols := append(append([]string{}, q.Rows...), q.Cols...)
+	for _, c := range groupCols {
+		if _, ok := t.Schema().Lookup(c); !ok {
+			return nil, fmt.Errorf("flatquery: unknown group column %q", c)
+		}
+	}
+
+	filtered := t.Filter(func(tb *storage.Table, i int) bool {
+		for _, f := range q.Filters {
+			v := tb.MustValue(i, f.Column)
+			hit := false
+			for _, want := range f.Values {
+				if v.Equal(want) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		for _, c := range groupCols {
+			if tb.MustValue(i, c).IsNA() {
+				return false
+			}
+		}
+		return true
+	})
+
+	aggName := "agg"
+	grouped, err := filtered.GroupBy(groupCols, []storage.AggSpec{
+		{Kind: q.Agg, Column: q.Measure, As: aggName},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flatquery: %w", err)
+	}
+	return &Result{Grouped: grouped, AggName: aggName}, nil
+}
+
+// Cell returns the aggregate for one coordinate (rowVals then colVals must
+// match the query's Rows/Cols order). The boolean reports whether the
+// coordinate exists.
+func (r *Result) Cell(coord []value.Value) (value.Value, bool) {
+	n := r.Grouped.Schema().Len() - 1 // group columns precede the agg column
+	if len(coord) != n {
+		return value.NA(), false
+	}
+	for i := 0; i < r.Grouped.Len(); i++ {
+		match := true
+		for j := 0; j < n; j++ {
+			if !r.Grouped.ColumnAt(j).Value(i).Equal(coord[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return r.Grouped.MustValue(i, r.AggName), true
+		}
+	}
+	return value.NA(), false
+}
+
+// Total sums the aggregate column.
+func (r *Result) Total() float64 {
+	var t float64
+	col := r.Grouped.MustColumn(r.AggName)
+	for i := 0; i < col.Len(); i++ {
+		if f, ok := col.Value(i).AsFloat(); ok {
+			t += f
+		}
+	}
+	return t
+}

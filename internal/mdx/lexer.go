@@ -1,0 +1,138 @@
+// Package mdx implements a subset of the MDX (multidimensional
+// expressions) query language — the language the paper names as the OLAP
+// reporting interface of the DD-DGMS prototype — over the cube engine.
+//
+// Supported grammar:
+//
+//	query    := SELECT axis ON COLUMNS [, axis ON ROWS] FROM bracketed [WHERE tuple]
+//	axis     := [NON EMPTY] set
+//	set      := '{' setItem (',' setItem)* '}' | setItem
+//	setItem  := CROSSJOIN '(' set ',' set ')' | memberExpr
+//	member   := bracketed ('.' (bracketed | MEMBERS | CHILDREN))*
+//	tuple    := '(' member (',' member)* ')' | member
+//
+// Member references resolve against the star schema:
+//
+//	[Dim].[Attr].MEMBERS        all members of an attribute (CHILDREN is a synonym)
+//	[Dim].[Attr].[Value]        one member value
+//	[Measures].[Name]           a registered measure
+package mdx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokBracketed // [ ... ]
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokBracketed:
+		return "bracketed name"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "{"
+	case tokRBrace:
+		return "}"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokDot:
+		return "."
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenises an MDX query. Bracketed names preserve their inner text
+// verbatim (including spaces); identifiers are case-insensitive keywords.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '[':
+			j := strings.IndexByte(src[i:], ']')
+			if j < 0 {
+				return nil, fmt.Errorf("mdx: unterminated '[' at offset %d", i)
+			}
+			out = append(out, token{kind: tokBracketed, text: src[i+1 : i+j], pos: i})
+			i += j + 1
+		case c == '{':
+			out = append(out, token{kind: tokLBrace, text: "{", pos: i})
+			i++
+		case c == '}':
+			out = append(out, token{kind: tokRBrace, text: "}", pos: i})
+			i++
+		case c == '(':
+			out = append(out, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			out = append(out, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			out = append(out, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '.':
+			out = append(out, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			out = append(out, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			out = append(out, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("mdx: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(src)})
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,328 @@
+package mdx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AST node types. The parser is schema-agnostic; binding member paths to
+// dimensions, attributes and measures happens in the evaluator.
+
+// MemberExpr is a dotted path of bracketed names with an optional trailing
+// MEMBERS/CHILDREN marker: [Dim].[Attr], [Dim].[Attr].[Value],
+// [Dim].[Attr].MEMBERS.
+type MemberExpr struct {
+	Path       []string
+	AllMembers bool
+}
+
+func (m MemberExpr) String() string {
+	parts := make([]string, len(m.Path))
+	for i, p := range m.Path {
+		parts[i] = "[" + p + "]"
+	}
+	s := strings.Join(parts, ".")
+	if m.AllMembers {
+		s += ".MEMBERS"
+	}
+	return s
+}
+
+// SetExpr is an axis set: an explicit list of member expressions and/or
+// crossjoins.
+type SetExpr struct {
+	Items []SetItem
+}
+
+// SetItem is a member expression, a crossjoin of two sets, or a TOPCOUNT
+// restriction.
+type SetItem struct {
+	Member *MemberExpr
+	Cross  *CrossJoin
+	Top    *TopCount
+}
+
+// CrossJoin pairs two sets on one axis.
+type CrossJoin struct {
+	Left, Right SetExpr
+}
+
+// TopCount keeps the N axis positions with the largest totals:
+// TOPCOUNT({set}, N).
+type TopCount struct {
+	Set SetExpr
+	N   int
+}
+
+// AxisExpr is one query axis.
+type AxisExpr struct {
+	Set      SetExpr
+	NonEmpty bool
+}
+
+// QueryExpr is a parsed MDX query.
+type QueryExpr struct {
+	Columns *AxisExpr
+	Rows    *AxisExpr
+	CubeRef string
+	Where   []MemberExpr
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses an MDX query into its AST.
+func Parse(src string) (*QueryExpr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKind(tokEOF) {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) atKind(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, got %s %q", strings.ToUpper(kw), p.cur().kind, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKind(k tokenKind) (token, error) {
+	if !p.atKind(k) {
+		return token{}, p.errf("expected %s, got %s %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("mdx: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*QueryExpr, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &QueryExpr{}
+	for {
+		axis, err := p.parseAxis()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.atKeyword("COLUMNS"):
+			p.next()
+			if q.Columns != nil {
+				return nil, p.errf("duplicate COLUMNS axis")
+			}
+			q.Columns = axis
+		case p.atKeyword("ROWS"):
+			p.next()
+			if q.Rows != nil {
+				return nil, p.errf("duplicate ROWS axis")
+			}
+			q.Rows = axis
+		default:
+			return nil, p.errf("expected COLUMNS or ROWS")
+		}
+		if p.atKind(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if q.Columns == nil {
+		return nil, p.errf("query needs a COLUMNS axis")
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	cubeTok, err := p.expectKind(tokBracketed)
+	if err != nil {
+		return nil, err
+	}
+	q.CubeRef = cubeTok.text
+	if p.atKeyword("WHERE") {
+		p.next()
+		where, err := p.parseTuple()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+	}
+	return q, nil
+}
+
+func (p *parser) parseAxis() (*AxisExpr, error) {
+	axis := &AxisExpr{}
+	if p.atKeyword("NON") {
+		p.next()
+		if err := p.expectKeyword("EMPTY"); err != nil {
+			return nil, err
+		}
+		axis.NonEmpty = true
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	axis.Set = set
+	return axis, nil
+}
+
+func (p *parser) parseSet() (SetExpr, error) {
+	if p.atKind(tokLBrace) {
+		p.next()
+		var set SetExpr
+		for {
+			item, err := p.parseSetItem()
+			if err != nil {
+				return SetExpr{}, err
+			}
+			set.Items = append(set.Items, item)
+			if p.atKind(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectKind(tokRBrace); err != nil {
+			return SetExpr{}, err
+		}
+		return set, nil
+	}
+	item, err := p.parseSetItem()
+	if err != nil {
+		return SetExpr{}, err
+	}
+	return SetExpr{Items: []SetItem{item}}, nil
+}
+
+func (p *parser) parseSetItem() (SetItem, error) {
+	if p.atKeyword("TOPCOUNT") {
+		p.next()
+		if _, err := p.expectKind(tokLParen); err != nil {
+			return SetItem{}, err
+		}
+		set, err := p.parseSet()
+		if err != nil {
+			return SetItem{}, err
+		}
+		if _, err := p.expectKind(tokComma); err != nil {
+			return SetItem{}, err
+		}
+		numTok, err := p.expectKind(tokNumber)
+		if err != nil {
+			return SetItem{}, err
+		}
+		n := 0
+		for _, ch := range numTok.text {
+			n = n*10 + int(ch-'0')
+		}
+		if n < 1 {
+			return SetItem{}, p.errf("TOPCOUNT needs N >= 1")
+		}
+		if _, err := p.expectKind(tokRParen); err != nil {
+			return SetItem{}, err
+		}
+		return SetItem{Top: &TopCount{Set: set, N: n}}, nil
+	}
+	if p.atKeyword("CROSSJOIN") {
+		p.next()
+		if _, err := p.expectKind(tokLParen); err != nil {
+			return SetItem{}, err
+		}
+		left, err := p.parseSet()
+		if err != nil {
+			return SetItem{}, err
+		}
+		if _, err := p.expectKind(tokComma); err != nil {
+			return SetItem{}, err
+		}
+		right, err := p.parseSet()
+		if err != nil {
+			return SetItem{}, err
+		}
+		if _, err := p.expectKind(tokRParen); err != nil {
+			return SetItem{}, err
+		}
+		return SetItem{Cross: &CrossJoin{Left: left, Right: right}}, nil
+	}
+	m, err := p.parseMember()
+	if err != nil {
+		return SetItem{}, err
+	}
+	return SetItem{Member: &m}, nil
+}
+
+func (p *parser) parseMember() (MemberExpr, error) {
+	first, err := p.expectKind(tokBracketed)
+	if err != nil {
+		return MemberExpr{}, err
+	}
+	m := MemberExpr{Path: []string{first.text}}
+	for p.atKind(tokDot) {
+		p.next()
+		switch {
+		case p.atKind(tokBracketed):
+			m.Path = append(m.Path, p.next().text)
+		case p.atKeyword("MEMBERS"), p.atKeyword("CHILDREN"):
+			p.next()
+			m.AllMembers = true
+			return m, nil
+		default:
+			return MemberExpr{}, p.errf("expected bracketed name, MEMBERS or CHILDREN after '.'")
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseTuple() ([]MemberExpr, error) {
+	if p.atKind(tokLParen) {
+		p.next()
+		var out []MemberExpr
+		for {
+			m, err := p.parseMember()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+			if p.atKind(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expectKind(tokRParen); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	m, err := p.parseMember()
+	if err != nil {
+		return nil, err
+	}
+	return []MemberExpr{m}, nil
+}

@@ -1,0 +1,71 @@
+package mdx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness properties: the parser must never panic, whatever bytes it
+// receives, and the lexer's offset reporting must stay within the input.
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", src)
+				ok = false
+			}
+		}()
+		Parse(src) // error or not — just must not panic
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured fuzz: random sequences of grammar fragments exercise deeper
+// parser states than raw random bytes.
+func TestQuickParseFragmentsNeverPanic(t *testing.T) {
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", "ON", "COLUMNS", "ROWS", "NON", "EMPTY",
+		"CROSSJOIN", "TOPCOUNT", "MEMBERS", "CHILDREN",
+		"{", "}", "(", ")", ",", ".", "[A]", "[B]", "[Measures]", "[x y]",
+		"5", "99",
+	}
+	f := func(picks []uint8) (ok bool) {
+		src := ""
+		for _, p := range picks {
+			src += fragments[int(p)%len(fragments)] + " "
+		}
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", src)
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexOffsets(t *testing.T) {
+	src := `SELECT {[A].[B].MEMBERS} ON COLUMNS FROM [C]`
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.pos < 0 || tk.pos > len(src) {
+			t.Errorf("token %q offset %d outside input", tk.text, tk.pos)
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+}

@@ -1,0 +1,245 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/storage"
+)
+
+// Apriori mines association rules from a categorical table. Each row
+// becomes a transaction of "Column=Value" items; frequent itemsets are
+// grown level-wise with support pruning and rules are emitted above a
+// confidence threshold. In the DD-DGMS this runs over OLAP-isolated
+// subsets to surface co-occurring clinical factors.
+
+// Item is one attribute-value element of a transaction.
+type Item struct {
+	Column string
+	Value  string
+}
+
+func (it Item) String() string { return it.Column + "=" + it.Value }
+
+// Rule is an association rule with its quality metrics.
+type Rule struct {
+	Antecedent []Item
+	Consequent []Item
+	Support    float64
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule in the conventional arrow form.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (sup=%.3f conf=%.3f lift=%.2f)",
+		itemsString(r.Antecedent), itemsString(r.Consequent), r.Support, r.Confidence, r.Lift)
+}
+
+func itemsString(items []Item) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// AprioriConfig bounds the search.
+type AprioriConfig struct {
+	MinSupport    float64 // fraction of transactions, (0,1]
+	MinConfidence float64 // (0,1]
+	MaxItems      int     // largest itemset size; 0 means 4
+}
+
+// itemset is a sorted, canonical item list.
+type itemset []Item
+
+func (s itemset) key() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Apriori mines rules from the given categorical columns of a table. Rows
+// contribute only their non-NA values.
+func Apriori(t *storage.Table, columns []string, cfg AprioriConfig) ([]Rule, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("mining: MinSupport must be in (0,1], got %g", cfg.MinSupport)
+	}
+	if cfg.MinConfidence <= 0 || cfg.MinConfidence > 1 {
+		return nil, fmt.Errorf("mining: MinConfidence must be in (0,1], got %g", cfg.MinConfidence)
+	}
+	if cfg.MaxItems == 0 {
+		cfg.MaxItems = 4
+	}
+	for _, c := range columns {
+		if _, ok := t.Schema().Lookup(c); !ok {
+			return nil, fmt.Errorf("mining: unknown column %q", c)
+		}
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("mining: empty table")
+	}
+
+	// Build transactions.
+	txs := make([][]Item, 0, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		var tx []Item
+		for _, c := range columns {
+			v := t.MustValue(i, c)
+			if v.IsNA() {
+				continue
+			}
+			tx = append(tx, Item{Column: c, Value: v.String()})
+		}
+		sort.Slice(tx, func(a, b int) bool { return tx[a].String() < tx[b].String() })
+		txs = append(txs, tx)
+	}
+	n := float64(len(txs))
+	minCount := cfg.MinSupport * n
+
+	contains := func(tx []Item, set itemset) bool {
+		j := 0
+		for _, it := range tx {
+			if j < len(set) && it == set[j] {
+				j++
+			}
+		}
+		return j == len(set)
+	}
+	countOf := func(set itemset) float64 {
+		c := 0.0
+		for _, tx := range txs {
+			if contains(tx, set) {
+				c++
+			}
+		}
+		return c
+	}
+
+	// Level 1.
+	singleCounts := make(map[Item]float64)
+	for _, tx := range txs {
+		for _, it := range tx {
+			singleCounts[it]++
+		}
+	}
+	var frequent []itemset
+	support := make(map[string]float64)
+	var level []itemset
+	for it, c := range singleCounts {
+		if c >= minCount {
+			s := itemset{it}
+			level = append(level, s)
+			support[s.key()] = c / n
+		}
+	}
+	sort.Slice(level, func(a, b int) bool { return level[a].key() < level[b].key() })
+	frequent = append(frequent, level...)
+
+	// Level-wise growth: join sets sharing a (k-1)-prefix.
+	for k := 2; k <= cfg.MaxItems && len(level) > 1; k++ {
+		var next []itemset
+		seen := make(map[string]bool)
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !samePrefix(a, b) {
+					continue
+				}
+				cand := append(append(itemset{}, a...), b[len(b)-1])
+				sort.Slice(cand, func(x, y int) bool { return cand[x].String() < cand[y].String() })
+				ck := cand.key()
+				if seen[ck] {
+					continue
+				}
+				seen[ck] = true
+				// No two items from the same column (mutually exclusive).
+				if sameColumnPair(cand) {
+					continue
+				}
+				c := countOf(cand)
+				if c >= minCount {
+					next = append(next, cand)
+					support[ck] = c / n
+				}
+			}
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a].key() < next[b].key() })
+		frequent = append(frequent, next...)
+		level = next
+	}
+
+	// Rule generation: for each frequent set of size >= 2, split into
+	// antecedent/consequent over all non-trivial partitions.
+	var rules []Rule
+	for _, set := range frequent {
+		if len(set) < 2 {
+			continue
+		}
+		setSup := support[set.key()]
+		for mask := 1; mask < (1<<len(set))-1; mask++ {
+			var ante, cons itemset
+			for b := 0; b < len(set); b++ {
+				if mask&(1<<b) != 0 {
+					ante = append(ante, set[b])
+				} else {
+					cons = append(cons, set[b])
+				}
+			}
+			anteSup, ok := support[ante.key()]
+			if !ok || anteSup == 0 {
+				continue
+			}
+			conf := setSup / anteSup
+			if conf < cfg.MinConfidence {
+				continue
+			}
+			consSup, ok := support[cons.key()]
+			lift := 0.0
+			if ok && consSup > 0 {
+				lift = conf / consSup
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante, Consequent: cons,
+				Support: setSup, Confidence: conf, Lift: lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Confidence != rules[b].Confidence {
+			return rules[a].Confidence > rules[b].Confidence
+		}
+		if rules[a].Support != rules[b].Support {
+			return rules[a].Support > rules[b].Support
+		}
+		return rules[a].String() < rules[b].String()
+	})
+	return rules, nil
+}
+
+func samePrefix(a, b itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+func sameColumnPair(set itemset) bool {
+	cols := make(map[string]bool, len(set))
+	for _, it := range set {
+		if cols[it.Column] {
+			return true
+		}
+		cols[it.Column] = true
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func basketTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "Reflex", Kind: value.StringKind},
+		storage.Field{Name: "FBGBand", Kind: value.StringKind},
+		storage.Field{Name: "Diabetes", Kind: value.StringKind},
+	))
+	add := func(reflex, band, dia string, times int) {
+		for i := 0; i < times; i++ {
+			row := []value.Value{value.Str(reflex), value.Str(band), value.Str(dia)}
+			if reflex == "" {
+				row[0] = value.NA()
+			}
+			if err := tbl.AppendRow(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The planted pattern: absent reflex + mid-range glucose => diabetes.
+	add("absent", "mid", "Yes", 30)
+	add("present", "mid", "No", 25)
+	add("present", "normal", "No", 30)
+	add("absent", "normal", "No", 5)
+	add("present", "high", "Yes", 8)
+	add("", "mid", "No", 2)
+	return tbl
+}
+
+func TestAprioriFindsPlantedRule(t *testing.T) {
+	rules, err := Apriori(basketTable(t), []string{"Reflex", "FBGBand", "Diabetes"},
+		AprioriConfig{MinSupport: 0.1, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules found")
+	}
+	// Look for {Reflex=absent, FBGBand=mid} => {Diabetes=Yes}.
+	found := false
+	for _, r := range rules {
+		s := r.String()
+		if strings.HasPrefix(s, "FBGBand=mid & Reflex=absent => Diabetes=Yes") {
+			found = true
+			if r.Confidence < 0.99 {
+				t.Errorf("planted rule confidence = %g", r.Confidence)
+			}
+			if r.Lift <= 1 {
+				t.Errorf("planted rule lift = %g, want > 1", r.Lift)
+			}
+		}
+	}
+	if !found {
+		var all []string
+		for _, r := range rules {
+			all = append(all, r.String())
+		}
+		t.Errorf("planted rule missing; got:\n%s", strings.Join(all, "\n"))
+	}
+}
+
+func TestAprioriSupportPruning(t *testing.T) {
+	// With a high support floor, rare combinations disappear.
+	rules, err := Apriori(basketTable(t), []string{"Reflex", "FBGBand", "Diabetes"},
+		AprioriConfig{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Support < 0.5 {
+			t.Errorf("rule below support floor: %s", r)
+		}
+	}
+}
+
+func TestAprioriRespectsMaxItems(t *testing.T) {
+	rules, err := Apriori(basketTable(t), []string{"Reflex", "FBGBand", "Diabetes"},
+		AprioriConfig{MinSupport: 0.05, MinConfidence: 0.5, MaxItems: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if len(r.Antecedent)+len(r.Consequent) > 2 {
+			t.Errorf("rule exceeds MaxItems: %s", r)
+		}
+	}
+}
+
+func TestAprioriErrors(t *testing.T) {
+	tbl := basketTable(t)
+	if _, err := Apriori(tbl, []string{"Nope"}, AprioriConfig{MinSupport: 0.1, MinConfidence: 0.5}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := Apriori(tbl, []string{"Reflex"}, AprioriConfig{MinSupport: 0, MinConfidence: 0.5}); err == nil {
+		t.Error("zero support must fail")
+	}
+	if _, err := Apriori(tbl, []string{"Reflex"}, AprioriConfig{MinSupport: 0.1, MinConfidence: 2}); err == nil {
+		t.Error("confidence > 1 must fail")
+	}
+	empty := storage.MustTable(storage.MustSchema(storage.Field{Name: "A", Kind: value.StringKind}))
+	if _, err := Apriori(empty, []string{"A"}, AprioriConfig{MinSupport: 0.1, MinConfidence: 0.5}); err == nil {
+		t.Error("empty table must fail")
+	}
+}
+
+func TestKModesClustersSeparatedData(t *testing.T) {
+	ds := &Dataset{Features: []string{"A", "B", "C"}}
+	addN := func(a, b, c string, n int) {
+		for i := 0; i < n; i++ {
+			ds.X = append(ds.X, []value.Value{value.Str(a), value.Str(b), value.Str(c)})
+			ds.Y = append(ds.Y, value.Str("unused"))
+		}
+	}
+	addN("x", "x", "x", 40)
+	addN("y", "y", "y", 40)
+	km := NewKModes(2, 42)
+	assign, err := km.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly separated: all x-instances share a cluster, all y another.
+	if assign[0] == assign[40] {
+		t.Error("clusters not separated")
+	}
+	for i := 1; i < 40; i++ {
+		if assign[i] != assign[0] || assign[40+i] != assign[40] {
+			t.Fatalf("instance %d misassigned", i)
+		}
+	}
+	cost, err := km.Cost(ds, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost = %d, want 0 for perfectly separated data", cost)
+	}
+}
+
+func TestKModesDeterministicForSeed(t *testing.T) {
+	ds := diabetesDatasetCategorical(120, 21)
+	a1, err := NewKModes(3, 7).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewKModes(3, 7).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("k-modes not deterministic for a fixed seed")
+		}
+	}
+}
+
+func diabetesDatasetCategorical(n int, seed int64) *Dataset {
+	raw := diabetesDataset(n, seed)
+	ds := &Dataset{Features: raw.Features}
+	for i, x := range raw.X {
+		band := "normal"
+		if f, _ := x[0].AsFloat(); f >= 7 {
+			band = "high"
+		}
+		ds.X = append(ds.X, []value.Value{value.Str(band), x[1], x[2]})
+		ds.Y = append(ds.Y, raw.Y[i])
+	}
+	return ds
+}
+
+func TestKModesErrors(t *testing.T) {
+	ds := diabetesDatasetCategorical(10, 22)
+	if _, err := NewKModes(0, 1).Fit(ds); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := NewKModes(11, 1).Fit(ds); err == nil {
+		t.Error("k > n must fail")
+	}
+	km := NewKModes(2, 1)
+	if _, err := km.Cost(ds, nil); err == nil {
+		t.Error("cost before fit must fail")
+	}
+	assign, err := km.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := km.Cost(ds, assign[:1]); err == nil {
+		t.Error("short assignment must fail")
+	}
+}
+
+func TestKNNNeighbours(t *testing.T) {
+	ds := diabetesDataset(50, 23)
+	knn := NewKNN(3)
+	if _, err := knn.Neighbours(ds.X[0], 3); err == nil {
+		t.Error("neighbours before fit must fail")
+	}
+	if err := knn.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := knn.Neighbours(ds.X[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || ns[0] != 0 {
+		t.Errorf("neighbours = %v (instance 0 must be its own nearest)", ns)
+	}
+	// k larger than the dataset clamps.
+	ns, err = knn.Neighbours(ds.X[0], 500)
+	if err != nil || len(ns) != 50 {
+		t.Errorf("clamped neighbours = %d, %v", len(ns), err)
+	}
+}

@@ -1,0 +1,159 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// AWSum implements the weight-of-evidence classifier of the paper's ref
+// [9] (Quinn, Stranieri, Yearwood, Hafen & Jelinek, "AWSum — Combining
+// Classification with Knowledge Acquisition"). Every (feature, value) pair
+// carries a weight of evidence toward each class — the class-conditional
+// proportion P(class | feature=value) — and an instance is classified by
+// summing the weights of its feature values. The weights themselves are
+// directly interpretable by clinicians, which is how the paper's reflex ×
+// glucose interaction was surfaced.
+//
+// Numeric features must be discretised first (the ETL layer's job); AWSum
+// treats every feature as categorical.
+type AWSum struct {
+	classes []value.Value
+	// weights[feature][value][classIndex] = P(class | feature=value)
+	weights []map[value.Value][]float64
+	fitted  bool
+}
+
+// NewAWSum returns an unfitted classifier.
+func NewAWSum() *AWSum { return &AWSum{} }
+
+// Fit implements Classifier.
+func (a *AWSum) Fit(d *Dataset) error {
+	if err := validateFit(d); err != nil {
+		return err
+	}
+	a.classes = d.Classes()
+	classIdx := make(map[value.Value]int, len(a.classes))
+	for i, c := range a.classes {
+		classIdx[c] = i
+	}
+	nf := len(d.Features)
+	counts := make([]map[value.Value][]float64, nf)
+	for j := range counts {
+		counts[j] = make(map[value.Value][]float64)
+	}
+	for i, x := range d.X {
+		ci := classIdx[d.Y[i]]
+		for j, v := range x {
+			if v.IsNA() {
+				continue
+			}
+			w := counts[j][v]
+			if w == nil {
+				w = make([]float64, len(a.classes))
+				counts[j][v] = w
+			}
+			w[ci]++
+		}
+	}
+	// Normalise counts into per-value class proportions.
+	a.weights = counts
+	for j := range a.weights {
+		for _, w := range a.weights[j] {
+			var total float64
+			for _, c := range w {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			for k := range w {
+				w[k] /= total
+			}
+		}
+	}
+	a.fitted = true
+	return nil
+}
+
+// Predict implements Classifier: the class with the largest summed weight
+// of evidence over the instance's non-missing feature values.
+func (a *AWSum) Predict(x []value.Value) (value.Value, error) {
+	if !a.fitted {
+		return value.NA(), fmt.Errorf("mining: AWSum not fitted")
+	}
+	if len(x) != len(a.weights) {
+		return value.NA(), fmt.Errorf("mining: instance has %d features, model has %d", len(x), len(a.weights))
+	}
+	scores := make([]float64, len(a.classes))
+	for j, v := range x {
+		if v.IsNA() {
+			continue
+		}
+		w, ok := a.weights[j][v]
+		if !ok {
+			continue
+		}
+		for k := range scores {
+			scores[k] += w[k]
+		}
+	}
+	best, bestScore := value.NA(), -1.0
+	for k, c := range a.classes {
+		if scores[k] > bestScore || (scores[k] == bestScore && c.Less(best)) {
+			best, bestScore = c, scores[k]
+		}
+	}
+	return best, nil
+}
+
+// Evidence is one interpretable weight: how strongly a feature value
+// points at a class.
+type Evidence struct {
+	Feature string
+	Value   value.Value
+	Class   value.Value
+	Weight  float64
+}
+
+// TopEvidence returns the n strongest weights toward class c across all
+// feature values, sorted descending — the knowledge-acquisition output a
+// clinical scientist reviews.
+func (a *AWSum) TopEvidence(features []string, c value.Value, n int) ([]Evidence, error) {
+	if !a.fitted {
+		return nil, fmt.Errorf("mining: AWSum not fitted")
+	}
+	if len(features) != len(a.weights) {
+		return nil, fmt.Errorf("mining: %d feature names for %d features", len(features), len(a.weights))
+	}
+	ci := -1
+	for i, cl := range a.classes {
+		if cl.Equal(c) {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("mining: unknown class %v", c)
+	}
+	var out []Evidence
+	for j := range a.weights {
+		for v, w := range a.weights[j] {
+			out = append(out, Evidence{Feature: features[j], Value: v, Class: c, Weight: w[ci]})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Weight != out[y].Weight {
+			return out[x].Weight > out[y].Weight
+		}
+		if out[x].Feature != out[y].Feature {
+			return out[x].Feature < out[y].Feature
+		}
+		return out[x].Value.Less(out[y].Value)
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}

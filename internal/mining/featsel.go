@@ -1,0 +1,203 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Hybrid wrapper-filter feature selection, after the paper's ref [21]
+// (Huda, Jelinek, Ray, Stranieri & Yearwood, "Exploring novel features
+// and decision rules to identify cardiovascular autonomic neuropathy
+// using a Hybrid of Wrapper-Filter based feature selection"): a cheap
+// filter ranks features by mutual information with the class, then an
+// expensive wrapper greedily grows a feature subset, keeping a feature
+// only if it improves cross-validated accuracy.
+
+// FeatureScore pairs a feature with its filter score.
+type FeatureScore struct {
+	Feature string
+	Index   int
+	Score   float64
+}
+
+// MutualInformation computes the mutual information (bits) between each
+// feature and the class label. Numeric features are binned into up to 8
+// equal-frequency bins first; NA values form their own bin.
+func MutualInformation(d *Dataset) ([]FeatureScore, error) {
+	if err := validateFit(d); err != nil {
+		return nil, err
+	}
+	n := float64(d.Len())
+	classCounts := make(map[value.Value]float64)
+	for _, y := range d.Y {
+		classCounts[y]++
+	}
+	hy := 0.0
+	for _, c := range classCounts {
+		p := c / n
+		hy -= p * math.Log2(p)
+	}
+	out := make([]FeatureScore, len(d.Features))
+	for j, name := range d.Features {
+		binned := binFeature(d, j)
+		// H(Y|X) = sum_x p(x) H(Y|X=x).
+		byBin := make(map[string]map[value.Value]float64)
+		binTotals := make(map[string]float64)
+		for i, b := range binned {
+			m := byBin[b]
+			if m == nil {
+				m = make(map[value.Value]float64)
+				byBin[b] = m
+			}
+			m[d.Y[i]]++
+			binTotals[b]++
+		}
+		hyGivenX := 0.0
+		for b, m := range byBin {
+			nb := binTotals[b]
+			e := 0.0
+			for _, c := range m {
+				p := c / nb
+				e -= p * math.Log2(p)
+			}
+			hyGivenX += nb / n * e
+		}
+		out[j] = FeatureScore{Feature: name, Index: j, Score: hy - hyGivenX}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Feature < out[b].Feature
+	})
+	return out, nil
+}
+
+// binFeature maps a feature column to discrete bin keys.
+func binFeature(d *Dataset, j int) []string {
+	numeric := true
+	var xs []float64
+	for _, x := range d.X {
+		v := x[j]
+		if v.IsNA() {
+			continue
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			numeric = false
+			break
+		}
+		xs = append(xs, f)
+	}
+	out := make([]string, d.Len())
+	if !numeric || len(xs) == 0 {
+		for i, x := range d.X {
+			out[i] = x[j].String() // NA renders as "NA": its own bin
+		}
+		return out
+	}
+	sort.Float64s(xs)
+	const bins = 8
+	cuts := make([]float64, 0, bins-1)
+	for b := 1; b < bins; b++ {
+		q := xs[b*len(xs)/bins]
+		if len(cuts) == 0 || q > cuts[len(cuts)-1] {
+			cuts = append(cuts, q)
+		}
+	}
+	for i, x := range d.X {
+		v := x[j]
+		if v.IsNA() {
+			out[i] = "NA"
+			continue
+		}
+		f, _ := v.AsFloat()
+		b := sort.SearchFloat64s(cuts, math.Nextafter(f, math.Inf(1)))
+		out[i] = fmt.Sprintf("b%d", b)
+	}
+	return out
+}
+
+// WrapperFilterConfig bounds the hybrid search.
+type WrapperFilterConfig struct {
+	// TopK features (by filter score) enter the wrapper stage; 0 means
+	// all.
+	TopK int
+	// Folds for the wrapper's cross-validation; 0 means 3.
+	Folds int
+	// Seed drives fold assignment.
+	Seed int64
+	// MinGain is the accuracy improvement a feature must deliver to be
+	// kept; 0 means any strict improvement.
+	MinGain float64
+}
+
+// SelectionResult reports the hybrid search outcome.
+type SelectionResult struct {
+	// Selected features in the order they were adopted.
+	Selected []string
+	// Accuracy of the final subset (cross-validated).
+	Accuracy float64
+	// FilterRanking is the full mutual-information ranking.
+	FilterRanking []FeatureScore
+}
+
+// WrapperFilterSelect runs the hybrid: rank by mutual information, then
+// greedily add features (best-ranked first) keeping each only if the
+// factory classifier's cross-validated accuracy improves.
+func WrapperFilterSelect(factory func() Classifier, d *Dataset, cfg WrapperFilterConfig) (*SelectionResult, error) {
+	ranking, err := MutualInformation(d)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Folds == 0 {
+		cfg.Folds = 3
+	}
+	topK := cfg.TopK
+	if topK <= 0 || topK > len(ranking) {
+		topK = len(ranking)
+	}
+
+	res := &SelectionResult{FilterRanking: ranking}
+	var selectedIdx []int
+	best := 0.0
+	for _, fs := range ranking[:topK] {
+		trial := append(append([]int{}, selectedIdx...), fs.Index)
+		acc, err := subsetAccuracy(factory, d, trial, cfg.Folds, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gain := acc - best
+		if len(selectedIdx) == 0 || gain > cfg.MinGain {
+			selectedIdx = trial
+			best = acc
+			res.Selected = append(res.Selected, fs.Feature)
+		}
+	}
+	res.Accuracy = best
+	return res, nil
+}
+
+// subsetAccuracy cross-validates the classifier on a feature subset.
+func subsetAccuracy(factory func() Classifier, d *Dataset, idx []int, folds int, seed int64) (float64, error) {
+	sub := &Dataset{Features: make([]string, len(idx)), Y: d.Y}
+	for k, j := range idx {
+		sub.Features[k] = d.Features[j]
+	}
+	sub.X = make([][]value.Value, d.Len())
+	for i, x := range d.X {
+		row := make([]value.Value, len(idx))
+		for k, j := range idx {
+			row[k] = x[j]
+		}
+		sub.X[i] = row
+	}
+	cm, err := CrossValidate(factory, sub, folds, seed)
+	if err != nil {
+		return 0, err
+	}
+	return cm.Accuracy(), nil
+}

@@ -1,0 +1,125 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// RandomForest is a bagged ensemble of decision trees with per-tree
+// bootstrap resampling and random feature masking — an extension beyond
+// the paper's single-model analytics, useful when a cube subset is noisy.
+// Deterministic for a fixed seed.
+type RandomForest struct {
+	// Trees is the ensemble size; 0 means 25.
+	Trees int
+	// MaxDepth bounds each tree; 0 means 10.
+	MaxDepth int
+	// FeatureFraction of features visible to each tree; 0 means
+	// sqrt(n)/n.
+	FeatureFraction float64
+	// Seed drives resampling.
+	Seed int64
+
+	members []forestMember
+	nf      int
+	fitted  bool
+}
+
+type forestMember struct {
+	tree *DecisionTree
+	mask []int // dataset feature index per tree feature position
+}
+
+// NewRandomForest returns an unfitted forest.
+func NewRandomForest(trees int, seed int64) *RandomForest {
+	return &RandomForest{Trees: trees, Seed: seed}
+}
+
+// Fit implements Classifier.
+func (rf *RandomForest) Fit(d *Dataset) error {
+	if err := validateFit(d); err != nil {
+		return err
+	}
+	if rf.Trees == 0 {
+		rf.Trees = 25
+	}
+	if rf.Trees < 1 {
+		return fmt.Errorf("mining: RandomForest needs >= 1 tree, got %d", rf.Trees)
+	}
+	if rf.MaxDepth == 0 {
+		rf.MaxDepth = 10
+	}
+	nf := len(d.Features)
+	frac := rf.FeatureFraction
+	if frac == 0 {
+		frac = math.Sqrt(float64(nf)) / float64(nf)
+	}
+	if frac <= 0 || frac > 1 {
+		return fmt.Errorf("mining: FeatureFraction must be in (0,1], got %g", frac)
+	}
+	perTree := int(math.Ceil(frac * float64(nf)))
+	if perTree < 1 {
+		perTree = 1
+	}
+
+	rng := rand.New(rand.NewSource(rf.Seed))
+	rf.nf = nf
+	rf.members = make([]forestMember, 0, rf.Trees)
+	for t := 0; t < rf.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		boot := d.Subset(idx)
+		// Random feature mask.
+		perm := rng.Perm(nf)
+		mask := append([]int(nil), perm[:perTree]...)
+		masked := &Dataset{Features: make([]string, len(mask)), Y: boot.Y}
+		for k, j := range mask {
+			masked.Features[k] = d.Features[j]
+		}
+		masked.X = make([][]value.Value, boot.Len())
+		for i, x := range boot.X {
+			row := make([]value.Value, len(mask))
+			for k, j := range mask {
+				row[k] = x[j]
+			}
+			masked.X[i] = row
+		}
+		tree := &DecisionTree{MaxDepth: rf.MaxDepth}
+		if err := tree.Fit(masked); err != nil {
+			return fmt.Errorf("mining: fitting tree %d: %w", t, err)
+		}
+		rf.members = append(rf.members, forestMember{tree: tree, mask: mask})
+	}
+	rf.fitted = true
+	return nil
+}
+
+// Predict implements Classifier: the majority vote of the ensemble.
+func (rf *RandomForest) Predict(x []value.Value) (value.Value, error) {
+	if !rf.fitted {
+		return value.NA(), fmt.Errorf("mining: RandomForest not fitted")
+	}
+	if len(x) != rf.nf {
+		return value.NA(), fmt.Errorf("mining: instance has %d features, model has %d", len(x), rf.nf)
+	}
+	votes := make(map[value.Value]int)
+	buf := make([]value.Value, 0, rf.nf)
+	for _, m := range rf.members {
+		buf = buf[:0]
+		for _, j := range m.mask {
+			buf = append(buf, x[j])
+		}
+		pred, err := m.tree.Predict(buf)
+		if err != nil {
+			return value.NA(), err
+		}
+		votes[pred]++
+	}
+	return majority(votes), nil
+}

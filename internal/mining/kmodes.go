@@ -1,0 +1,129 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// KModes clusters categorical instances: the categorical analogue of
+// k-means, with Hamming distance and per-cluster modes as centroids
+// (Huang 1998). Deterministic for a fixed seed.
+type KModes struct {
+	K         int
+	MaxIter   int // 0 means 50
+	Seed      int64
+	Centroids [][]value.Value
+	fitted    bool
+}
+
+// NewKModes returns an unfitted clusterer.
+func NewKModes(k int, seed int64) *KModes { return &KModes{K: k, Seed: seed} }
+
+// hamming counts mismatching positions; NA mismatches everything
+// (including another NA).
+func hamming(a, b []value.Value) int {
+	d := 0
+	for j := range a {
+		if a[j].IsNA() || b[j].IsNA() || !a[j].Equal(b[j]) {
+			d++
+		}
+	}
+	return d
+}
+
+// Fit clusters the dataset's feature vectors (labels are ignored) and
+// returns the cluster assignment of each instance.
+func (km *KModes) Fit(d *Dataset) ([]int, error) {
+	if err := validateFit(d); err != nil {
+		return nil, err
+	}
+	if km.K < 1 {
+		return nil, fmt.Errorf("mining: KModes needs K >= 1, got %d", km.K)
+	}
+	if km.K > d.Len() {
+		return nil, fmt.Errorf("mining: K=%d exceeds %d instances", km.K, d.Len())
+	}
+	if km.MaxIter == 0 {
+		km.MaxIter = 50
+	}
+	rng := rand.New(rand.NewSource(km.Seed))
+
+	// Initialise centroids with distinct random instances.
+	perm := rng.Perm(d.Len())
+	km.Centroids = make([][]value.Value, km.K)
+	for i := 0; i < km.K; i++ {
+		km.Centroids[i] = append([]value.Value(nil), d.X[perm[i]]...)
+	}
+
+	assign := make([]int, d.Len())
+	for iter := 0; iter < km.MaxIter; iter++ {
+		changed := false
+		for i, x := range d.X {
+			best, bestD := 0, hamming(x, km.Centroids[0])
+			for c := 1; c < km.K; c++ {
+				if dd := hamming(x, km.Centroids[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute modes per cluster and feature.
+		nf := len(d.Features)
+		for c := 0; c < km.K; c++ {
+			counts := make([]map[value.Value]int, nf)
+			for j := range counts {
+				counts[j] = make(map[value.Value]int)
+			}
+			size := 0
+			for i, a := range assign {
+				if a != c {
+					continue
+				}
+				size++
+				for j, v := range d.X[i] {
+					if !v.IsNA() {
+						counts[j][v]++
+					}
+				}
+			}
+			if size == 0 {
+				// Empty cluster: re-seed with a random instance.
+				km.Centroids[c] = append([]value.Value(nil), d.X[rng.Intn(d.Len())]...)
+				continue
+			}
+			for j := range counts {
+				if len(counts[j]) == 0 {
+					km.Centroids[c][j] = value.NA()
+					continue
+				}
+				km.Centroids[c][j] = majority(counts[j])
+			}
+		}
+	}
+	km.fitted = true
+	return assign, nil
+}
+
+// Cost sums the Hamming distance of every instance to its assigned
+// centroid — the k-modes objective.
+func (km *KModes) Cost(d *Dataset, assign []int) (int, error) {
+	if !km.fitted {
+		return 0, fmt.Errorf("mining: KModes not fitted")
+	}
+	if len(assign) != d.Len() {
+		return 0, fmt.Errorf("mining: %d assignments for %d instances", len(assign), d.Len())
+	}
+	total := 0
+	for i, x := range d.X {
+		total += hamming(x, km.Centroids[assign[i]])
+	}
+	return total, nil
+}

@@ -1,0 +1,171 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// KNN is a k-nearest-neighbour classifier over mixed feature types.
+// Numeric features contribute range-normalised absolute differences;
+// categorical features contribute 0/1 mismatch; a comparison against a
+// missing value contributes the maximal distance 1 (missingness is
+// uninformative, so it should not make instances look similar).
+type KNN struct {
+	// K is the neighbourhood size; 0 means 5.
+	K int
+
+	train     *Dataset
+	lo, hi    []float64
+	isNumeric []bool
+	fitted    bool
+}
+
+// NewKNN returns an unfitted classifier with the default K.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit implements Classifier. KNN is lazy: fitting just indexes feature
+// ranges for normalisation.
+func (knn *KNN) Fit(d *Dataset) error {
+	if err := validateFit(d); err != nil {
+		return err
+	}
+	if knn.K == 0 {
+		knn.K = 5
+	}
+	if knn.K < 1 {
+		return fmt.Errorf("mining: KNN needs K >= 1, got %d", knn.K)
+	}
+	nf := len(d.Features)
+	knn.lo = make([]float64, nf)
+	knn.hi = make([]float64, nf)
+	knn.isNumeric = make([]bool, nf)
+	for j := 0; j < nf; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		numeric, any := true, false
+		for _, x := range d.X {
+			v := x[j]
+			if v.IsNA() {
+				continue
+			}
+			any = true
+			f, ok := v.AsFloat()
+			if !ok {
+				numeric = false
+				break
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		knn.isNumeric[j] = any && numeric
+		knn.lo[j], knn.hi[j] = lo, hi
+	}
+	knn.train = d
+	knn.fitted = true
+	return nil
+}
+
+// Distance computes the normalised mixed-type distance between two
+// feature vectors using the fitted feature ranges.
+func (knn *KNN) Distance(a, b []value.Value) float64 {
+	var d float64
+	for j := range a {
+		va, vb := a[j], b[j]
+		if va.IsNA() || vb.IsNA() {
+			d++
+			continue
+		}
+		if knn.isNumeric[j] {
+			fa, oka := va.AsFloat()
+			fb, okb := vb.AsFloat()
+			if !oka || !okb {
+				d++
+				continue
+			}
+			span := knn.hi[j] - knn.lo[j]
+			if span <= 0 {
+				continue
+			}
+			diff := math.Abs(fa-fb) / span
+			if diff > 1 {
+				diff = 1
+			}
+			d += diff
+			continue
+		}
+		if !va.Equal(vb) {
+			d++
+		}
+	}
+	return d
+}
+
+// Predict implements Classifier: the majority vote of the K nearest
+// training instances, ties broken by class order.
+func (knn *KNN) Predict(x []value.Value) (value.Value, error) {
+	if !knn.fitted {
+		return value.NA(), fmt.Errorf("mining: KNN not fitted")
+	}
+	if len(x) != len(knn.isNumeric) {
+		return value.NA(), fmt.Errorf("mining: instance has %d features, model has %d", len(x), len(knn.isNumeric))
+	}
+	type neighbour struct {
+		dist float64
+		i    int
+	}
+	ns := make([]neighbour, knn.train.Len())
+	for i, tr := range knn.train.X {
+		ns[i] = neighbour{dist: knn.Distance(x, tr), i: i}
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].dist != ns[b].dist {
+			return ns[a].dist < ns[b].dist
+		}
+		return ns[a].i < ns[b].i
+	})
+	k := knn.K
+	if k > len(ns) {
+		k = len(ns)
+	}
+	votes := make(map[value.Value]int)
+	for _, n := range ns[:k] {
+		votes[knn.train.Y[n.i]]++
+	}
+	return majority(votes), nil
+}
+
+// Neighbours returns the indices of the k nearest training instances to x,
+// for the patient-similarity use of the prediction feature.
+func (knn *KNN) Neighbours(x []value.Value, k int) ([]int, error) {
+	if !knn.fitted {
+		return nil, fmt.Errorf("mining: KNN not fitted")
+	}
+	type neighbour struct {
+		dist float64
+		i    int
+	}
+	ns := make([]neighbour, knn.train.Len())
+	for i, tr := range knn.train.X {
+		ns[i] = neighbour{dist: knn.Distance(x, tr), i: i}
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].dist != ns[b].dist {
+			return ns[a].dist < ns[b].dist
+		}
+		return ns[a].i < ns[b].i
+	})
+	if k > len(ns) {
+		k = len(ns)
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = ns[i].i
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// NaiveBayes is a mixed-type naive Bayes classifier: categorical features
+// use Laplace-smoothed frequency estimates, numeric features use Gaussian
+// class-conditional likelihoods. Missing feature values are skipped at
+// both training and prediction time (the "ignore" strategy, appropriate
+// for clinical records where missingness is pervasive).
+type NaiveBayes struct {
+	classes []value.Value
+	prior   map[value.Value]float64
+
+	// categorical: feature -> class -> value -> count
+	catCounts []map[value.Value]map[value.Value]float64
+	catTotals []map[value.Value]float64
+	catArity  []int
+
+	// numeric: feature -> class -> (mean, variance, n)
+	numStats []map[value.Value]*gaussStat
+
+	isNumeric []bool
+	fitted    bool
+}
+
+type gaussStat struct {
+	n          float64
+	sum, sumSq float64
+}
+
+func (g *gaussStat) mean() float64 { return g.sum / g.n }
+
+func (g *gaussStat) variance() float64 {
+	v := g.sumSq/g.n - g.mean()*g.mean()
+	const minVar = 1e-9
+	if v < minVar {
+		return minVar
+	}
+	return v
+}
+
+// NewNaiveBayes returns an unfitted classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Fit implements Classifier.
+func (nb *NaiveBayes) Fit(d *Dataset) error {
+	if err := validateFit(d); err != nil {
+		return err
+	}
+	nf := len(d.Features)
+	nb.classes = d.Classes()
+	nb.prior = make(map[value.Value]float64, len(nb.classes))
+	nb.catCounts = make([]map[value.Value]map[value.Value]float64, nf)
+	nb.catTotals = make([]map[value.Value]float64, nf)
+	nb.catArity = make([]int, nf)
+	nb.numStats = make([]map[value.Value]*gaussStat, nf)
+	nb.isNumeric = make([]bool, nf)
+
+	// A feature is numeric if every non-NA value is numeric.
+	for j := 0; j < nf; j++ {
+		numeric := true
+		seen := false
+		for _, x := range d.X {
+			if x[j].IsNA() {
+				continue
+			}
+			seen = true
+			if _, ok := x[j].AsFloat(); !ok {
+				numeric = false
+				break
+			}
+		}
+		nb.isNumeric[j] = seen && numeric
+		nb.catCounts[j] = make(map[value.Value]map[value.Value]float64)
+		nb.catTotals[j] = make(map[value.Value]float64)
+		nb.numStats[j] = make(map[value.Value]*gaussStat)
+	}
+
+	arity := make([]map[value.Value]bool, nf)
+	for j := range arity {
+		arity[j] = make(map[value.Value]bool)
+	}
+	for i, x := range d.X {
+		y := d.Y[i]
+		nb.prior[y]++
+		for j := 0; j < nf; j++ {
+			v := x[j]
+			if v.IsNA() {
+				continue
+			}
+			if nb.isNumeric[j] {
+				f, _ := v.AsFloat()
+				st := nb.numStats[j][y]
+				if st == nil {
+					st = &gaussStat{}
+					nb.numStats[j][y] = st
+				}
+				st.n++
+				st.sum += f
+				st.sumSq += f * f
+				continue
+			}
+			arity[j][v] = true
+			m := nb.catCounts[j][y]
+			if m == nil {
+				m = make(map[value.Value]float64)
+				nb.catCounts[j][y] = m
+			}
+			m[v]++
+			nb.catTotals[j][y]++
+		}
+	}
+	for j := range arity {
+		nb.catArity[j] = len(arity[j])
+	}
+	n := float64(d.Len())
+	for c := range nb.prior {
+		nb.prior[c] /= n
+	}
+	nb.fitted = true
+	return nil
+}
+
+// Predict implements Classifier. It returns the maximum-a-posteriori class
+// under the naive independence assumption.
+func (nb *NaiveBayes) Predict(x []value.Value) (value.Value, error) {
+	if !nb.fitted {
+		return value.NA(), fmt.Errorf("mining: NaiveBayes not fitted")
+	}
+	if len(x) != len(nb.isNumeric) {
+		return value.NA(), fmt.Errorf("mining: instance has %d features, model has %d", len(x), len(nb.isNumeric))
+	}
+	best := value.NA()
+	bestScore := math.Inf(-1)
+	for _, c := range nb.classes {
+		score := math.Log(nb.prior[c])
+		for j, v := range x {
+			if v.IsNA() {
+				continue
+			}
+			if nb.isNumeric[j] {
+				f, ok := v.AsFloat()
+				if !ok {
+					return value.NA(), fmt.Errorf("mining: feature %d: expected numeric, got %v", j, v.Kind())
+				}
+				st := nb.numStats[j][c]
+				if st == nil || st.n == 0 {
+					continue
+				}
+				mu, va := st.mean(), st.variance()
+				score += -0.5*math.Log(2*math.Pi*va) - (f-mu)*(f-mu)/(2*va)
+				continue
+			}
+			// Laplace smoothing over the observed arity.
+			count := nb.catCounts[j][c][v]
+			total := nb.catTotals[j][c]
+			k := float64(nb.catArity[j])
+			if k == 0 {
+				continue
+			}
+			score += math.Log((count + 1) / (total + k))
+		}
+		if score > bestScore {
+			bestScore, best = score, c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,130 @@
+package oltp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func timeUnixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// index is a secondary index over one column: a hash map for point lookups
+// plus, when ordered, a sorted entry list for range scans.
+type index struct {
+	name    string
+	col     int
+	ordered bool
+	hash    map[value.Value][]RowID
+	entries []indexEntry // kept sorted when ordered
+}
+
+type indexEntry struct {
+	v  value.Value
+	id RowID
+}
+
+func (ix *index) add(v value.Value, id RowID) {
+	if v.IsNA() {
+		return // missing values are not indexed
+	}
+	ix.hash[v] = append(ix.hash[v], id)
+	if ix.ordered {
+		pos := sort.Search(len(ix.entries), func(i int) bool {
+			e := ix.entries[i]
+			c := e.v.Compare(v)
+			return c > 0 || (c == 0 && e.id >= id)
+		})
+		ix.entries = append(ix.entries, indexEntry{})
+		copy(ix.entries[pos+1:], ix.entries[pos:])
+		ix.entries[pos] = indexEntry{v: v, id: id}
+	}
+}
+
+func (ix *index) remove(v value.Value, id RowID) {
+	if v.IsNA() {
+		return
+	}
+	ids := ix.hash[v]
+	for i, x := range ids {
+		if x == id {
+			ix.hash[v] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ix.hash[v]) == 0 {
+		delete(ix.hash, v)
+	}
+	if ix.ordered {
+		pos := sort.Search(len(ix.entries), func(i int) bool {
+			e := ix.entries[i]
+			c := e.v.Compare(v)
+			return c > 0 || (c == 0 && e.id >= id)
+		})
+		if pos < len(ix.entries) && ix.entries[pos].v.Equal(v) && ix.entries[pos].id == id {
+			ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+		}
+	}
+}
+
+// CreateIndex builds a secondary index over the named column. Ordered
+// indexes additionally support Range queries. Existing rows are indexed
+// immediately. Creating an index that already exists is an error.
+func (s *Store) CreateIndex(column string, ordered bool) error {
+	col, ok := s.schema.Lookup(column)
+	if !ok {
+		return fmt.Errorf("oltp: unknown index column %q", column)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.indexes[column]; dup {
+		return fmt.Errorf("oltp: index on %q already exists", column)
+	}
+	ix := &index{name: column, col: col, ordered: ordered, hash: make(map[value.Value][]RowID)}
+	for id, vr := range s.rows {
+		ix.add(vr.row[col], id)
+	}
+	s.indexes[column] = ix
+	return nil
+}
+
+// Lookup returns the RowIDs whose indexed column equals v, in ascending
+// order. The column must have an index.
+func (s *Store) Lookup(column string, v value.Value) ([]RowID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ix, ok := s.indexes[column]
+	if !ok {
+		return nil, fmt.Errorf("oltp: no index on %q", column)
+	}
+	ids := append([]RowID(nil), ix.hash[v]...)
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids, nil
+}
+
+// Range returns the RowIDs whose indexed column value lies in [lo, hi]
+// (inclusive both ends), ordered by value then RowID. The column must have
+// an ordered index.
+func (s *Store) Range(column string, lo, hi value.Value) ([]RowID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ix, ok := s.indexes[column]
+	if !ok {
+		return nil, fmt.Errorf("oltp: no index on %q", column)
+	}
+	if !ix.ordered {
+		return nil, fmt.Errorf("oltp: index on %q is not ordered", column)
+	}
+	start := sort.Search(len(ix.entries), func(i int) bool {
+		return ix.entries[i].v.Compare(lo) >= 0
+	})
+	var out []RowID
+	for i := start; i < len(ix.entries); i++ {
+		if ix.entries[i].v.Compare(hi) > 0 {
+			break
+		}
+		out = append(out, ix.entries[i].id)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package oltp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func TestHashIndexLookup(t *testing.T) {
+	s := mustOpen(t, "")
+	if err := s.CreateIndex("Gender", false); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	idF1, _ := tx.Insert(row(1, 5, "F"))
+	tx.Insert(row(2, 6, "M"))
+	idF2, _ := tx.Insert(row(3, 7, "F"))
+	tx.Commit()
+
+	ids, err := s.Lookup("Gender", value.Str("F"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != idF1 || ids[1] != idF2 {
+		t.Errorf("Lookup(F) = %v", ids)
+	}
+	if ids, _ := s.Lookup("Gender", value.Str("X")); len(ids) != 0 {
+		t.Errorf("Lookup(X) = %v", ids)
+	}
+	if _, err := s.Lookup("FBG", value.Float(5)); err == nil {
+		t.Error("lookup on unindexed column must fail")
+	}
+}
+
+func TestIndexMaintainedOnUpdateDelete(t *testing.T) {
+	s := mustOpen(t, "")
+	s.CreateIndex("Gender", false)
+	tx := s.Begin()
+	id, _ := tx.Insert(row(1, 5, "F"))
+	tx.Commit()
+
+	tx = s.Begin()
+	tx.Update(id, row(1, 5, "M"))
+	tx.Commit()
+	if ids, _ := s.Lookup("Gender", value.Str("F")); len(ids) != 0 {
+		t.Errorf("stale F entry: %v", ids)
+	}
+	if ids, _ := s.Lookup("Gender", value.Str("M")); len(ids) != 1 {
+		t.Errorf("missing M entry: %v", ids)
+	}
+
+	tx = s.Begin()
+	tx.Delete(id)
+	tx.Commit()
+	if ids, _ := s.Lookup("Gender", value.Str("M")); len(ids) != 0 {
+		t.Errorf("entry survives delete: %v", ids)
+	}
+}
+
+func TestIndexOnExistingRows(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	tx.Insert(row(1, 5, "F"))
+	tx.Insert(row(2, 6, "M"))
+	tx.Commit()
+	if err := s.CreateIndex("Gender", false); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := s.Lookup("Gender", value.Str("M")); len(ids) != 1 {
+		t.Errorf("index did not backfill: %v", ids)
+	}
+	if err := s.CreateIndex("Gender", false); err == nil {
+		t.Error("duplicate index must fail")
+	}
+	if err := s.CreateIndex("Nope", false); err == nil {
+		t.Error("index on unknown column must fail")
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	s := mustOpen(t, "")
+	s.CreateIndex("FBG", true)
+	tx := s.Begin()
+	for i, fbg := range []float64{7.4, 5.2, 6.1, 5.8, 9.0} {
+		tx.Insert(row(int64(i), fbg, "F"))
+	}
+	tx.Commit()
+
+	ids, err := s.Range("FBG", value.Float(5.5), value.Float(7.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values in [5.5, 7.0]: 5.8, 6.1 → two rows, ordered by value.
+	if len(ids) != 2 {
+		t.Fatalf("Range = %v", ids)
+	}
+	check := s.Begin()
+	defer check.Rollback()
+	r1, _ := check.Get(ids[0])
+	r2, _ := check.Get(ids[1])
+	if r1[1].Float() != 5.8 || r2[1].Float() != 6.1 {
+		t.Errorf("range order: %v, %v", r1[1], r2[1])
+	}
+	if _, err := s.Range("Gender", value.Str("A"), value.Str("Z")); err == nil {
+		t.Error("range on missing index must fail")
+	}
+	s.CreateIndex("Gender", false)
+	if _, err := s.Range("Gender", value.Str("A"), value.Str("Z")); err == nil {
+		t.Error("range on unordered index must fail")
+	}
+}
+
+func TestIndexIgnoresNA(t *testing.T) {
+	s := mustOpen(t, "")
+	s.CreateIndex("FBG", true)
+	tx := s.Begin()
+	tx.Insert(Row{value.Int(1), value.NA(), value.Str("F")})
+	tx.Insert(row(2, 6.0, "M"))
+	tx.Commit()
+	ids, _ := s.Range("FBG", value.Float(0), value.Float(100))
+	if len(ids) != 1 {
+		t.Errorf("NA row leaked into index: %v", ids)
+	}
+}
+
+// Property: for random inserts/deletes, an ordered Range over the whole
+// domain returns exactly the live non-NA rows, sorted by value.
+func TestQuickOrderedIndexConsistency(t *testing.T) {
+	f := func(vals []float64, killMask []bool) bool {
+		s, err := Open("", testSchema())
+		if err != nil {
+			return false
+		}
+		s.CreateIndex("FBG", true)
+		tx := s.Begin()
+		ids := make([]RowID, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				v = 0 // NaN has no total order; the store is not expected to index it meaningfully
+			}
+			vals[i] = v
+			ids[i], _ = tx.Insert(row(int64(i), v, "F"))
+		}
+		if tx.Commit() != nil {
+			return false
+		}
+		live := 0
+		tx = s.Begin()
+		for i := range vals {
+			if i < len(killMask) && killMask[i] {
+				if tx.Delete(ids[i]) != nil {
+					return false
+				}
+			} else {
+				live++
+			}
+		}
+		if tx.Commit() != nil {
+			return false
+		}
+		got, err := s.Range("FBG", value.Float(math.Inf(-1)), value.Float(math.Inf(1)))
+		if err != nil || len(got) != live {
+			return false
+		}
+		check := s.Begin()
+		defer check.Rollback()
+		prev := math.Inf(-1)
+		for _, id := range got {
+			r, ok := check.Get(id)
+			if !ok {
+				return false
+			}
+			if r[1].Float() < prev {
+				return false
+			}
+			prev = r[1].Float()
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

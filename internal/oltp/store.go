@@ -1,0 +1,436 @@
+// Package oltp implements the transactional row store of the DD-DGMS
+// architecture: the "DB" box in the paper's Fig 2 from which the data
+// warehouse is populated, and the engine behind OLTP-style reporting.
+//
+// The store provides serializable transactions via optimistic concurrency
+// control with commit-time validation (per-row version numbers, with locks
+// acquired in sorted row order so commits cannot deadlock), durability via
+// a write-ahead log with commit markers and replay-on-open recovery, and
+// hash plus ordered secondary indexes for point and range reporting
+// queries.
+package oltp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// RowID identifies a row for its entire lifetime.
+type RowID uint64
+
+// Row is one record; it always has exactly one value per schema field.
+type Row []value.Value
+
+// Conflict and lifecycle errors returned by transaction operations.
+var (
+	// ErrConflict reports that commit-time validation failed because
+	// another transaction committed a conflicting change first. The caller
+	// should retry the whole transaction.
+	ErrConflict = errors.New("oltp: transaction conflict")
+	// ErrTxDone reports use of a transaction after Commit or Rollback.
+	ErrTxDone = errors.New("oltp: transaction already finished")
+	// ErrNotFound reports an operation against a row that does not exist.
+	ErrNotFound = errors.New("oltp: row not found")
+)
+
+// versionedRow is the committed state of one row.
+type versionedRow struct {
+	row     Row
+	version uint64
+}
+
+// Store is a transactional row store for a single fixed schema.
+type Store struct {
+	schema *storage.Schema
+
+	mu      sync.RWMutex
+	rows    map[RowID]versionedRow
+	nextID  RowID
+	indexes map[string]*index
+
+	walMu sync.Mutex
+	wal   *walWriter
+	dir   string
+
+	nextTx uint64
+}
+
+// Open creates or reopens a store in dir. If a write-ahead log exists, all
+// committed transactions are replayed; an interrupted (uncommitted) tail is
+// discarded. Pass an empty dir for a purely in-memory store without
+// durability.
+func Open(dir string, schema *storage.Schema) (*Store, error) {
+	s := &Store{
+		schema:  schema,
+		rows:    make(map[RowID]versionedRow),
+		indexes: make(map[string]*index),
+		dir:     dir,
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oltp: creating store dir: %w", err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	w, err := openWalWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// Close releases the write-ahead log file handle.
+func (s *Store) Close() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}
+
+// Schema returns the store schema.
+func (s *Store) Schema() *storage.Schema { return s.schema }
+
+// Len reports the number of committed rows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// validateRow checks arity and per-field kinds.
+func (s *Store) validateRow(row Row) error {
+	if len(row) != s.schema.Len() {
+		return fmt.Errorf("oltp: row has %d values, schema has %d fields", len(row), s.schema.Len())
+	}
+	for i, v := range row {
+		if !v.IsNA() && v.Kind() != s.schema.Field(i).Kind {
+			return fmt.Errorf("oltp: field %q: %v value in %v column",
+				s.schema.Field(i).Name, v.Kind(), s.schema.Field(i).Kind)
+		}
+	}
+	return nil
+}
+
+// writeOp is a buffered mutation inside a transaction.
+type writeOp struct {
+	op  walOp
+	id  RowID
+	row Row
+}
+
+// Tx is a transaction. Reads see the committed snapshot plus the
+// transaction's own writes; writes are buffered and applied atomically at
+// Commit. Tx is not safe for concurrent use by multiple goroutines.
+type Tx struct {
+	store  *Store
+	id     uint64
+	reads  map[RowID]uint64 // row id -> version observed (0 = absent)
+	writes map[RowID]*writeOp
+	order  []RowID // write ids in first-write order, for deterministic WAL
+	done   bool
+}
+
+// Begin starts a new transaction.
+func (s *Store) Begin() *Tx {
+	s.mu.Lock()
+	s.nextTx++
+	id := s.nextTx
+	s.mu.Unlock()
+	return &Tx{
+		store:  s,
+		id:     id,
+		reads:  make(map[RowID]uint64),
+		writes: make(map[RowID]*writeOp),
+	}
+}
+
+// Insert buffers a new row and returns its assigned RowID.
+func (t *Tx) Insert(row Row) (RowID, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	if err := t.store.validateRow(row); err != nil {
+		return 0, err
+	}
+	t.store.mu.Lock()
+	t.store.nextID++
+	id := t.store.nextID
+	t.store.mu.Unlock()
+	t.bufferWrite(&writeOp{op: opInsert, id: id, row: cloneRow(row)})
+	return id, nil
+}
+
+// Update buffers a full-row replacement of an existing row.
+func (t *Tx) Update(id RowID, row Row) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.store.validateRow(row); err != nil {
+		return err
+	}
+	if _, ok := t.Get(id); !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	t.bufferWrite(&writeOp{op: opUpdate, id: id, row: cloneRow(row)})
+	return nil
+}
+
+// Delete buffers removal of an existing row.
+func (t *Tx) Delete(id RowID) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if _, ok := t.Get(id); !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	t.bufferWrite(&writeOp{op: opDelete, id: id})
+	return nil
+}
+
+func (t *Tx) bufferWrite(w *writeOp) {
+	if prev, ok := t.writes[w.id]; ok {
+		// Collapse: insert+update stays an insert; anything+delete on a row
+		// we inserted removes the pending insert entirely.
+		if prev.op == opInsert {
+			if w.op == opDelete {
+				delete(t.writes, w.id)
+				for i, id := range t.order {
+					if id == w.id {
+						t.order = append(t.order[:i], t.order[i+1:]...)
+						break
+					}
+				}
+				return
+			}
+			w.op = opInsert
+		}
+		t.writes[w.id] = w
+		return
+	}
+	t.writes[w.id] = w
+	t.order = append(t.order, w.id)
+}
+
+// Get reads a row: the transaction's own pending write if any, otherwise
+// the committed version. The read is recorded for commit-time validation.
+func (t *Tx) Get(id RowID) (Row, bool) {
+	if t.done {
+		return nil, false
+	}
+	if w, ok := t.writes[id]; ok {
+		if w.op == opDelete {
+			return nil, false
+		}
+		return cloneRow(w.row), true
+	}
+	t.store.mu.RLock()
+	vr, ok := t.store.rows[id]
+	t.store.mu.RUnlock()
+	if _, seen := t.reads[id]; !seen {
+		if ok {
+			t.reads[id] = vr.version
+		} else {
+			t.reads[id] = 0
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	return cloneRow(vr.row), true
+}
+
+// Scan calls fn for every visible row (committed state overlaid with the
+// transaction's own writes), in ascending RowID order. Returning false
+// stops the scan.
+func (t *Tx) Scan(fn func(id RowID, row Row) bool) {
+	if t.done {
+		return
+	}
+	t.store.mu.RLock()
+	ids := make([]RowID, 0, len(t.store.rows))
+	for id := range t.store.rows {
+		ids = append(ids, id)
+	}
+	t.store.mu.RUnlock()
+	for id := range t.writes {
+		if t.writes[id].op == opInsert {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	seen := make(map[RowID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		row, ok := t.Get(id)
+		if !ok {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// Rollback abandons the transaction. It is safe to call after Commit, in
+// which case it is a no-op.
+func (t *Tx) Rollback() {
+	t.done = true
+	t.writes = nil
+	t.reads = nil
+}
+
+// Commit validates the transaction's reads against the current committed
+// state, appends the write set to the WAL, applies it and updates indexes,
+// all atomically. On ErrConflict the transaction has had no effect and may
+// be retried from scratch.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validation: every row we read must still be at the observed version,
+	// and every row we update/delete must still exist.
+	for id, ver := range t.reads {
+		cur, ok := s.rows[id]
+		switch {
+		case !ok && ver != 0:
+			return fmt.Errorf("%w: row %d deleted concurrently", ErrConflict, id)
+		case ok && cur.version != ver:
+			return fmt.Errorf("%w: row %d modified concurrently", ErrConflict, id)
+		}
+	}
+	for _, id := range t.order {
+		w := t.writes[id]
+		if w.op != opInsert {
+			if _, ok := s.rows[id]; !ok {
+				return fmt.Errorf("%w: row %d vanished before commit", ErrConflict, id)
+			}
+		}
+	}
+
+	// Durability: WAL first, then apply.
+	if s.wal != nil {
+		s.walMu.Lock()
+		for _, id := range t.order {
+			w := t.writes[id]
+			if err := s.wal.append(walRecord{tx: t.id, op: w.op, id: id, row: w.row}); err != nil {
+				s.walMu.Unlock()
+				return fmt.Errorf("oltp: writing WAL: %w", err)
+			}
+		}
+		if err := s.wal.append(walRecord{tx: t.id, op: opCommit}); err != nil {
+			s.walMu.Unlock()
+			return fmt.Errorf("oltp: writing WAL commit: %w", err)
+		}
+		if err := s.wal.sync(); err != nil {
+			s.walMu.Unlock()
+			return fmt.Errorf("oltp: syncing WAL: %w", err)
+		}
+		s.walMu.Unlock()
+	}
+
+	for _, id := range t.order {
+		s.applyLocked(t.writes[id])
+	}
+	return nil
+}
+
+// applyLocked applies one write to committed state and indexes. The caller
+// holds s.mu.
+func (s *Store) applyLocked(w *writeOp) {
+	old, existed := s.rows[w.id]
+	switch w.op {
+	case opInsert, opUpdate:
+		ver := uint64(1)
+		if existed {
+			ver = old.version + 1
+		}
+		s.rows[w.id] = versionedRow{row: cloneRow(w.row), version: ver}
+	case opDelete:
+		delete(s.rows, w.id)
+	}
+	for _, idx := range s.indexes {
+		if existed {
+			idx.remove(old.row[idx.col], w.id)
+		}
+		if w.op != opDelete {
+			idx.add(w.row[idx.col], w.id)
+		}
+	}
+	if w.id > s.nextID {
+		s.nextID = w.id
+	}
+}
+
+// Snapshot copies the committed rows into a columnar storage.Table, in
+// ascending RowID order. This is the hand-off point from the OLTP store to
+// the ETL / warehouse layers.
+func (s *Store) Snapshot() (*storage.Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]RowID, 0, len(s.rows))
+	for id := range s.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	tbl, err := storage.NewTable(s.schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := tbl.AppendRow(s.rows[id].row); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// LoadTable bulk-inserts every row of a storage.Table in one transaction.
+func (s *Store) LoadTable(tbl *storage.Table) error {
+	if !tbl.Schema().Equal(s.schema) {
+		return fmt.Errorf("oltp: table schema does not match store schema")
+	}
+	tx := s.Begin()
+	for i := 0; i < tbl.Len(); i++ {
+		if _, err := tx.Insert(Row(tbl.Row(i))); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func cloneRow(r Row) Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

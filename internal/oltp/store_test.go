@@ -1,0 +1,408 @@
+package oltp
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func testSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.Field{Name: "PatientID", Kind: value.IntKind},
+		storage.Field{Name: "FBG", Kind: value.FloatKind},
+		storage.Field{Name: "Gender", Kind: value.StringKind},
+	)
+}
+
+func row(id int64, fbg float64, gender string) Row {
+	return Row{value.Int(id), value.Float(fbg), value.Str(gender)}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestInsertGetCommit(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	id, err := tx.Insert(row(1, 5.4, "F"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// Own write visible before commit.
+	if r, ok := tx.Get(id); !ok || r[1].Float() != 5.4 {
+		t.Fatalf("Get own write = %v, %v", r, ok)
+	}
+	// Not visible to other transactions before commit.
+	other := s.Begin()
+	if _, ok := other.Get(id); ok {
+		t.Fatal("uncommitted insert visible to other tx")
+	}
+	other.Rollback()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	check := s.Begin()
+	defer check.Rollback()
+	if r, ok := check.Get(id); !ok || r[2].Str() != "F" {
+		t.Fatalf("after commit: %v, %v", r, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	id, _ := tx.Insert(row(1, 5.4, "F"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = s.Begin()
+	if err := tx.Update(id, row(1, 7.2, "F")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Begin()
+	if r, _ := tx.Get(id); r[1].Float() != 7.2 {
+		t.Errorf("after update FBG = %v", r[1])
+	}
+	if err := tx.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Begin()
+	defer tx.Rollback()
+	if _, ok := tx.Get(id); ok {
+		t.Error("row still visible after delete")
+	}
+	if err := tx.Update(id, row(1, 1, "F")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Update missing = %v, want ErrNotFound", err)
+	}
+	if err := tx.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRowValidation(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	defer tx.Rollback()
+	if _, err := tx.Insert(Row{value.Int(1)}); err == nil {
+		t.Error("short row must be rejected")
+	}
+	if _, err := tx.Insert(Row{value.Str("x"), value.Float(1), value.Str("F")}); err == nil {
+		t.Error("kind mismatch must be rejected")
+	}
+	if _, err := tx.Insert(Row{value.NA(), value.NA(), value.NA()}); err != nil {
+		t.Errorf("all-NA row must be accepted: %v", err)
+	}
+}
+
+func TestTxDoneSemantics(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	tx.Rollback()
+	if _, err := tx.Insert(row(1, 1, "F")); !errors.Is(err, ErrTxDone) {
+		t.Errorf("Insert after rollback = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("Commit after rollback = %v", err)
+	}
+	tx2 := s.Begin()
+	if err := tx2.Commit(); err != nil {
+		t.Errorf("empty commit = %v", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit = %v", err)
+	}
+}
+
+func TestInsertThenDeleteInSameTx(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	id, _ := tx.Insert(row(1, 1, "F"))
+	if err := tx.Delete(id); err != nil {
+		t.Fatalf("Delete own insert: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after insert+delete", s.Len())
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	s := mustOpen(t, "")
+	setup := s.Begin()
+	id, _ := setup.Insert(row(1, 5.0, "F"))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := s.Begin()
+	t2 := s.Begin()
+	// Both read the row (recording version), then both try to update.
+	t1.Get(id)
+	t2.Get(id)
+	if err := t1.Update(id, row(1, 6.0, "F")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(id, row(1, 7.0, "F")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second commit = %v, want ErrConflict", err)
+	}
+	check := s.Begin()
+	defer check.Rollback()
+	if r, _ := check.Get(id); r[1].Float() != 6.0 {
+		t.Errorf("winner's value lost: %v", r[1])
+	}
+}
+
+func TestReadValidationConflict(t *testing.T) {
+	s := mustOpen(t, "")
+	setup := s.Begin()
+	id, _ := setup.Insert(row(1, 5.0, "F"))
+	setup.Commit()
+
+	reader := s.Begin()
+	reader.Get(id) // observe version
+
+	writer := s.Begin()
+	writer.Get(id)
+	writer.Update(id, row(1, 9.9, "F"))
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader now writes something else based on its stale read.
+	if _, err := reader.Insert(row(2, 1.0, "M")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale-read commit = %v, want ErrConflict", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	tx.Insert(row(1, 5, "F"))
+	tx.Insert(row(2, 6, "M"))
+	tx.Commit()
+
+	tx = s.Begin()
+	id3, _ := tx.Insert(row(3, 7, "F"))
+	var got []int64
+	tx.Scan(func(id RowID, r Row) bool {
+		got = append(got, r[0].Int())
+		return true
+	})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("scan = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tx.Scan(func(id RowID, r Row) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop scan visited %d", n)
+	}
+	tx.Delete(id3)
+	n = 0
+	tx.Scan(func(id RowID, r Row) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("scan after own delete visited %d", n)
+	}
+	tx.Rollback()
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	id1, _ := tx.Insert(row(1, 5.4, "F"))
+	id2, _ := tx.Insert(row(2, 6.1, "M"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Begin()
+	tx.Update(id1, row(1, 7.7, "F"))
+	tx.Delete(id2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery must replay both transactions.
+	s2 := mustOpen(t, dir)
+	if s2.Len() != 1 {
+		t.Fatalf("recovered Len = %d, want 1", s2.Len())
+	}
+	tx = s2.Begin()
+	defer tx.Rollback()
+	r, ok := tx.Get(id1)
+	if !ok || r[1].Float() != 7.7 {
+		t.Errorf("recovered row = %v, %v", r, ok)
+	}
+	if _, ok := tx.Get(id2); ok {
+		t.Error("deleted row resurrected by recovery")
+	}
+	// New inserts must not reuse recovered RowIDs.
+	tx2 := s2.Begin()
+	id3, _ := tx2.Insert(row(3, 1, "F"))
+	tx2.Commit()
+	if id3 <= id2 {
+		t.Errorf("RowID %d reused after recovery (max was %d)", id3, id2)
+	}
+}
+
+func TestWALTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, testSchema())
+	tx := s.Begin()
+	tx.Insert(row(1, 5.4, "F"))
+	tx.Commit()
+	s.Close()
+
+	// Append garbage simulating a torn write of an uncommitted tx.
+	path := filepath.Join(dir, "wal.log")
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{byte(opInsert), 0x05, 0x09}) // truncated record
+	f.Close()
+
+	s2 := mustOpen(t, dir)
+	if s2.Len() != 1 {
+		t.Errorf("Len after torn tail = %d, want 1", s2.Len())
+	}
+	// The store must still be writable after recovering past a torn tail.
+	tx = s2.Begin()
+	tx.Insert(row(9, 9, "M"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after torn-tail recovery: %v", err)
+	}
+}
+
+func TestUncommittedTxNotRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, testSchema())
+	tx := s.Begin()
+	tx.Insert(row(1, 5.4, "F"))
+	tx.Commit()
+	// Simulate a crash mid-transaction: write data records with no commit
+	// marker directly.
+	s.walMu.Lock()
+	s.wal.append(walRecord{tx: 99, op: opInsert, id: 50, row: row(50, 1, "M")})
+	s.wal.sync()
+	s.walMu.Unlock()
+	s.Close()
+
+	s2 := mustOpen(t, dir)
+	if s2.Len() != 1 {
+		t.Errorf("uncommitted tx applied: Len = %d", s2.Len())
+	}
+}
+
+func TestSnapshotAndLoadTable(t *testing.T) {
+	s := mustOpen(t, "")
+	tx := s.Begin()
+	tx.Insert(row(2, 6.1, "M"))
+	tx.Insert(row(1, 5.4, "F"))
+	tx.Commit()
+	tbl, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("snapshot rows = %d", tbl.Len())
+	}
+	// Snapshot order follows RowID (insert order).
+	if tbl.MustValue(0, "PatientID").Int() != 2 {
+		t.Errorf("first snapshot row = %v", tbl.MustValue(0, "PatientID"))
+	}
+
+	s2 := mustOpen(t, "")
+	if err := s2.LoadTable(tbl); err != nil {
+		t.Fatalf("LoadTable: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("loaded Len = %d", s2.Len())
+	}
+	bad := storage.MustTable(storage.MustSchema(storage.Field{Name: "X", Kind: value.IntKind}))
+	if err := s2.LoadTable(bad); err == nil {
+		t.Error("LoadTable with wrong schema must fail")
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	s := mustOpen(t, "")
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert(row(int64(w*each+i), 1, "F")); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*each {
+		t.Errorf("Len = %d, want %d", s.Len(), workers*each)
+	}
+}
+
+// openAppend opens a file for appending; test helper for torn-tail setup.
+func openAppend(path string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	w, err := openWalWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	return walAppender{w}, nil
+}
+
+type walAppender struct{ w *walWriter }
+
+func (a walAppender) Write(p []byte) (int, error) { return a.w.bw.Write(p) }
+func (a walAppender) Close() error                { return a.w.close() }

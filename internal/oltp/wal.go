@@ -1,0 +1,268 @@
+package oltp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// walOp tags a WAL record.
+type walOp uint8
+
+const (
+	opInsert walOp = iota + 1
+	opUpdate
+	opDelete
+	opCommit
+)
+
+// walRecord is one log entry. Data records carry a row payload; the commit
+// marker carries only the transaction id.
+type walRecord struct {
+	tx  uint64
+	op  walOp
+	id  RowID
+	row Row
+}
+
+// WAL wire format per record, little-endian varints:
+//
+//	op   1 byte
+//	tx   uvarint
+//	id   uvarint        (data records only)
+//	nval uvarint        (data records with rows only)
+//	vals nval × value   (kind byte + payload)
+//
+// Commit markers consist of just op+tx. The log is an append-only stream;
+// recovery replays records of committed transactions and discards any
+// trailing partial record (torn write).
+
+type walWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openWalWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("oltp: opening WAL: %w", err)
+	}
+	return &walWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	if err := w.bw.WriteByte(byte(rec.op)); err != nil {
+		return err
+	}
+	writeUvarint(w.bw, rec.tx)
+	if rec.op == opCommit {
+		return nil
+	}
+	writeUvarint(w.bw, uint64(rec.id))
+	if rec.op == opDelete {
+		return nil
+	}
+	writeUvarint(w.bw, uint64(len(rec.row)))
+	for _, v := range rec.row {
+		if err := writeValue(w.bw, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replay reads the WAL at path (if present) and applies all committed
+// transactions to the store. Uncommitted or torn trailing records are
+// ignored, matching crash-recovery semantics.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("oltp: opening WAL for replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	pending := make(map[uint64][]*writeOp)
+	for {
+		rec, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: stop replay here; everything before the tear that
+			// committed is already applied.
+			break
+		}
+		if rec.op == opCommit {
+			for _, w := range pending[rec.tx] {
+				s.applyLocked(w)
+			}
+			delete(pending, rec.tx)
+			continue
+		}
+		pending[rec.tx] = append(pending[rec.tx], &writeOp{op: rec.op, id: rec.id, row: rec.row})
+	}
+	return nil
+}
+
+func readRecord(br *bufio.Reader) (walRecord, error) {
+	opb, err := br.ReadByte()
+	if err != nil {
+		return walRecord{}, err
+	}
+	op := walOp(opb)
+	if op < opInsert || op > opCommit {
+		return walRecord{}, fmt.Errorf("oltp: bad WAL op %d", opb)
+	}
+	tx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return walRecord{}, err
+	}
+	rec := walRecord{tx: tx, op: op}
+	if op == opCommit {
+		return rec, nil
+	}
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return walRecord{}, err
+	}
+	rec.id = RowID(id)
+	if op == opDelete {
+		return rec, nil
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return walRecord{}, err
+	}
+	const maxRowWidth = 1 << 16
+	if n > maxRowWidth {
+		return walRecord{}, fmt.Errorf("oltp: WAL row width %d exceeds limit", n)
+	}
+	rec.row = make(Row, n)
+	for i := range rec.row {
+		v, err := readValue(br)
+		if err != nil {
+			return walRecord{}, err
+		}
+		rec.row[i] = v
+	}
+	return rec, nil
+}
+
+func writeValue(bw *bufio.Writer, v value.Value) error {
+	if err := bw.WriteByte(byte(v.Kind())); err != nil {
+		return err
+	}
+	switch v.Kind() {
+	case value.NAKind:
+	case value.IntKind:
+		writeVarint(bw, v.Int())
+	case value.BoolKind:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return bw.WriteByte(b)
+	case value.TimeKind:
+		writeVarint(bw, v.Time().UnixNano())
+	case value.FloatKind:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		_, err := bw.Write(buf[:])
+		return err
+	case value.StringKind:
+		s := v.Str()
+		writeUvarint(bw, uint64(len(s)))
+		_, err := bw.WriteString(s)
+		return err
+	default:
+		return fmt.Errorf("oltp: cannot encode kind %v", v.Kind())
+	}
+	return nil
+}
+
+func readValue(br *bufio.Reader) (value.Value, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return value.NA(), err
+	}
+	switch value.Kind(kb) {
+	case value.NAKind:
+		return value.NA(), nil
+	case value.IntKind:
+		i, err := binary.ReadVarint(br)
+		if err != nil {
+			return value.NA(), err
+		}
+		return value.Int(i), nil
+	case value.BoolKind:
+		b, err := br.ReadByte()
+		if err != nil {
+			return value.NA(), err
+		}
+		return value.Bool(b != 0), nil
+	case value.TimeKind:
+		n, err := binary.ReadVarint(br)
+		if err != nil {
+			return value.NA(), err
+		}
+		return value.Time(timeUnixNano(n)), nil
+	case value.FloatKind:
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return value.NA(), err
+		}
+		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case value.StringKind:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return value.NA(), err
+		}
+		const maxString = 1 << 24
+		if n > maxString {
+			return value.NA(), fmt.Errorf("oltp: WAL string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return value.NA(), err
+		}
+		return value.Str(string(buf)), nil
+	}
+	return value.NA(), fmt.Errorf("oltp: bad WAL value kind %d", kb)
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func writeVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n])
+}

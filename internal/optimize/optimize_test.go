@@ -1,0 +1,223 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/star"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// buildEngine creates a small warehouse where the Exercise attribute is
+// complete (stable candidate) and the ECG attribute is missing for some
+// facts (unstable candidate when missing facts drop).
+func buildEngine(t *testing.T) *cube.Engine {
+	t.Helper()
+	flat := storage.MustTable(storage.MustSchema(
+		storage.Field{Name: "Gender", Kind: value.StringKind},
+		storage.Field{Name: "Exercise", Kind: value.StringKind},
+		storage.Field{Name: "ECG", Kind: value.StringKind},
+		storage.Field{Name: "FBG", Kind: value.FloatKind},
+	))
+	add := func(g, ex, ecg string, fbg float64) {
+		row := []value.Value{value.Str(g), value.Str(ex), value.Str(ecg), value.Float(fbg)}
+		if ecg == "" {
+			row[2] = value.NA()
+		}
+		if err := flat.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("M", "low", "normal", 7.0)
+	add("M", "high", "", 6.0) // missing ECG
+	add("F", "low", "normal", 5.5)
+	add("F", "high", "abnormal", 8.0)
+	add("F", "low", "", 6.5) // missing ECG
+
+	s, err := star.NewBuilder("F").
+		Dimension("Personal", []storage.Field{{Name: "Gender", Kind: value.StringKind}}, []string{"Gender"}).
+		Dimension("Exercise", []storage.Field{{Name: "Exercise", Kind: value.StringKind}}, []string{"Exercise"}).
+		Dimension("ECG", []storage.Field{{Name: "ECG", Kind: value.StringKind}}, []string{"ECG"}).
+		Measure(storage.Field{Name: "FBG", Kind: value.FloatKind}, "FBG").
+		Build(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube.NewEngine(s)
+}
+
+func TestValidateStabilityStableCandidate(t *testing.T) {
+	e := buildEngine(t)
+	base := cube.Query{
+		Rows:    []cube.AttrRef{{Dim: "Personal", Attr: "Gender"}},
+		Measure: cube.MeasureRef{Agg: storage.CountAgg},
+	}
+	rep, err := ValidateStability(e, base,
+		[]cube.AttrRef{{Dim: "Exercise", Attr: "Exercise"}}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable() {
+		t.Errorf("complete attribute should be stable: %+v", rep.Results)
+	}
+	if rep.Results[0].MissingShare != 0 {
+		t.Errorf("missing share = %g", rep.Results[0].MissingShare)
+	}
+}
+
+func TestValidateStabilityDetectsMissingMass(t *testing.T) {
+	e := buildEngine(t)
+	base := cube.Query{
+		Rows:    []cube.AttrRef{{Dim: "Personal", Attr: "Gender"}},
+		Measure: cube.MeasureRef{Agg: storage.CountAgg},
+	}
+	rep, err := ValidateStability(e, base,
+		[]cube.AttrRef{{Dim: "ECG", Attr: "ECG"}}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	// 2 of 5 facts have no ECG: the missing share must say so, and because
+	// IncludeMissing is used internally, the rolled aggregate still matches.
+	if math.Abs(res.MissingShare-0.4) > 1e-9 {
+		t.Errorf("missing share = %g, want 0.4", res.MissingShare)
+	}
+	if !res.Stable {
+		t.Errorf("roll-up with missing kept should still be stable: %+v", res)
+	}
+}
+
+func TestValidateStabilitySumMeasure(t *testing.T) {
+	e := buildEngine(t)
+	base := cube.Query{
+		Rows:    []cube.AttrRef{{Dim: "Personal", Attr: "Gender"}},
+		Measure: cube.MeasureRef{Agg: storage.SumAgg, Column: "FBG"},
+	}
+	rep, err := ValidateStability(e, base,
+		[]cube.AttrRef{{Dim: "Exercise", Attr: "Exercise"}}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable() {
+		t.Errorf("sum should be stable under complete attribute: %+v", rep.Results)
+	}
+}
+
+func TestValidateStabilityErrors(t *testing.T) {
+	e := buildEngine(t)
+	base := cube.Query{
+		Rows:    []cube.AttrRef{{Dim: "Personal", Attr: "Gender"}},
+		Measure: cube.MeasureRef{Agg: storage.AvgAgg, Column: "FBG"},
+	}
+	if _, err := ValidateStability(e, base, nil, 0.1); err == nil {
+		t.Error("non-additive measure must fail")
+	}
+	base.Measure = cube.MeasureRef{Agg: storage.CountAgg}
+	if _, err := ValidateStability(e, base, []cube.AttrRef{{Dim: "Personal", Attr: "Gender"}}, 0.1); err == nil {
+		t.Error("candidate already on axis must fail")
+	}
+	if _, err := ValidateStability(e, base, nil, -1); err == nil {
+		t.Error("negative tolerance must fail")
+	}
+	if _, err := ValidateStability(e, base, []cube.AttrRef{{Dim: "Nope", Attr: "X"}}, 0.1); err == nil {
+		t.Error("unknown candidate must fail")
+	}
+}
+
+func TestOptimizeRegimenKnapsack(t *testing.T) {
+	ts := []Treatment{
+		{Name: "statins", Cost: 3, Benefit: 10},
+		{Name: "exercise-program", Cost: 2, Benefit: 7},
+		{Name: "diet-counselling", Cost: 2, Benefit: 6},
+		{Name: "retinal-screening", Cost: 4, Benefit: 9},
+	}
+	reg, err := OptimizeRegimen(ts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best subset within budget 7: statins + exercise + diet = cost 7,
+	// benefit 23.
+	if reg.TotalBenefit != 23 || reg.TotalCost != 7 {
+		t.Errorf("regimen = %+v", reg)
+	}
+	if len(reg.Selected) != 3 {
+		t.Errorf("selected %d treatments", len(reg.Selected))
+	}
+}
+
+func TestOptimizeRegimenDependencies(t *testing.T) {
+	ts := []Treatment{
+		{Name: "insulin", Cost: 3, Benefit: 20, Requires: "glucose-monitoring"},
+		{Name: "glucose-monitoring", Cost: 2, Benefit: 1},
+		{Name: "placebo", Cost: 1, Benefit: 5},
+	}
+	// Budget 4: insulin needs monitoring (total 5) — unaffordable, so the
+	// best is monitoring+placebo? benefit 6; or placebo alone 5. Expect 6.
+	reg, err := OptimizeRegimen(ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.TotalBenefit != 6 {
+		t.Errorf("benefit = %g, want 6: %+v", reg.TotalBenefit, reg)
+	}
+	// Budget 6: insulin+monitoring+placebo = cost 6, benefit 26.
+	reg, err = OptimizeRegimen(ts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.TotalBenefit != 26 {
+		t.Errorf("benefit = %g, want 26", reg.TotalBenefit)
+	}
+	// Dependencies always honoured.
+	for _, sel := range reg.Selected {
+		if sel.Requires == "" {
+			continue
+		}
+		found := false
+		for _, other := range reg.Selected {
+			if other.Name == sel.Requires {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s selected without %s", sel.Name, sel.Requires)
+		}
+	}
+}
+
+func TestOptimizeRegimenEdgeCases(t *testing.T) {
+	if _, err := OptimizeRegimen([]Treatment{{Name: "a", Cost: 0, Benefit: 1}}, 5); err == nil {
+		t.Error("zero cost must fail")
+	}
+	if _, err := OptimizeRegimen([]Treatment{{Name: "a", Cost: 1, Benefit: -1}}, 5); err == nil {
+		t.Error("negative benefit must fail")
+	}
+	if _, err := OptimizeRegimen([]Treatment{{Name: "a", Cost: 1}, {Name: "a", Cost: 1}}, 5); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if _, err := OptimizeRegimen([]Treatment{{Name: "a", Cost: 1, Requires: "ghost"}}, 5); err == nil {
+		t.Error("unknown dependency must fail")
+	}
+	if _, err := OptimizeRegimen(nil, -1); err == nil {
+		t.Error("negative budget must fail")
+	}
+	// Empty input: empty regimen.
+	reg, err := OptimizeRegimen(nil, 10)
+	if err != nil || len(reg.Selected) != 0 {
+		t.Errorf("empty = %+v, %v", reg, err)
+	}
+	// Budget too small for anything.
+	reg, err = OptimizeRegimen([]Treatment{{Name: "a", Cost: 5, Benefit: 1}}, 1)
+	if err != nil || len(reg.Selected) != 0 {
+		t.Errorf("unaffordable = %+v, %v", reg, err)
+	}
+	big := make([]Treatment, 25)
+	for i := range big {
+		big[i] = Treatment{Name: string(rune('a' + i)), Cost: 1, Benefit: 1}
+	}
+	if _, err := OptimizeRegimen(big, 5); err == nil {
+		t.Error("too many treatments must fail")
+	}
+}

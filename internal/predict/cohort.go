@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/mining"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Cohort predicts a patient's next phase from the outcomes of the k most
+// similar past patients — "past records of other patients in similar
+// circumstances". It wraps the mixed-type k-nearest-neighbour machinery
+// from the mining package.
+type Cohort struct {
+	K int // neighbourhood size; 0 means 7
+
+	knn    *mining.KNN
+	ds     *mining.Dataset
+	fitted bool
+}
+
+// NewCohort returns an unfitted predictor.
+func NewCohort(k int) *Cohort { return &Cohort{K: k} }
+
+// Fit indexes past patients: features describe each patient's current
+// circumstance, outcomes their subsequently observed phase.
+func (c *Cohort) Fit(featureNames []string, features [][]value.Value, outcomes []value.Value) error {
+	if len(features) != len(outcomes) {
+		return fmt.Errorf("predict: %d feature vectors vs %d outcomes", len(features), len(outcomes))
+	}
+	if c.K == 0 {
+		c.K = 7
+	}
+	ds := &mining.Dataset{Features: featureNames, X: features, Y: outcomes}
+	knn := mining.NewKNN(c.K)
+	if err := knn.Fit(ds); err != nil {
+		return err
+	}
+	c.knn, c.ds = knn, ds
+	c.fitted = true
+	return nil
+}
+
+// Predict returns the majority next phase among the k most similar past
+// patients.
+func (c *Cohort) Predict(x []value.Value) (value.Value, error) {
+	if !c.fitted {
+		return value.NA(), fmt.Errorf("predict: Cohort not fitted")
+	}
+	return c.knn.Predict(x)
+}
+
+// Explain returns the indices and outcomes of the k most similar past
+// patients — the evidence a clinician reviews alongside the prediction.
+func (c *Cohort) Explain(x []value.Value) ([]int, []value.Value, error) {
+	if !c.fitted {
+		return nil, nil, fmt.Errorf("predict: Cohort not fitted")
+	}
+	idx, err := c.knn.Neighbours(x, c.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	outcomes := make([]value.Value, len(idx))
+	for i, j := range idx {
+		outcomes[i] = c.ds.Y[j]
+	}
+	return idx, outcomes, nil
+}

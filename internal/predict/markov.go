@@ -1,0 +1,310 @@
+// Package predict implements the Prediction feature of the DD-DGMS
+// architecture: "the availability of time-course analysis capabilities
+// allows a clinician to use the warehouse to predict the subsequent phase
+// of a patient affected by a medical condition based on past records of
+// other patients in similar circumstances."
+//
+// Two predictors are provided: a Markov chain over the qualitative disease
+// states produced by temporal abstraction, and a cohort predictor that
+// votes over the k most similar past patients.
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Markov is a first-order Markov chain over named disease states, fitted
+// from per-patient state sequences with Laplace smoothing.
+type Markov struct {
+	// Smoothing is the Laplace pseudo-count per transition; 0 means 1.
+	Smoothing float64
+
+	states []string
+	idx    map[string]int
+	counts [][]float64
+	fitted bool
+}
+
+// StateProb pairs a state with a probability.
+type StateProb struct {
+	State string
+	P     float64
+}
+
+// NewMarkov returns an unfitted chain.
+func NewMarkov() *Markov { return &Markov{} }
+
+// Fit estimates transition probabilities from state sequences (one per
+// patient, each the output of etl.AbstractStates). Sequences shorter than
+// two states contribute nothing.
+func (m *Markov) Fit(sequences [][]string) error {
+	if m.Smoothing == 0 {
+		m.Smoothing = 1
+	}
+	if m.Smoothing < 0 {
+		return fmt.Errorf("predict: negative smoothing")
+	}
+	m.idx = make(map[string]int)
+	intern := func(s string) int {
+		if i, ok := m.idx[s]; ok {
+			return i
+		}
+		i := len(m.states)
+		m.states = append(m.states, s)
+		m.idx[s] = i
+		return i
+	}
+	type edge struct{ from, to int }
+	edgeCounts := make(map[edge]float64)
+	nTransitions := 0
+	for _, seq := range sequences {
+		for i := 1; i < len(seq); i++ {
+			e := edge{from: intern(seq[i-1]), to: intern(seq[i])}
+			edgeCounts[e]++
+			nTransitions++
+		}
+		if len(seq) == 1 {
+			intern(seq[0])
+		}
+	}
+	if len(m.states) == 0 {
+		return fmt.Errorf("predict: no states observed")
+	}
+	if nTransitions == 0 {
+		return fmt.Errorf("predict: no transitions observed")
+	}
+	n := len(m.states)
+	m.counts = make([][]float64, n)
+	for i := range m.counts {
+		m.counts[i] = make([]float64, n)
+		for j := range m.counts[i] {
+			m.counts[i][j] = m.Smoothing
+		}
+	}
+	for e, c := range edgeCounts {
+		m.counts[e.from][e.to] += c
+	}
+	m.fitted = true
+	return nil
+}
+
+// States returns the state vocabulary in first-seen order.
+func (m *Markov) States() []string { return append([]string(nil), m.states...) }
+
+// TransitionProb returns P(to | from).
+func (m *Markov) TransitionProb(from, to string) (float64, error) {
+	if !m.fitted {
+		return 0, fmt.Errorf("predict: Markov not fitted")
+	}
+	fi, ok := m.idx[from]
+	if !ok {
+		return 0, fmt.Errorf("predict: unknown state %q", from)
+	}
+	ti, ok := m.idx[to]
+	if !ok {
+		return 0, fmt.Errorf("predict: unknown state %q", to)
+	}
+	var total float64
+	for _, c := range m.counts[fi] {
+		total += c
+	}
+	return m.counts[fi][ti] / total, nil
+}
+
+// Next returns the full next-state distribution from a state, sorted by
+// descending probability (ties by state name).
+func (m *Markov) Next(from string) ([]StateProb, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("predict: Markov not fitted")
+	}
+	fi, ok := m.idx[from]
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown state %q", from)
+	}
+	var total float64
+	for _, c := range m.counts[fi] {
+		total += c
+	}
+	out := make([]StateProb, len(m.states))
+	for i, s := range m.states {
+		out[i] = StateProb{State: s, P: m.counts[fi][i] / total}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].P != out[b].P {
+			return out[a].P > out[b].P
+		}
+		return out[a].State < out[b].State
+	})
+	return out, nil
+}
+
+// PredictNext returns the most probable next state.
+func (m *Markov) PredictNext(from string) (string, error) {
+	dist, err := m.Next(from)
+	if err != nil {
+		return "", err
+	}
+	return dist[0].State, nil
+}
+
+// Simulate draws a trajectory of length steps starting from a state,
+// deterministically for a given seed. The starting state is included.
+func (m *Markov) Simulate(start string, steps int, seed int64) ([]string, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("predict: Markov not fitted")
+	}
+	if _, ok := m.idx[start]; !ok {
+		return nil, fmt.Errorf("predict: unknown state %q", start)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("predict: negative steps")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, steps+1)
+	out = append(out, start)
+	cur := m.idx[start]
+	for s := 0; s < steps; s++ {
+		var total float64
+		for _, c := range m.counts[cur] {
+			total += c
+		}
+		r := rng.Float64() * total
+		next := len(m.states) - 1
+		for i, c := range m.counts[cur] {
+			if r < c {
+				next = i
+				break
+			}
+			r -= c
+		}
+		out = append(out, m.states[next])
+		cur = next
+	}
+	return out, nil
+}
+
+// Project evolves an initial state distribution through the chain for a
+// number of steps (screening cycles), returning the distribution after
+// each step — the "simulation" half of the DGMS phase 2 ("learning and
+// domain knowledge are used for prediction and simulation"). Strategic
+// users read this as projected prevalence under the status quo. The
+// initial map may omit states (treated as 0); its values are normalised.
+func (m *Markov) Project(initial map[string]float64, steps int) ([][]StateProb, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("predict: Markov not fitted")
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("predict: Project needs steps >= 1")
+	}
+	n := len(m.states)
+	dist := make([]float64, n)
+	var total float64
+	for s, w := range initial {
+		i, ok := m.idx[s]
+		if !ok {
+			return nil, fmt.Errorf("predict: unknown state %q", s)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("predict: negative weight for %q", s)
+		}
+		dist[i] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("predict: initial distribution is empty")
+	}
+	for i := range dist {
+		dist[i] /= total
+	}
+	// Row-normalised transition matrix.
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		var rowTotal float64
+		for _, c := range m.counts[i] {
+			rowTotal += c
+		}
+		for j := range p[i] {
+			p[i][j] = m.counts[i][j] / rowTotal
+		}
+	}
+	out := make([][]StateProb, steps)
+	next := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range dist {
+			for j := range next {
+				next[j] += dist[i] * p[i][j]
+			}
+		}
+		dist, next = next, dist
+		snap := make([]StateProb, n)
+		for i, name := range m.states {
+			snap[i] = StateProb{State: name, P: dist[i]}
+		}
+		sort.Slice(snap, func(a, b int) bool {
+			if snap[a].P != snap[b].P {
+				return snap[a].P > snap[b].P
+			}
+			return snap[a].State < snap[b].State
+		})
+		out[s] = snap
+	}
+	return out, nil
+}
+
+// Stationary iterates the chain from the uniform distribution and returns
+// the long-run state occupancy — the strategic-planning view of a disease
+// course.
+func (m *Markov) Stationary(iterations int) ([]StateProb, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("predict: Markov not fitted")
+	}
+	if iterations < 1 {
+		iterations = 100
+	}
+	n := len(m.states)
+	// Row-normalised transition matrix.
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		var total float64
+		for _, c := range m.counts[i] {
+			total += c
+		}
+		for j := range p[i] {
+			p[i][j] = m.counts[i][j] / total
+		}
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range dist {
+			for j := range next {
+				next[j] += dist[i] * p[i][j]
+			}
+		}
+		dist, next = next, dist
+	}
+	out := make([]StateProb, n)
+	for i, s := range m.states {
+		out[i] = StateProb{State: s, P: dist[i]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].P != out[b].P {
+			return out[a].P > out[b].P
+		}
+		return out[a].State < out[b].State
+	})
+	return out, nil
+}

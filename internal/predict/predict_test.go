@@ -1,0 +1,311 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// trajectories encodes a known disease course: normal mostly stays normal,
+// preDiabetic mostly progresses to diabetic, diabetic is absorbing.
+func trajectories() [][]string {
+	var out [][]string
+	for i := 0; i < 20; i++ {
+		out = append(out, []string{"normal", "normal", "normal"})
+	}
+	for i := 0; i < 10; i++ {
+		out = append(out, []string{"normal", "preDiabetic", "diabetic", "diabetic"})
+	}
+	for i := 0; i < 2; i++ {
+		out = append(out, []string{"preDiabetic", "normal"})
+	}
+	return out
+}
+
+func fitted(t *testing.T) *Markov {
+	t.Helper()
+	m := NewMarkov()
+	if err := m.Fit(trajectories()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMarkovPredictNext(t *testing.T) {
+	m := fitted(t)
+	next, err := m.PredictNext("preDiabetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != "diabetic" {
+		t.Errorf("preDiabetic -> %q, want diabetic", next)
+	}
+	next, err = m.PredictNext("normal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != "normal" {
+		t.Errorf("normal -> %q, want normal", next)
+	}
+}
+
+func TestMarkovTransitionProbsNormalised(t *testing.T) {
+	m := fitted(t)
+	for _, from := range m.States() {
+		var total float64
+		for _, to := range m.States() {
+			p, err := m.TransitionProb(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0 || p > 1 {
+				t.Errorf("P(%s|%s) = %g", to, from, p)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("row %s sums to %g", from, total)
+		}
+	}
+	// Smoothing keeps impossible transitions non-zero but small.
+	p, _ := m.TransitionProb("diabetic", "normal")
+	if p <= 0 || p > 0.2 {
+		t.Errorf("smoothed impossible transition = %g", p)
+	}
+}
+
+func TestMarkovNextSorted(t *testing.T) {
+	m := fitted(t)
+	dist, err := m.Next("preDiabetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0].State != "diabetic" {
+		t.Errorf("top next state = %s", dist[0].State)
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i].P > dist[i-1].P {
+			t.Error("distribution not sorted descending")
+		}
+	}
+}
+
+func TestMarkovSimulateDeterministic(t *testing.T) {
+	m := fitted(t)
+	a, err := m.Simulate("normal", 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate("normal", 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 11 {
+		t.Fatalf("trajectory length = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic for a fixed seed")
+		}
+	}
+	if a[0] != "normal" {
+		t.Errorf("start = %q", a[0])
+	}
+}
+
+func TestMarkovStationaryFavoursAbsorbingState(t *testing.T) {
+	m := fitted(t)
+	dist, err := m.Stationary(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// diabetic is nearly absorbing, so long-run mass concentrates there.
+	if dist[0].State != "diabetic" {
+		t.Errorf("stationary top state = %s (%g)", dist[0].State, dist[0].P)
+	}
+	var total float64
+	for _, sp := range dist {
+		total += sp.P
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("stationary sums to %g", total)
+	}
+}
+
+func TestProjectPrevalence(t *testing.T) {
+	m := fitted(t)
+	// Start everyone at preDiabetic; mass must flow toward the
+	// near-absorbing diabetic state.
+	proj, err := m.Project(map[string]float64{"preDiabetic": 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 5 {
+		t.Fatalf("steps = %d", len(proj))
+	}
+	at := func(step int, state string) float64 {
+		for _, sp := range proj[step] {
+			if sp.State == state {
+				return sp.P
+			}
+		}
+		t.Fatalf("state %q missing at step %d", state, step)
+		return 0
+	}
+	// Diabetic (near-absorbing) dominates every projected step, and the
+	// transient preDiabetic mass decays monotonically.
+	for s := 0; s < 5; s++ {
+		if proj[s][0].State != "diabetic" {
+			t.Errorf("step %d top state = %s", s, proj[s][0].State)
+		}
+	}
+	// The transient preDiabetic state never regains dominance and the
+	// projection converges toward the chain's stationary distribution.
+	for s := 0; s < 5; s++ {
+		if at(s, "preDiabetic") >= at(s, "diabetic") {
+			t.Errorf("step %d: preDiabetic %g >= diabetic %g", s, at(s, "preDiabetic"), at(s, "diabetic"))
+		}
+	}
+	stat, err := m.Stationary(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statDiabetic float64
+	for _, sp := range stat {
+		if sp.State == "diabetic" {
+			statDiabetic = sp.P
+		}
+	}
+	if d := at(4, "diabetic") - statDiabetic; math.Abs(d) > 0.15 {
+		t.Errorf("step 4 diabetic %g far from stationary %g", at(4, "diabetic"), statDiabetic)
+	}
+	// Each snapshot is a probability distribution.
+	for s := range proj {
+		var total float64
+		for _, sp := range proj[s] {
+			total += sp.P
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("step %d sums to %g", s, total)
+		}
+	}
+	// Unnormalised input weights are accepted.
+	proj2, err := m.Project(map[string]float64{"normal": 3, "preDiabetic": 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, sp := range proj2[0] {
+		total += sp.P
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("unnormalised input: step sums to %g", total)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	m := fitted(t)
+	if _, err := m.Project(map[string]float64{"unknown": 1}, 3); err == nil {
+		t.Error("unknown state must fail")
+	}
+	if _, err := m.Project(map[string]float64{"normal": -1}, 3); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := m.Project(map[string]float64{}, 3); err == nil {
+		t.Error("empty distribution must fail")
+	}
+	if _, err := m.Project(map[string]float64{"normal": 1}, 0); err == nil {
+		t.Error("zero steps must fail")
+	}
+	unfitted := NewMarkov()
+	if _, err := unfitted.Project(map[string]float64{"normal": 1}, 1); err == nil {
+		t.Error("project before fit must fail")
+	}
+}
+
+func TestMarkovErrors(t *testing.T) {
+	m := NewMarkov()
+	if err := m.Fit(nil); err == nil {
+		t.Error("no sequences must fail")
+	}
+	if err := m.Fit([][]string{{"only"}}); err == nil {
+		t.Error("no transitions must fail")
+	}
+	if _, err := m.PredictNext("normal"); err == nil {
+		t.Error("predict before fit must fail")
+	}
+	m = fitted(t)
+	if _, err := m.PredictNext("unknown"); err == nil {
+		t.Error("unknown state must fail")
+	}
+	if _, err := m.TransitionProb("normal", "unknown"); err == nil {
+		t.Error("unknown target state must fail")
+	}
+	if _, err := m.Simulate("unknown", 3, 1); err == nil {
+		t.Error("simulate from unknown state must fail")
+	}
+	if _, err := m.Simulate("normal", -1, 1); err == nil {
+		t.Error("negative steps must fail")
+	}
+	neg := NewMarkov()
+	neg.Smoothing = -1
+	if err := neg.Fit(trajectories()); err == nil {
+		t.Error("negative smoothing must fail")
+	}
+}
+
+func TestCohortPredict(t *testing.T) {
+	// Past patients: high FBG + absent reflex progressed; low FBG stayed.
+	features := [][]value.Value{
+		{value.Float(7.5), value.Str("absent")},
+		{value.Float(7.8), value.Str("absent")},
+		{value.Float(8.1), value.Str("present")},
+		{value.Float(5.0), value.Str("present")},
+		{value.Float(5.2), value.Str("present")},
+		{value.Float(4.8), value.Str("present")},
+	}
+	outcomes := []value.Value{
+		value.Str("progressed"), value.Str("progressed"), value.Str("progressed"),
+		value.Str("stable"), value.Str("stable"), value.Str("stable"),
+	}
+	c := NewCohort(3)
+	if err := c.Fit([]string{"FBG", "Reflex"}, features, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := c.Predict([]value.Value{value.Float(7.9), value.Str("absent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Str() != "progressed" {
+		t.Errorf("prediction = %v", pred)
+	}
+	idx, outs, err := c.Explain([]value.Value{value.Float(5.1), value.Str("present")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 || len(outs) != 3 {
+		t.Fatalf("explain sizes %d/%d", len(idx), len(outs))
+	}
+	for _, o := range outs {
+		if o.Str() != "stable" {
+			t.Errorf("neighbour outcome = %v, want all stable", o)
+		}
+	}
+}
+
+func TestCohortErrors(t *testing.T) {
+	c := NewCohort(3)
+	if _, err := c.Predict(nil); err == nil {
+		t.Error("predict before fit must fail")
+	}
+	if _, _, err := c.Explain(nil); err == nil {
+		t.Error("explain before fit must fail")
+	}
+	if err := c.Fit([]string{"A"}, [][]value.Value{{value.Float(1)}}, nil); err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+	if err := c.Fit([]string{"A"}, nil, nil); err == nil {
+		t.Error("empty cohort must fail")
+	}
+}

@@ -1,0 +1,215 @@
+// Package server exposes a DD-DGMS platform over HTTP/JSON — the
+// "service model" phase of clinical decision support the paper's
+// introduction describes (Wright & Sittig's fourth architecture phase):
+// the clinical information system and the decision-support system are
+// separated, communicating through service interfaces, so departments,
+// hospitals and research groups can share one warehouse.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /schema             the star schema: dimensions, attributes, hierarchies, measures
+//	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON
+//	GET  /findings?q=term    knowledge-base search
+//	POST /findings           {"topic","statement","source"} -> recorded finding id
+//	POST /findings/reinforce {"id"} -> evidence added (promotes at threshold)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/cube"
+)
+
+// Server wraps a platform with an http.Handler. The platform must have
+// its warehouse built before any /query arrives.
+type Server struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// New creates a server over a platform.
+func New(p *core.Platform) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
+	s.mux.HandleFunc("POST /findings", s.handleFindingsAdd)
+	s.mux.HandleFunc("POST /findings/reinforce", s.handleFindingsReinforce)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// schemaDoc is the JSON form of the star schema.
+type schemaDoc struct {
+	Fact       string         `json:"fact"`
+	Facts      int            `json:"fact_rows"`
+	Measures   []string       `json:"measures"`
+	Dimensions []dimensionDoc `json:"dimensions"`
+}
+
+type dimensionDoc struct {
+	Name        string         `json:"name"`
+	Members     int            `json:"members"`
+	Attributes  []string       `json:"attributes"`
+	Hierarchies []hierarchyDoc `json:"hierarchies,omitempty"`
+}
+
+type hierarchyDoc struct {
+	Name   string   `json:"name"`
+	Levels []string `json:"levels"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	ws := s.platform.Warehouse()
+	if ws == nil {
+		writeError(w, http.StatusServiceUnavailable, "warehouse not built")
+		return
+	}
+	doc := schemaDoc{Fact: ws.Name, Facts: ws.Fact().Len()}
+	for _, f := range ws.Fact().Measures().Fields() {
+		doc.Measures = append(doc.Measures, f.Name)
+	}
+	for _, d := range ws.Dimensions() {
+		dd := dimensionDoc{Name: d.Name(), Members: d.Len(), Attributes: d.Schema().Names()}
+		for _, h := range d.Hierarchies() {
+			dd.Hierarchies = append(dd.Hierarchies, hierarchyDoc{Name: h.Name, Levels: h.Levels})
+		}
+		doc.Dimensions = append(doc.Dimensions, dd)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	MDX string `json:"mdx"`
+}
+
+// cellSetDoc is the JSON form of a query result.
+type cellSetDoc struct {
+	RowHeaders []string `json:"row_headers"`
+	ColHeaders []string `json:"col_headers"`
+	Cells      [][]any  `json:"cells"` // numbers, or null for NA
+	Measure    string   `json:"measure"`
+}
+
+func cellSetToDoc(cs *cube.CellSet) cellSetDoc {
+	doc := cellSetDoc{Measure: cs.Measure.String()}
+	for i := 0; i < cs.Rows(); i++ {
+		doc.RowHeaders = append(doc.RowHeaders, cs.RowLabel(i))
+	}
+	for j := 0; j < cs.Columns(); j++ {
+		doc.ColHeaders = append(doc.ColHeaders, cs.ColLabel(j))
+	}
+	doc.Cells = make([][]any, cs.Rows())
+	for i := 0; i < cs.Rows(); i++ {
+		doc.Cells[i] = make([]any, cs.Columns())
+		for j := 0; j < cs.Columns(); j++ {
+			cell := cs.Cell(i, j)
+			if cell.IsNA() {
+				doc.Cells[i][j] = nil
+				continue
+			}
+			if f, ok := cell.AsFloat(); ok {
+				doc.Cells[i][j] = f
+			} else {
+				doc.Cells[i][j] = cell.String()
+			}
+		}
+	}
+	return doc
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.MDX == "" {
+		writeError(w, http.StatusBadRequest, "missing mdx field")
+		return
+	}
+	cs, err := s.platform.QueryMDX(req.MDX)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cellSetToDoc(cs))
+}
+
+func (s *Server) handleFindingsSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	writeJSON(w, http.StatusOK, s.platform.KB().Search(q))
+}
+
+// findingRequest is the POST /findings body.
+type findingRequest struct {
+	Topic     string `json:"topic"`
+	Statement string `json:"statement"`
+	Source    string `json:"source"`
+}
+
+func (s *Server) handleFindingsAdd(w http.ResponseWriter, r *http.Request) {
+	var req findingRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	id, err := s.platform.RecordFinding(req.Topic, req.Statement, req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// reinforceRequest is the POST /findings/reinforce body.
+type reinforceRequest struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleFindingsReinforce(w http.ResponseWriter, r *http.Request) {
+	var req reinforceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := s.platform.KB().Reinforce(req.ID); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	f, err := s.platform.KB().Get(req.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, f)
+}

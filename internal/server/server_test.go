@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/kb"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 120
+	p, err := core.NewDiScRiPlatform(core.Config{}, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(func() {
+		ts.Close()
+		p.Close()
+	})
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response of %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	ts := testServer(t)
+	var doc schemaDoc
+	if code := getJSON(t, ts.URL+"/schema", &doc); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Fact != "MedicalMeasures" || doc.Facts == 0 {
+		t.Errorf("fact = %q (%d rows)", doc.Fact, doc.Facts)
+	}
+	if len(doc.Dimensions) != 8 {
+		t.Errorf("dimensions = %d", len(doc.Dimensions))
+	}
+	foundHierarchy := false
+	for _, d := range doc.Dimensions {
+		if d.Name == "PersonalInformation" && len(d.Hierarchies) == 1 {
+			foundHierarchy = true
+		}
+	}
+	if !foundHierarchy {
+		t.Error("Age hierarchy not exposed")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	ts := testServer(t)
+	var doc cellSetDoc
+	code := postJSON(t, ts.URL+"/query", queryRequest{MDX: `
+		SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS
+		FROM [MedicalMeasures] WHERE [Measures].[PatientCount]`}, &doc)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(doc.ColHeaders) != 2 {
+		t.Errorf("columns = %v", doc.ColHeaders)
+	}
+	total := 0.0
+	for _, row := range doc.Cells {
+		for _, c := range row {
+			if f, ok := c.(float64); ok {
+				total += f
+			}
+		}
+	}
+	if total != 120 {
+		t.Errorf("patient total = %g, want 120", total)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	var errBody errorBody
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: "SELECT nonsense"}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("bad MDX status = %d", code)
+	}
+	if errBody.Error == "" {
+		t.Error("error body empty")
+	}
+	if code := postJSON(t, ts.URL+"/query", queryRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty MDX status = %d", code)
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestFindingsLifecycle(t *testing.T) {
+	ts := testServer(t)
+	var created map[string]string
+	code := postJSON(t, ts.URL+"/findings", findingRequest{
+		Topic: "diabetes", Statement: "gender effect in 70-80", Source: "api",
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create status = %d", code)
+	}
+	id := created["id"]
+	if id == "" {
+		t.Fatal("no id returned")
+	}
+	// Search finds it.
+	var hits []kb.Finding
+	if code := getJSON(t, ts.URL+"/findings?q=gender", &hits); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if len(hits) != 1 || hits[0].ID != id {
+		t.Errorf("search hits = %+v", hits)
+	}
+	// Reinforce twice -> established (default threshold 3).
+	var f kb.Finding
+	postJSON(t, ts.URL+"/findings/reinforce", reinforceRequest{ID: id}, nil)
+	if code := postJSON(t, ts.URL+"/findings/reinforce", reinforceRequest{ID: id}, &f); code != http.StatusOK {
+		t.Fatalf("reinforce status = %d", code)
+	}
+	if f.Status != kb.Established {
+		t.Errorf("status after reinforcement = %s", f.Status)
+	}
+	// Unknown id.
+	if code := postJSON(t, ts.URL+"/findings/reinforce", reinforceRequest{ID: "F9999"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown id status = %d", code)
+	}
+	// Invalid finding.
+	if code := postJSON(t, ts.URL+"/findings", findingRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty finding status = %d", code)
+	}
+}

@@ -1,0 +1,268 @@
+// Package star implements the dimensional data model at the core of the
+// DD-DGMS architecture (paper Figs 1 and 3): dimensions composed of
+// attributes and drill-down hierarchies, surrogate-keyed member tables, a
+// fact table of dimension keys plus numeric measures, a star-schema
+// builder and a loader that populates the warehouse from a flat
+// (ETL-transformed) table.
+//
+// The paper's central argument is that this model's plasticity — the
+// ability to add, remove and feed back dimensions without restructuring
+// facts — is what enables multivariate decision guidance; the feedback
+// API in this package implements the closed loop.
+package star
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Key is a surrogate key into a dimension's member table.
+type Key int32
+
+// NoKey marks a fact whose dimension attributes were all missing.
+const NoKey Key = -1
+
+// Hierarchy is an ordered list of attribute names from coarsest to finest
+// granularity; drill-down moves toward the end, roll-up toward the start.
+// Example: the Age hierarchy ["AgeBand10", "AgeBand5"] supports the paper's
+// Fig 5 drill-down from 10-year to 5-year age groups.
+type Hierarchy struct {
+	Name   string
+	Levels []string
+}
+
+// Finer returns the attribute one level finer than attr, or "" when attr
+// is already the finest level or absent from the hierarchy.
+func (h Hierarchy) Finer(attr string) string {
+	for i, l := range h.Levels {
+		if l == attr && i+1 < len(h.Levels) {
+			return h.Levels[i+1]
+		}
+	}
+	return ""
+}
+
+// Coarser returns the attribute one level coarser than attr, or "" when
+// attr is already the coarsest level or absent from the hierarchy.
+func (h Hierarchy) Coarser(attr string) string {
+	for i, l := range h.Levels {
+		if l == attr && i > 0 {
+			return h.Levels[i-1]
+		}
+	}
+	return ""
+}
+
+// Dimension is one subject-area dimension: a surrogate-keyed table of
+// member rows over a fixed attribute schema, with optional hierarchies.
+type Dimension struct {
+	name        string
+	schema      *storage.Schema
+	hierarchies []Hierarchy
+	members     *storage.Table
+	lookup      map[string]Key
+	outriggers  map[string]*outriggerLink // snowflake links, by outrigger name
+}
+
+// NewDimension creates an empty dimension with the given attributes.
+func NewDimension(name string, attrs []storage.Field, hierarchies ...Hierarchy) (*Dimension, error) {
+	if name == "" {
+		return nil, fmt.Errorf("star: dimension needs a name")
+	}
+	schema, err := storage.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("star: dimension %q: %w", name, err)
+	}
+	for _, h := range hierarchies {
+		if len(h.Levels) < 2 {
+			return nil, fmt.Errorf("star: dimension %q: hierarchy %q needs >= 2 levels", name, h.Name)
+		}
+		for _, l := range h.Levels {
+			if _, ok := schema.Lookup(l); !ok {
+				return nil, fmt.Errorf("star: dimension %q: hierarchy %q references unknown attribute %q", name, h.Name, l)
+			}
+		}
+	}
+	tbl, err := storage.NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Dimension{
+		name:        name,
+		schema:      schema,
+		hierarchies: append([]Hierarchy(nil), hierarchies...),
+		members:     tbl,
+		lookup:      make(map[string]Key),
+	}, nil
+}
+
+// Name returns the dimension name.
+func (d *Dimension) Name() string { return d.name }
+
+// Schema returns the attribute schema.
+func (d *Dimension) Schema() *storage.Schema { return d.schema }
+
+// Hierarchies returns the dimension's hierarchies.
+func (d *Dimension) Hierarchies() []Hierarchy {
+	return append([]Hierarchy(nil), d.hierarchies...)
+}
+
+// Hierarchy returns the named hierarchy.
+func (d *Dimension) Hierarchy(name string) (Hierarchy, bool) {
+	for _, h := range d.hierarchies {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Hierarchy{}, false
+}
+
+// Len reports the number of members.
+func (d *Dimension) Len() int { return d.members.Len() }
+
+// memberKey canonically encodes an attribute tuple.
+func memberKey(attrs []value.Value) string {
+	var sb strings.Builder
+	for _, v := range attrs {
+		fmt.Fprintf(&sb, "%d:%s\x00", v.Kind(), v.String())
+	}
+	return sb.String()
+}
+
+// AddMember interns an attribute tuple, returning the existing surrogate
+// key when an identical member already exists (the loader relies on this
+// dedup to keep dimensions compact).
+func (d *Dimension) AddMember(attrs []value.Value) (Key, error) {
+	if len(attrs) != d.schema.Len() {
+		return NoKey, fmt.Errorf("star: dimension %q: member has %d attributes, schema has %d",
+			d.name, len(attrs), d.schema.Len())
+	}
+	mk := memberKey(attrs)
+	if k, ok := d.lookup[mk]; ok {
+		return k, nil
+	}
+	if err := d.members.AppendRow(attrs); err != nil {
+		return NoKey, fmt.Errorf("star: dimension %q: %w", d.name, err)
+	}
+	k := Key(d.members.Len() - 1)
+	d.lookup[mk] = k
+	return k, nil
+}
+
+// Member returns the attribute tuple for a key.
+func (d *Dimension) Member(k Key) ([]value.Value, error) {
+	if k < 0 || int(k) >= d.members.Len() {
+		return nil, fmt.Errorf("star: dimension %q: key %d out of range", d.name, k)
+	}
+	return d.members.Row(int(k)), nil
+}
+
+// Attr returns one attribute of the member identified by k. Dotted names
+// ("Outrigger.Attr") traverse an attached snowflake outrigger.
+func (d *Dimension) Attr(k Key, attr string) (value.Value, error) {
+	if v, handled, err := d.outriggerAttr(k, attr); handled {
+		return v, err
+	}
+	if k < 0 || int(k) >= d.members.Len() {
+		return value.NA(), fmt.Errorf("star: dimension %q: key %d out of range", d.name, k)
+	}
+	return d.members.Value(int(k), attr)
+}
+
+// HasAttr reports whether the name resolves to a plain attribute or a
+// dotted outrigger attribute.
+func (d *Dimension) HasAttr(attr string) bool {
+	if _, ok := d.schema.Lookup(attr); ok {
+		return true
+	}
+	return d.hasOutriggerAttr(attr)
+}
+
+// AttrKind returns the value kind of a plain or dotted attribute.
+func (d *Dimension) AttrKind(attr string) (value.Kind, bool) {
+	if j, ok := d.schema.Lookup(attr); ok {
+		return d.schema.Field(j).Kind, true
+	}
+	if link, inner, ok := d.resolveOutrigger(attr); ok {
+		if j, ok2 := link.rig.schema.Lookup(inner); ok2 {
+			return link.rig.schema.Field(j).Kind, true
+		}
+	}
+	return value.NAKind, false
+}
+
+// AttrValues returns the distinct non-NA values of a plain or dotted
+// attribute across all members, sorted ascending. These are the "members
+// of a level" exposed in OLAP queries.
+func (d *Dimension) AttrValues(attr string) ([]value.Value, error) {
+	if d.hasOutriggerAttr(attr) {
+		seen := make(map[value.Value]struct{})
+		var out []value.Value
+		for k := 0; k < d.members.Len(); k++ {
+			v, _, err := d.outriggerAttr(Key(k), attr)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNA() {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		sortValues(out)
+		return out, nil
+	}
+	dist, err := d.members.Distinct(attr)
+	if err != nil {
+		return nil, fmt.Errorf("star: dimension %q: %w", d.name, err)
+	}
+	var out []value.Value
+	for i := 0; i < dist.Len(); i++ {
+		v := dist.MustValue(i, attr)
+		if !v.IsNA() {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func sortValues(vs []value.Value) {
+	sort.Slice(vs, func(a, b int) bool { return vs[a].Less(vs[b]) })
+}
+
+// UpdateMember overwrites the attributes of an existing member in place —
+// a type-1 slowly-changing-dimension update (history is not kept; every
+// fact pointing at the key sees the new attributes).
+func (d *Dimension) UpdateMember(k Key, attrs []value.Value) error {
+	if k < 0 || int(k) >= d.members.Len() {
+		return fmt.Errorf("star: dimension %q: key %d out of range", d.name, k)
+	}
+	if len(attrs) != d.schema.Len() {
+		return fmt.Errorf("star: dimension %q: member has %d attributes, schema has %d",
+			d.name, len(attrs), d.schema.Len())
+	}
+	old := d.members.Row(int(k))
+	delete(d.lookup, memberKey(old))
+	for j := 0; j < d.schema.Len(); j++ {
+		if err := d.members.Set(int(k), d.schema.Field(j).Name, attrs[j]); err != nil {
+			return err
+		}
+	}
+	d.lookup[memberKey(attrs)] = k
+	return nil
+}
+
+// VersionMember implements a type-2 slowly-changing-dimension change: the
+// old member row is retained (so historical facts keep their original
+// context) and a new member row with the new attributes is interned and
+// returned for use by subsequent facts.
+func (d *Dimension) VersionMember(attrs []value.Value) (Key, error) {
+	return d.AddMember(attrs)
+}

@@ -1,0 +1,120 @@
+package star
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// FactTable holds one row per recorded clinical event (an attendance in
+// the DiScRi trial): a surrogate key into every dimension plus the numeric
+// measures. Keys are stored columnar for fast cube scans.
+type FactTable struct {
+	dimNames []string
+	dimIdx   map[string]int
+	keys     [][]Key
+	measures *storage.Table
+	n        int
+}
+
+// NewFactTable creates an empty fact table over the named dimensions and
+// measure fields.
+func NewFactTable(dimNames []string, measureFields []storage.Field) (*FactTable, error) {
+	if len(dimNames) == 0 {
+		return nil, fmt.Errorf("star: fact table needs at least one dimension")
+	}
+	idx := make(map[string]int, len(dimNames))
+	for i, n := range dimNames {
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("star: duplicate dimension %q in fact table", n)
+		}
+		idx[n] = i
+	}
+	for _, f := range measureFields {
+		if f.Kind != value.IntKind && f.Kind != value.FloatKind && f.Kind != value.BoolKind {
+			return nil, fmt.Errorf("star: measure %q must be numeric, got %v", f.Name, f.Kind)
+		}
+	}
+	schema, err := storage.NewSchema(measureFields...)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := storage.NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &FactTable{
+		dimNames: append([]string(nil), dimNames...),
+		dimIdx:   idx,
+		keys:     make([][]Key, len(dimNames)),
+		measures: mt,
+	}, nil
+}
+
+// Dimensions returns the dimension names in declaration order.
+func (f *FactTable) Dimensions() []string {
+	return append([]string(nil), f.dimNames...)
+}
+
+// Measures returns the measure schema.
+func (f *FactTable) Measures() *storage.Schema { return f.measures.Schema() }
+
+// Len reports the number of fact rows.
+func (f *FactTable) Len() int { return f.n }
+
+// Append adds one fact: a key per dimension (NoKey marks missing dimension
+// context) and one value per measure.
+func (f *FactTable) Append(keys map[string]Key, measures []value.Value) error {
+	if len(keys) != len(f.dimNames) {
+		return fmt.Errorf("star: fact has %d keys, table has %d dimensions", len(keys), len(f.dimNames))
+	}
+	for name := range keys {
+		if _, ok := f.dimIdx[name]; !ok {
+			return fmt.Errorf("star: fact references unknown dimension %q", name)
+		}
+	}
+	if err := f.measures.AppendRow(measures); err != nil {
+		return fmt.Errorf("star: fact measures: %w", err)
+	}
+	for name, i := range f.dimIdx {
+		f.keys[i] = append(f.keys[i], keys[name])
+	}
+	f.n++
+	return nil
+}
+
+// Key returns the surrogate key of fact row i in the named dimension.
+func (f *FactTable) Key(i int, dim string) (Key, error) {
+	j, ok := f.dimIdx[dim]
+	if !ok {
+		return NoKey, fmt.Errorf("star: unknown dimension %q", dim)
+	}
+	if i < 0 || i >= f.n {
+		return NoKey, fmt.Errorf("star: fact row %d out of range", i)
+	}
+	return f.keys[j][i], nil
+}
+
+// KeyColumn returns the whole key column for a dimension; cube
+// construction scans these directly.
+func (f *FactTable) KeyColumn(dim string) ([]Key, error) {
+	j, ok := f.dimIdx[dim]
+	if !ok {
+		return nil, fmt.Errorf("star: unknown dimension %q", dim)
+	}
+	return f.keys[j], nil
+}
+
+// Measure returns measure column values for direct scanning.
+func (f *FactTable) Measure(name string) (storage.Column, error) {
+	return f.measures.Column(name)
+}
+
+// MeasureValue returns one measure cell.
+func (f *FactTable) MeasureValue(i int, name string) (value.Value, error) {
+	if i < 0 || i >= f.n {
+		return value.NA(), fmt.Errorf("star: fact row %d out of range", i)
+	}
+	return f.measures.Value(i, name)
+}

@@ -1,0 +1,165 @@
+package star
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Snowflake support: the paper's Fig 1 describes the fact table linked to
+// dimensions "resembling a star or snowflake structure". An outrigger is
+// a normalised sub-table hanging off a dimension: dimension members hold
+// a surrogate key into the outrigger, and queries traverse it with dotted
+// attribute names ("Locality.Remoteness"). The OLAP engine needs no
+// changes — Dimension.Attr and Schema lookups resolve the dots.
+
+// Outrigger is a normalised attribute group shared by many dimension
+// members.
+type Outrigger struct {
+	name    string
+	schema  *storage.Schema
+	members *storage.Table
+	lookup  map[string]Key
+}
+
+// NewOutrigger creates an empty outrigger with the given attributes.
+func NewOutrigger(name string, attrs []storage.Field) (*Outrigger, error) {
+	if name == "" || strings.Contains(name, ".") {
+		return nil, fmt.Errorf("star: invalid outrigger name %q", name)
+	}
+	schema, err := storage.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("star: outrigger %q: %w", name, err)
+	}
+	tbl, err := storage.NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Outrigger{name: name, schema: schema, members: tbl, lookup: make(map[string]Key)}, nil
+}
+
+// Name returns the outrigger name.
+func (o *Outrigger) Name() string { return o.name }
+
+// Schema returns the outrigger attribute schema.
+func (o *Outrigger) Schema() *storage.Schema { return o.schema }
+
+// Len reports the number of outrigger members.
+func (o *Outrigger) Len() int { return o.members.Len() }
+
+// AddMember interns an attribute tuple.
+func (o *Outrigger) AddMember(attrs []value.Value) (Key, error) {
+	if len(attrs) != o.schema.Len() {
+		return NoKey, fmt.Errorf("star: outrigger %q: member has %d attributes, schema has %d",
+			o.name, len(attrs), o.schema.Len())
+	}
+	mk := memberKey(attrs)
+	if k, ok := o.lookup[mk]; ok {
+		return k, nil
+	}
+	if err := o.members.AppendRow(attrs); err != nil {
+		return NoKey, err
+	}
+	k := Key(o.members.Len() - 1)
+	o.lookup[mk] = k
+	return k, nil
+}
+
+// AttachOutrigger links an outrigger to the dimension and records, per
+// existing dimension member, which outrigger member it references
+// (classify maps a member's attribute tuple to an outrigger tuple; nil
+// means no link). After attachment, "<outrigger>.<attr>" resolves through
+// Dimension.Attr and the dimension schema lookup used by the cube engine.
+func (d *Dimension) AttachOutrigger(o *Outrigger, classify func(member []value.Value) ([]value.Value, error)) error {
+	if d.outriggers == nil {
+		d.outriggers = make(map[string]*outriggerLink)
+	}
+	if _, dup := d.outriggers[o.name]; dup {
+		return fmt.Errorf("star: dimension %q already has outrigger %q", d.name, o.name)
+	}
+	keys := make([]Key, d.members.Len())
+	for i := 0; i < d.members.Len(); i++ {
+		tuple, err := classify(d.members.Row(i))
+		if err != nil {
+			return fmt.Errorf("star: classifying member %d for outrigger %q: %w", i, o.name, err)
+		}
+		if tuple == nil {
+			keys[i] = NoKey
+			continue
+		}
+		k, err := o.AddMember(tuple)
+		if err != nil {
+			return err
+		}
+		keys[i] = k
+	}
+	d.outriggers[o.name] = &outriggerLink{rig: o, keys: keys}
+	return nil
+}
+
+// outriggerLink pairs an outrigger with the per-member key column.
+type outriggerLink struct {
+	rig  *Outrigger
+	keys []Key
+}
+
+// resolveOutrigger splits a dotted attribute path and returns the link
+// and inner attribute name, or ok=false for plain attributes.
+func (d *Dimension) resolveOutrigger(attr string) (*outriggerLink, string, bool) {
+	dot := strings.IndexByte(attr, '.')
+	if dot < 0 || d.outriggers == nil {
+		return nil, "", false
+	}
+	link, ok := d.outriggers[attr[:dot]]
+	if !ok {
+		return nil, "", false
+	}
+	return link, attr[dot+1:], true
+}
+
+// outriggerAttr reads one outrigger attribute of member k.
+func (d *Dimension) outriggerAttr(k Key, attr string) (value.Value, bool, error) {
+	link, inner, ok := d.resolveOutrigger(attr)
+	if !ok {
+		return value.NA(), false, nil
+	}
+	if k < 0 || int(k) >= len(link.keys) {
+		return value.NA(), true, fmt.Errorf("star: dimension %q: key %d out of range", d.name, k)
+	}
+	ok2 := link.keys[k]
+	if ok2 == NoKey {
+		return value.NA(), true, nil
+	}
+	v, err := link.rig.members.Value(int(ok2), inner)
+	if err != nil {
+		return value.NA(), true, fmt.Errorf("star: outrigger %q: %w", link.rig.name, err)
+	}
+	return v, true, nil
+}
+
+// hasOutriggerAttr reports whether the dotted name resolves.
+func (d *Dimension) hasOutriggerAttr(attr string) bool {
+	link, inner, ok := d.resolveOutrigger(attr)
+	if !ok {
+		return false
+	}
+	_, exists := link.rig.schema.Lookup(inner)
+	return exists
+}
+
+// Outriggers returns the attached outriggers sorted by name.
+func (d *Dimension) Outriggers() []*Outrigger {
+	var names []string
+	for n := range d.outriggers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Outrigger, len(names))
+	for i, n := range names {
+		out[i] = d.outriggers[n].rig
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package star
+
+import (
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// ruralityOutrigger normalises locality detail out of the Personal
+// dimension: town/rural/remote map to a remoteness class and a
+// travel-burden flag.
+func ruralityOutrigger(t *testing.T) *Outrigger {
+	t.Helper()
+	o, err := NewOutrigger("Locality", []storage.Field{
+		{Name: "Remoteness", Kind: value.StringKind},
+		{Name: "TravelBurden", Kind: value.StringKind},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func snowflakeDimension(t *testing.T) *Dimension {
+	t.Helper()
+	d, err := NewDimension("Personal", []storage.Field{
+		{Name: "Gender", Kind: value.StringKind},
+		{Name: "Rurality", Kind: value.StringKind},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range [][]value.Value{
+		{value.Str("M"), value.Str("town")},
+		{value.Str("F"), value.Str("remote")},
+		{value.Str("F"), value.Str("town")},
+		{value.Str("M"), value.NA()},
+	} {
+		if _, err := d.AddMember(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := ruralityOutrigger(t)
+	err = d.AttachOutrigger(o, func(member []value.Value) ([]value.Value, error) {
+		r := member[1]
+		if r.IsNA() {
+			return nil, nil
+		}
+		switch r.Str() {
+		case "town":
+			return []value.Value{value.Str("inner-regional"), value.Str("low")}, nil
+		default:
+			return []value.Value{value.Str("outer-regional"), value.Str("high")}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOutriggerAttrResolution(t *testing.T) {
+	d := snowflakeDimension(t)
+	v, err := d.Attr(0, "Locality.Remoteness")
+	if err != nil || v.Str() != "inner-regional" {
+		t.Errorf("member 0 remoteness = %v, %v", v, err)
+	}
+	v, err = d.Attr(1, "Locality.TravelBurden")
+	if err != nil || v.Str() != "high" {
+		t.Errorf("member 1 burden = %v, %v", v, err)
+	}
+	// Unlinked member resolves to NA.
+	v, err = d.Attr(3, "Locality.Remoteness")
+	if err != nil || !v.IsNA() {
+		t.Errorf("unlinked member = %v, %v", v, err)
+	}
+	// Plain attributes still work.
+	v, err = d.Attr(0, "Gender")
+	if err != nil || v.Str() != "M" {
+		t.Errorf("plain attr = %v, %v", v, err)
+	}
+	// Outrigger members are interned: two "town" members share one row.
+	if d.Outriggers()[0].Len() != 2 {
+		t.Errorf("outrigger members = %d, want 2", d.Outriggers()[0].Len())
+	}
+}
+
+func TestOutriggerHasAttrAndKind(t *testing.T) {
+	d := snowflakeDimension(t)
+	if !d.HasAttr("Locality.Remoteness") || !d.HasAttr("Gender") {
+		t.Error("HasAttr misses valid attributes")
+	}
+	if d.HasAttr("Locality.Nope") || d.HasAttr("Nowhere.X") || d.HasAttr("Nope") {
+		t.Error("HasAttr accepts invalid attributes")
+	}
+	if k, ok := d.AttrKind("Locality.TravelBurden"); !ok || k != value.StringKind {
+		t.Errorf("AttrKind dotted = %v, %v", k, ok)
+	}
+	if k, ok := d.AttrKind("Gender"); !ok || k != value.StringKind {
+		t.Errorf("AttrKind plain = %v, %v", k, ok)
+	}
+	if _, ok := d.AttrKind("Locality.Nope"); ok {
+		t.Error("AttrKind accepts bad inner attribute")
+	}
+}
+
+func TestOutriggerAttrValues(t *testing.T) {
+	d := snowflakeDimension(t)
+	vals, err := d.AttrValues("Locality.Remoteness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].Str() != "inner-regional" || vals[1].Str() != "outer-regional" {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestOutriggerErrors(t *testing.T) {
+	if _, err := NewOutrigger("", nil); err == nil {
+		t.Error("empty name must fail")
+	}
+	if _, err := NewOutrigger("a.b", nil); err == nil {
+		t.Error("dotted name must fail")
+	}
+	d := snowflakeDimension(t)
+	o := ruralityOutrigger(t)
+	if err := d.AttachOutrigger(o, nil); err == nil {
+		t.Error("duplicate outrigger name must fail")
+	}
+	o2, _ := NewOutrigger("Other", []storage.Field{{Name: "X", Kind: value.StringKind}})
+	err := d.AttachOutrigger(o2, func(m []value.Value) ([]value.Value, error) {
+		return []value.Value{value.Str("a"), value.Str("extra")}, nil
+	})
+	if err == nil {
+		t.Error("arity mismatch in classify must fail")
+	}
+	// Out-of-range key through the outrigger path.
+	if _, err := d.Attr(99, "Locality.Remoteness"); err == nil {
+		t.Error("out-of-range key must fail")
+	}
+}

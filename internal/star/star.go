@@ -1,0 +1,208 @@
+package star
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Schema is a complete star schema: named dimensions around one fact
+// table.
+type Schema struct {
+	Name string
+	dims map[string]*Dimension
+	fact *FactTable
+}
+
+// Dimension returns the named dimension.
+func (s *Schema) Dimension(name string) (*Dimension, bool) {
+	d, ok := s.dims[name]
+	return d, ok
+}
+
+// Dimensions returns all dimensions sorted by name.
+func (s *Schema) Dimensions() []*Dimension {
+	names := make([]string, 0, len(s.dims))
+	for n := range s.dims {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Dimension, len(names))
+	for i, n := range names {
+		out[i] = s.dims[n]
+	}
+	return out
+}
+
+// Fact returns the fact table.
+func (s *Schema) Fact() *FactTable { return s.fact }
+
+// Describe renders the star schema as text: the fact table with its
+// measures, surrounded by each dimension and its attributes — the textual
+// equivalent of the paper's Fig 1 / Fig 3 diagrams.
+func (s *Schema) Describe() string {
+	out := fmt.Sprintf("Fact: %s (%d rows)\n", s.Name, s.fact.Len())
+	out += "  measures:"
+	for _, f := range s.fact.Measures().Fields() {
+		out += " " + f.Name
+	}
+	out += "\n"
+	for _, d := range s.Dimensions() {
+		out += fmt.Sprintf("Dimension: %s (%d members)\n", d.Name(), d.Len())
+		out += "  attributes:"
+		for _, f := range d.Schema().Fields() {
+			out += " " + f.Name
+		}
+		out += "\n"
+		for _, h := range d.Hierarchies() {
+			out += fmt.Sprintf("  hierarchy %s:", h.Name)
+			for _, l := range h.Levels {
+				out += " " + l
+			}
+			out += "\n"
+		}
+	}
+	return out
+}
+
+// DimSpec maps one dimension's attributes onto columns of the flat source
+// table. Attribute i of the dimension is populated from source column
+// Columns[i].
+type DimSpec struct {
+	Name        string
+	Attrs       []storage.Field
+	Columns     []string
+	Hierarchies []Hierarchy
+}
+
+// Builder assembles a star schema declaratively and then loads it from a
+// flat table.
+type Builder struct {
+	name     string
+	dims     []DimSpec
+	measures []storage.Field
+	srcCols  []string
+	err      error
+}
+
+// NewBuilder starts a star schema with the given fact-table name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Dimension declares a dimension whose attributes come from the given
+// source columns (attrs[i] reads srcColumns[i]).
+func (b *Builder) Dimension(name string, attrs []storage.Field, srcColumns []string, hierarchies ...Hierarchy) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(attrs) != len(srcColumns) {
+		b.err = fmt.Errorf("star: dimension %q: %d attributes but %d source columns",
+			name, len(attrs), len(srcColumns))
+		return b
+	}
+	b.dims = append(b.dims, DimSpec{Name: name, Attrs: attrs, Columns: srcColumns, Hierarchies: hierarchies})
+	return b
+}
+
+// Measure declares a numeric measure read from the named source column.
+func (b *Builder) Measure(field storage.Field, srcColumn string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.measures = append(b.measures, field)
+	b.srcCols = append(b.srcCols, srcColumn)
+	return b
+}
+
+// Build constructs the star schema and loads every row of the flat table
+// as one fact: dimension members are interned (deduplicated) and facts
+// point at them via surrogate keys. A fact whose dimension attributes are
+// all NA gets NoKey for that dimension.
+func (b *Builder) Build(flat *storage.Table) (*Schema, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.dims) == 0 {
+		return nil, fmt.Errorf("star: schema %q has no dimensions", b.name)
+	}
+	// Validate all source columns up front.
+	for _, d := range b.dims {
+		for i, c := range d.Columns {
+			j, ok := flat.Schema().Lookup(c)
+			if !ok {
+				return nil, fmt.Errorf("star: dimension %q: source column %q not in flat table", d.Name, c)
+			}
+			if got := flat.Schema().Field(j).Kind; got != d.Attrs[i].Kind {
+				return nil, fmt.Errorf("star: dimension %q attribute %q: source column %q has kind %v, want %v",
+					d.Name, d.Attrs[i].Name, c, got, d.Attrs[i].Kind)
+			}
+		}
+	}
+	for i, c := range b.srcCols {
+		j, ok := flat.Schema().Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("star: measure %q: source column %q not in flat table", b.measures[i].Name, c)
+		}
+		if got := flat.Schema().Field(j).Kind; got != b.measures[i].Kind {
+			return nil, fmt.Errorf("star: measure %q: source column %q has kind %v, want %v",
+				b.measures[i].Name, c, got, b.measures[i].Kind)
+		}
+	}
+
+	s := &Schema{Name: b.name, dims: make(map[string]*Dimension, len(b.dims))}
+	dimNames := make([]string, len(b.dims))
+	for i, spec := range b.dims {
+		d, err := NewDimension(spec.Name, spec.Attrs, spec.Hierarchies...)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.dims[spec.Name]; dup {
+			return nil, fmt.Errorf("star: duplicate dimension %q", spec.Name)
+		}
+		s.dims[spec.Name] = d
+		dimNames[i] = spec.Name
+	}
+	fact, err := NewFactTable(dimNames, b.measures)
+	if err != nil {
+		return nil, err
+	}
+	s.fact = fact
+
+	attrBuf := make(map[string][]value.Value, len(b.dims))
+	for _, spec := range b.dims {
+		attrBuf[spec.Name] = make([]value.Value, len(spec.Columns))
+	}
+	measBuf := make([]value.Value, len(b.srcCols))
+	for i := 0; i < flat.Len(); i++ {
+		keys := make(map[string]Key, len(b.dims))
+		for _, spec := range b.dims {
+			buf := attrBuf[spec.Name]
+			allNA := true
+			for a, c := range spec.Columns {
+				buf[a] = flat.MustValue(i, c)
+				if !buf[a].IsNA() {
+					allNA = false
+				}
+			}
+			if allNA {
+				keys[spec.Name] = NoKey
+				continue
+			}
+			k, err := s.dims[spec.Name].AddMember(buf)
+			if err != nil {
+				return nil, fmt.Errorf("star: loading row %d: %w", i, err)
+			}
+			keys[spec.Name] = k
+		}
+		for m, c := range b.srcCols {
+			measBuf[m] = flat.MustValue(i, c)
+		}
+		if err := fact.Append(keys, measBuf); err != nil {
+			return nil, fmt.Errorf("star: loading row %d: %w", i, err)
+		}
+	}
+	return s, nil
+}

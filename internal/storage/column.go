@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Column is an append-only typed column with a null bitmap. Implementations
+// store payloads in dense typed slices so scans and aggregations touch
+// contiguous memory.
+type Column interface {
+	// Kind reports the value kind stored by the column.
+	Kind() value.Kind
+	// Len reports the number of rows.
+	Len() int
+	// Value materialises row i as a Value. NA rows return value.NA().
+	Value(i int) value.Value
+	// Append adds a value. NA is always accepted; otherwise the value's
+	// kind must match the column kind.
+	Append(v value.Value) error
+	// IsNA reports whether row i is missing.
+	IsNA(i int) bool
+	// Set replaces row i. NA is always accepted; otherwise kinds must
+	// match.
+	Set(i int, v value.Value) error
+}
+
+// NewColumn creates an empty column of the given kind. String-kinded
+// columns are dictionary-encoded.
+func NewColumn(k value.Kind) (Column, error) {
+	switch k {
+	case value.IntKind, value.BoolKind, value.TimeKind:
+		return &intColumn{kind: k}, nil
+	case value.FloatKind:
+		return &floatColumn{}, nil
+	case value.StringKind:
+		return newStringColumn(), nil
+	}
+	return nil, fmt.Errorf("storage: cannot create column of kind %v", k)
+}
+
+// nullBitmap tracks validity per row, one bit per row.
+type nullBitmap struct {
+	words []uint64
+	n     int
+}
+
+func (b *nullBitmap) appendValid(valid bool) {
+	i := b.n
+	b.n++
+	if i>>6 >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if valid {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+func (b *nullBitmap) valid(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *nullBitmap) setValid(i int, valid bool) {
+	if valid {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// intColumn backs IntKind, BoolKind and TimeKind columns: all three store
+// an int64 payload (bool as 0/1, time as unix nanoseconds).
+type intColumn struct {
+	kind  value.Kind
+	data  []int64
+	nulls nullBitmap
+}
+
+func (c *intColumn) Kind() value.Kind { return c.kind }
+func (c *intColumn) Len() int         { return len(c.data) }
+func (c *intColumn) IsNA(i int) bool  { return !c.nulls.valid(i) }
+
+func (c *intColumn) Value(i int) value.Value {
+	if !c.nulls.valid(i) {
+		return value.NA()
+	}
+	switch c.kind {
+	case value.BoolKind:
+		return value.Bool(c.data[i] != 0)
+	case value.TimeKind:
+		return timeFromNanos(c.data[i])
+	}
+	return value.Int(c.data[i])
+}
+
+func (c *intColumn) Append(v value.Value) error {
+	if v.IsNA() {
+		c.data = append(c.data, 0)
+		c.nulls.appendValid(false)
+		return nil
+	}
+	if v.Kind() != c.kind {
+		return fmt.Errorf("storage: appending %v value to %v column", v.Kind(), c.kind)
+	}
+	c.data = append(c.data, rawInt(v))
+	c.nulls.appendValid(true)
+	return nil
+}
+
+func (c *intColumn) Set(i int, v value.Value) error {
+	if v.IsNA() {
+		c.data[i] = 0
+		c.nulls.setValid(i, false)
+		return nil
+	}
+	if v.Kind() != c.kind {
+		return fmt.Errorf("storage: setting %v value in %v column", v.Kind(), c.kind)
+	}
+	c.data[i] = rawInt(v)
+	c.nulls.setValid(i, true)
+	return nil
+}
+
+func rawInt(v value.Value) int64 {
+	switch v.Kind() {
+	case value.BoolKind:
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	case value.TimeKind:
+		return v.Time().UnixNano()
+	}
+	return v.Int()
+}
+
+func timeFromNanos(n int64) value.Value {
+	return value.Time(timeUnix(0, n))
+}
+
+// floatColumn backs FloatKind columns.
+type floatColumn struct {
+	data  []float64
+	nulls nullBitmap
+}
+
+func (c *floatColumn) Kind() value.Kind { return value.FloatKind }
+func (c *floatColumn) Len() int         { return len(c.data) }
+func (c *floatColumn) IsNA(i int) bool  { return !c.nulls.valid(i) }
+
+func (c *floatColumn) Value(i int) value.Value {
+	if !c.nulls.valid(i) {
+		return value.NA()
+	}
+	return value.Float(c.data[i])
+}
+
+func (c *floatColumn) Append(v value.Value) error {
+	if v.IsNA() {
+		c.data = append(c.data, 0)
+		c.nulls.appendValid(false)
+		return nil
+	}
+	if v.Kind() != value.FloatKind {
+		return fmt.Errorf("storage: appending %v value to float column", v.Kind())
+	}
+	c.data = append(c.data, v.Float())
+	c.nulls.appendValid(true)
+	return nil
+}
+
+func (c *floatColumn) Set(i int, v value.Value) error {
+	if v.IsNA() {
+		c.data[i] = 0
+		c.nulls.setValid(i, false)
+		return nil
+	}
+	if v.Kind() != value.FloatKind {
+		return fmt.Errorf("storage: setting %v value in float column", v.Kind())
+	}
+	c.data[i] = v.Float()
+	c.nulls.setValid(i, true)
+	return nil
+}
+
+// stringColumn backs StringKind columns with dictionary encoding: the
+// payload slice holds dictionary codes, which keeps the column compact when
+// the domain is small (the typical case for discretised clinical
+// attributes).
+type stringColumn struct {
+	codes []uint32
+	dict  []string
+	byStr map[string]uint32
+	nulls nullBitmap
+}
+
+func newStringColumn() *stringColumn {
+	return &stringColumn{byStr: make(map[string]uint32)}
+}
+
+func (c *stringColumn) Kind() value.Kind { return value.StringKind }
+func (c *stringColumn) Len() int         { return len(c.codes) }
+func (c *stringColumn) IsNA(i int) bool  { return !c.nulls.valid(i) }
+
+func (c *stringColumn) Value(i int) value.Value {
+	if !c.nulls.valid(i) {
+		return value.NA()
+	}
+	return value.Str(c.dict[c.codes[i]])
+}
+
+func (c *stringColumn) code(s string) uint32 {
+	if code, ok := c.byStr[s]; ok {
+		return code
+	}
+	code := uint32(len(c.dict))
+	c.dict = append(c.dict, s)
+	c.byStr[s] = code
+	return code
+}
+
+func (c *stringColumn) Append(v value.Value) error {
+	if v.IsNA() {
+		c.codes = append(c.codes, 0)
+		c.nulls.appendValid(false)
+		return nil
+	}
+	if v.Kind() != value.StringKind {
+		return fmt.Errorf("storage: appending %v value to string column", v.Kind())
+	}
+	c.codes = append(c.codes, c.code(v.Str()))
+	c.nulls.appendValid(true)
+	return nil
+}
+
+func (c *stringColumn) Set(i int, v value.Value) error {
+	if v.IsNA() {
+		c.codes[i] = 0
+		c.nulls.setValid(i, false)
+		return nil
+	}
+	if v.Kind() != value.StringKind {
+		return fmt.Errorf("storage: setting %v value in string column", v.Kind())
+	}
+	c.codes[i] = c.code(v.Str())
+	c.nulls.setValid(i, true)
+	return nil
+}
+
+// DictSize reports the number of distinct strings seen by a string column.
+// It returns 0 for non-string columns.
+func DictSize(c Column) int {
+	if sc, ok := c.(*stringColumn); ok {
+		return len(sc.dict)
+	}
+	return 0
+}

@@ -1,0 +1,468 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// RowPredicate decides whether row i of a table participates in an
+// operation.
+type RowPredicate func(t *Table, i int) bool
+
+// Filter returns a new table containing the rows for which pred is true,
+// in the original order.
+func (t *Table) Filter(pred RowPredicate) *Table {
+	out := MustTable(t.schema)
+	for i := 0; i < t.n; i++ {
+		if pred(t, i) {
+			if err := out.AppendRow(t.Row(i)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}
+
+// Where is a convenience filter keeping rows whose named column equals v.
+func (t *Table) Where(name string, v value.Value) (*Table, error) {
+	j, ok := t.schema.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown column %q", name)
+	}
+	return t.Filter(func(tb *Table, i int) bool {
+		return tb.cols[j].Value(i).Equal(v)
+	}), nil
+}
+
+// Project returns a new table containing only the named columns, in the
+// given order.
+func (t *Table) Project(names ...string) (*Table, error) {
+	schema, err := t.schema.Select(names...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(names))
+	for k, n := range names {
+		idx[k], _ = t.schema.Lookup(n)
+	}
+	out := MustTable(schema)
+	row := make([]value.Value, len(names))
+	for i := 0; i < t.n; i++ {
+		for k, j := range idx {
+			row[k] = t.cols[j].Value(i)
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortKey names a column and direction for Sort.
+type SortKey struct {
+	Column     string
+	Descending bool
+}
+
+// Sort returns a new table with rows stably ordered by the given keys.
+func (t *Table) Sort(keys ...SortKey) (*Table, error) {
+	idx := make([]int, len(keys))
+	for k, key := range keys {
+		j, ok := t.schema.Lookup(key.Column)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown sort column %q", key.Column)
+		}
+		idx[k] = j
+	}
+	order := make([]int, t.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		for k, j := range idx {
+			cmp := t.cols[j].Value(ra).Compare(t.cols[j].Value(rb))
+			if keys[k].Descending {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	out := MustTable(t.schema)
+	for _, i := range order {
+		if err := out.AppendRow(t.Row(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// groupKey is a canonical string encoding of a tuple of values, used as a
+// map key during group-by. Value itself is comparable, but tuples of
+// variable width need an encoding.
+func groupKey(vals []value.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind(), v.String()))
+	}
+	return sb.String()
+}
+
+// AggKind selects the aggregate computed over a group.
+type AggKind uint8
+
+// Supported aggregates. CountAgg counts non-NA values of the measure column
+// (or rows if the measure is empty); DistinctAgg counts distinct non-NA
+// values.
+const (
+	CountAgg AggKind = iota
+	SumAgg
+	AvgAgg
+	MinAgg
+	MaxAgg
+	DistinctAgg
+)
+
+// String returns the conventional lower-case aggregate name.
+func (a AggKind) String() string {
+	switch a {
+	case CountAgg:
+		return "count"
+	case SumAgg:
+		return "sum"
+	case AvgAgg:
+		return "avg"
+	case MinAgg:
+		return "min"
+	case MaxAgg:
+		return "max"
+	case DistinctAgg:
+		return "distinct"
+	}
+	return fmt.Sprintf("AggKind(%d)", uint8(a))
+}
+
+// ParseAggKind converts an aggregate name ("count", "sum", ...) to its
+// AggKind.
+func ParseAggKind(s string) (AggKind, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return CountAgg, nil
+	case "sum":
+		return SumAgg, nil
+	case "avg", "mean":
+		return AvgAgg, nil
+	case "min":
+		return MinAgg, nil
+	case "max":
+		return MaxAgg, nil
+	case "distinct":
+		return DistinctAgg, nil
+	}
+	return CountAgg, fmt.Errorf("storage: unknown aggregate %q", s)
+}
+
+// AggSpec is one aggregate to compute per group: the aggregate kind, the
+// measure column it reads (may be empty for CountAgg, meaning row count)
+// and the output column name.
+type AggSpec struct {
+	Kind   AggKind
+	Column string
+	As     string
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	kind     AggKind
+	count    int64
+	sum      float64
+	min, max float64
+	seen     map[value.Value]struct{}
+	any      bool
+}
+
+func newAggState(kind AggKind) *aggState {
+	st := &aggState{kind: kind, min: math.Inf(1), max: math.Inf(-1)}
+	if kind == DistinctAgg {
+		st.seen = make(map[value.Value]struct{})
+	}
+	return st
+}
+
+func (st *aggState) observe(v value.Value) {
+	if v.IsNA() {
+		return
+	}
+	st.count++
+	st.any = true
+	if st.kind == DistinctAgg {
+		st.seen[v] = struct{}{}
+		return
+	}
+	if f, ok := v.AsFloat(); ok {
+		st.sum += f
+		if f < st.min {
+			st.min = f
+		}
+		if f > st.max {
+			st.max = f
+		}
+	}
+}
+
+func (st *aggState) observeRow() { st.count++; st.any = true }
+
+func (st *aggState) result() value.Value {
+	switch st.kind {
+	case CountAgg:
+		return value.Int(st.count)
+	case DistinctAgg:
+		return value.Int(int64(len(st.seen)))
+	case SumAgg:
+		if !st.any {
+			return value.NA()
+		}
+		return value.Float(st.sum)
+	case AvgAgg:
+		if st.count == 0 {
+			return value.NA()
+		}
+		return value.Float(st.sum / float64(st.count))
+	case MinAgg:
+		if !st.any {
+			return value.NA()
+		}
+		return value.Float(st.min)
+	case MaxAgg:
+		if !st.any {
+			return value.NA()
+		}
+		return value.Float(st.max)
+	}
+	return value.NA()
+}
+
+func aggResultKind(k AggKind) value.Kind {
+	switch k {
+	case CountAgg, DistinctAgg:
+		return value.IntKind
+	}
+	return value.FloatKind
+}
+
+// GroupBy groups rows by the named key columns and computes the requested
+// aggregates per group. The result has the key columns followed by one
+// column per AggSpec, with groups ordered by key values ascending.
+func (t *Table) GroupBy(keys []string, aggs []AggSpec) (*Table, error) {
+	keyIdx := make([]int, len(keys))
+	for k, name := range keys {
+		j, ok := t.schema.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown group column %q", name)
+		}
+		keyIdx[k] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for k, a := range aggs {
+		if a.Column == "" {
+			if a.Kind != CountAgg {
+				return nil, fmt.Errorf("storage: aggregate %s requires a column", a.Kind)
+			}
+			aggIdx[k] = -1
+			continue
+		}
+		j, ok := t.schema.Lookup(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown aggregate column %q", a.Column)
+		}
+		aggIdx[k] = j
+	}
+
+	type group struct {
+		keyVals []value.Value
+		states  []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // group keys in first-seen order, sorted later
+
+	keyBuf := make([]value.Value, len(keys))
+	for i := 0; i < t.n; i++ {
+		for k, j := range keyIdx {
+			keyBuf[k] = t.cols[j].Value(i)
+		}
+		gk := groupKey(keyBuf)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{keyVals: append([]value.Value(nil), keyBuf...), states: make([]*aggState, len(aggs))}
+			for k := range aggs {
+				g.states[k] = newAggState(aggs[k].Kind)
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for k, j := range aggIdx {
+			if j < 0 {
+				g.states[k].observeRow()
+			} else {
+				g.states[k].observe(t.cols[j].Value(i))
+			}
+		}
+	}
+
+	// Deterministic output: sort groups by their key tuple.
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		for k := range ga.keyVals {
+			if c := ga.keyVals[k].Compare(gb.keyVals[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+
+	fields := make([]Field, 0, len(keys)+len(aggs))
+	for k, name := range keys {
+		fields = append(fields, Field{Name: name, Kind: t.schema.Field(keyIdx[k]).Kind})
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Kind.String()
+			if a.Column != "" {
+				name += "_" + a.Column
+			}
+		}
+		fields = append(fields, Field{Name: name, Kind: aggResultKind(a.Kind)})
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	out := MustTable(schema)
+	for _, gk := range order {
+		g := groups[gk]
+		row := make([]value.Value, 0, len(fields))
+		row = append(row, g.keyVals...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Distinct returns the distinct rows of the named columns, sorted
+// ascending.
+func (t *Table) Distinct(names ...string) (*Table, error) {
+	proj, err := t.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, proj.Len())
+	out := MustTable(proj.schema)
+	for i := 0; i < proj.Len(); i++ {
+		row := proj.Row(i)
+		gk := groupKey(row)
+		if _, dup := seen[gk]; dup {
+			continue
+		}
+		seen[gk] = struct{}{}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]SortKey, len(names))
+	for i, n := range names {
+		keys[i] = SortKey{Column: n}
+	}
+	return out.Sort(keys...)
+}
+
+// FloatStats summarises the non-NA numeric content of a column.
+type FloatStats struct {
+	Count    int
+	NACount  int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+}
+
+// Stats computes summary statistics for the named numeric column.
+func (t *Table) Stats(name string) (FloatStats, error) {
+	col, err := t.Column(name)
+	if err != nil {
+		return FloatStats{}, err
+	}
+	var s FloatStats
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum, sumSq float64
+	for i := 0; i < col.Len(); i++ {
+		v := col.Value(i)
+		if v.IsNA() {
+			s.NACount++
+			continue
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			continue
+		}
+		s.Count++
+		sum += f
+		sumSq += f * f
+		if f < s.Min {
+			s.Min = f
+		}
+		if f > s.Max {
+			s.Max = f
+		}
+	}
+	if s.Count > 0 {
+		s.Mean = sum / float64(s.Count)
+		variance := sumSq/float64(s.Count) - s.Mean*s.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		s.Std = math.Sqrt(variance)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s, nil
+}
+
+// Mode returns the most frequent non-NA value of the named column, with
+// ties broken by value order. The boolean result is false when the column
+// holds no non-NA values.
+func (t *Table) Mode(name string) (value.Value, bool, error) {
+	col, err := t.Column(name)
+	if err != nil {
+		return value.NA(), false, err
+	}
+	counts := make(map[value.Value]int)
+	for i := 0; i < col.Len(); i++ {
+		v := col.Value(i)
+		if v.IsNA() {
+			continue
+		}
+		counts[v]++
+	}
+	if len(counts) == 0 {
+		return value.NA(), false, nil
+	}
+	var best value.Value
+	bestN := -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v.Less(best)) {
+			best, bestN = v, n
+		}
+	}
+	return best, true, nil
+}

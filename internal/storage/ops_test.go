@@ -1,0 +1,341 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+func visitsTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := MustTable(patientSchema(t))
+	rows := [][]value.Value{
+		patientRow(1, "M", 72, true, 1),
+		patientRow(1, "M", 73, true, 5),
+		patientRow(2, "F", 77, true, 2),
+		patientRow(3, "F", 45, false, 3),
+		patientRow(4, "M", 45, false, 4),
+		patientRow(5, "F", 77, true, 6),
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestFilterAndWhere(t *testing.T) {
+	tbl := visitsTable(t)
+	males, err := tbl.Where("Gender", value.Str("M"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if males.Len() != 3 {
+		t.Errorf("males = %d rows, want 3", males.Len())
+	}
+	old := tbl.Filter(func(tb *Table, i int) bool {
+		return tb.MustValue(i, "Age").Float() > 70
+	})
+	if old.Len() != 4 {
+		t.Errorf("old = %d rows, want 4", old.Len())
+	}
+	if _, err := tbl.Where("Nope", value.NA()); err == nil {
+		t.Error("Where unknown column must fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := visitsTable(t)
+	p, err := tbl.Project("Gender", "Diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Len() != 2 || p.Len() != tbl.Len() {
+		t.Errorf("projection shape %dx%d", p.Len(), p.Schema().Len())
+	}
+	if _, err := tbl.Project("Nope"); err == nil {
+		t.Error("Project unknown column must fail")
+	}
+}
+
+func TestSort(t *testing.T) {
+	tbl := visitsTable(t)
+	sorted, err := tbl.Sort(SortKey{Column: "Age", Descending: true}, SortKey{Column: "PatientID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sorted.MustValue(0, "Age").Float()
+	for i := 1; i < sorted.Len(); i++ {
+		cur := sorted.MustValue(i, "Age").Float()
+		if cur > prev {
+			t.Fatalf("row %d age %g after %g: not descending", i, cur, prev)
+		}
+		prev = cur
+	}
+	// Ties (age 77 and 45) must break by ascending PatientID.
+	if sorted.MustValue(0, "PatientID").Int() != 2 || sorted.MustValue(1, "PatientID").Int() != 5 {
+		t.Errorf("tie-break order wrong: %v, %v",
+			sorted.MustValue(0, "PatientID"), sorted.MustValue(1, "PatientID"))
+	}
+	if _, err := tbl.Sort(SortKey{Column: "Nope"}); err == nil {
+		t.Error("Sort unknown column must fail")
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	tbl := visitsTable(t)
+	g, err := tbl.GroupBy([]string{"Gender"}, []AggSpec{{Kind: CountAgg, As: "N"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	// Sorted ascending: F before M.
+	if g.MustValue(0, "Gender").Str() != "F" || g.MustValue(0, "N").Int() != 3 {
+		t.Errorf("group 0 = %v/%v", g.MustValue(0, "Gender"), g.MustValue(0, "N"))
+	}
+	if g.MustValue(1, "Gender").Str() != "M" || g.MustValue(1, "N").Int() != 3 {
+		t.Errorf("group 1 = %v/%v", g.MustValue(1, "Gender"), g.MustValue(1, "N"))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := visitsTable(t)
+	g, err := tbl.GroupBy([]string{"Diabetes"}, []AggSpec{
+		{Kind: AvgAgg, Column: "Age", As: "AvgAge"},
+		{Kind: MinAgg, Column: "Age", As: "MinAge"},
+		{Kind: MaxAgg, Column: "Age", As: "MaxAge"},
+		{Kind: SumAgg, Column: "Age", As: "SumAge"},
+		{Kind: DistinctAgg, Column: "PatientID", As: "Patients"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// false group: ages 45, 45 → avg 45, 2 distinct patients.
+	if g.MustValue(0, "Diabetes").Bool() != false {
+		t.Fatal("group order: false must sort first")
+	}
+	if avg := g.MustValue(0, "AvgAge").Float(); avg != 45 {
+		t.Errorf("avg = %g", avg)
+	}
+	if n := g.MustValue(0, "Patients").Int(); n != 2 {
+		t.Errorf("distinct patients = %d", n)
+	}
+	// true group: ages 72,73,77,77 over 3 distinct patients.
+	if n := g.MustValue(1, "Patients").Int(); n != 3 {
+		t.Errorf("diabetic distinct patients = %d", n)
+	}
+	if mn, mx := g.MustValue(1, "MinAge").Float(), g.MustValue(1, "MaxAge").Float(); mn != 72 || mx != 77 {
+		t.Errorf("min/max = %g/%g", mn, mx)
+	}
+	if s := g.MustValue(1, "SumAge").Float(); s != 72+73+77+77 {
+		t.Errorf("sum = %g", s)
+	}
+}
+
+func TestGroupByIgnoresNAMeasures(t *testing.T) {
+	tbl := visitsTable(t)
+	tbl.Set(0, "Age", value.NA())
+	g, err := tbl.GroupBy([]string{"Gender"}, []AggSpec{
+		{Kind: CountAgg, Column: "Age", As: "AgeN"},
+		{Kind: CountAgg, As: "RowN"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M group lost one Age observation but keeps three rows.
+	if g.MustValue(1, "AgeN").Int() != 2 || g.MustValue(1, "RowN").Int() != 3 {
+		t.Errorf("M counts = %v rows %v", g.MustValue(1, "AgeN"), g.MustValue(1, "RowN"))
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	tbl := visitsTable(t)
+	if _, err := tbl.GroupBy([]string{"Nope"}, nil); err == nil {
+		t.Error("unknown key column must fail")
+	}
+	if _, err := tbl.GroupBy([]string{"Gender"}, []AggSpec{{Kind: SumAgg}}); err == nil {
+		t.Error("sum without column must fail")
+	}
+	if _, err := tbl.GroupBy([]string{"Gender"}, []AggSpec{{Kind: SumAgg, Column: "Nope"}}); err == nil {
+		t.Error("unknown measure column must fail")
+	}
+}
+
+func TestEmptyGroupAggregatesAreNA(t *testing.T) {
+	// A group whose measure is entirely NA yields NA for sum/avg/min/max.
+	schema := MustSchema(Field{"K", value.StringKind}, Field{"V", value.FloatKind})
+	tbl := MustTable(schema)
+	tbl.AppendRow([]value.Value{value.Str("a"), value.NA()})
+	g, err := tbl.GroupBy([]string{"K"}, []AggSpec{
+		{Kind: SumAgg, Column: "V", As: "S"},
+		{Kind: AvgAgg, Column: "V", As: "A"},
+		{Kind: MinAgg, Column: "V", As: "Mn"},
+		{Kind: MaxAgg, Column: "V", As: "Mx"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"S", "A", "Mn", "Mx"} {
+		if v := g.MustValue(0, col); !v.IsNA() {
+			t.Errorf("%s = %v, want NA", col, v)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tbl := visitsTable(t)
+	d, err := tbl.Distinct("Gender", "Diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Errorf("distinct rows = %d, want 4", d.Len())
+	}
+	// Sorted: (F,false),(F,true),(M,false),(M,true)
+	if d.MustValue(0, "Gender").Str() != "F" || d.MustValue(0, "Diabetes").Bool() {
+		t.Errorf("first distinct = %v/%v", d.MustValue(0, "Gender"), d.MustValue(0, "Diabetes"))
+	}
+}
+
+func TestStats(t *testing.T) {
+	tbl := visitsTable(t)
+	tbl.Set(0, "Age", value.NA())
+	s, err := tbl.Stats("Age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.NACount != 1 {
+		t.Errorf("count=%d na=%d", s.Count, s.NACount)
+	}
+	if s.Min != 45 || s.Max != 77 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	wantMean := (73.0 + 77 + 45 + 45 + 77) / 5
+	if diff := s.Mean - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean = %g want %g", s.Mean, wantMean)
+	}
+	if _, err := tbl.Stats("Nope"); err == nil {
+		t.Error("Stats unknown column must fail")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	tbl := MustTable(MustSchema(Field{"V", value.FloatKind}))
+	s, err := tbl.Stats("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestMode(t *testing.T) {
+	tbl := visitsTable(t)
+	m, ok, err := tbl.Mode("Gender")
+	if err != nil || !ok {
+		t.Fatalf("Mode: %v ok=%v", err, ok)
+	}
+	// 3 F vs 3 M: tie broken by value order → F.
+	if m.Str() != "F" {
+		t.Errorf("mode = %v", m)
+	}
+	empty := MustTable(MustSchema(Field{"V", value.StringKind}))
+	if _, ok, _ := empty.Mode("V"); ok {
+		t.Error("mode of empty column must report !ok")
+	}
+}
+
+func TestParseAggKind(t *testing.T) {
+	for s, want := range map[string]AggKind{
+		"count": CountAgg, "sum": SumAgg, "avg": AvgAgg, "mean": AvgAgg,
+		"min": MinAgg, "max": MaxAgg, "distinct": DistinctAgg,
+	} {
+		got, err := ParseAggKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAggKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAggKind("median"); err == nil {
+		t.Error("unknown aggregate must fail")
+	}
+	if AggKind(42).String() != "AggKind(42)" {
+		t.Errorf("unknown AggKind string = %q", AggKind(42).String())
+	}
+}
+
+// Property: group-by counts always sum to the table length.
+func TestQuickGroupCountsSumToLen(t *testing.T) {
+	f := func(genders []bool) bool {
+		tbl := MustTable(MustSchema(Field{"G", value.StringKind}))
+		for _, b := range genders {
+			g := "M"
+			if b {
+				g = "F"
+			}
+			if err := tbl.AppendRow([]value.Value{value.Str(g)}); err != nil {
+				return false
+			}
+		}
+		out, err := tbl.GroupBy([]string{"G"}, []AggSpec{{Kind: CountAgg, As: "N"}})
+		if err != nil {
+			return false
+		}
+		var total int64
+		for i := 0; i < out.Len(); i++ {
+			total += out.MustValue(i, "N").Int()
+		}
+		return total == int64(len(genders))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter(p) ∪ Filter(!p) has the same number of rows as the table.
+func TestQuickFilterPartition(t *testing.T) {
+	f := func(ages []uint8) bool {
+		tbl := MustTable(MustSchema(Field{"A", value.IntKind}))
+		for _, a := range ages {
+			tbl.AppendRow([]value.Value{value.Int(int64(a))})
+		}
+		p := func(tb *Table, i int) bool { return tb.MustValue(i, "A").Int() >= 60 }
+		yes := tbl.Filter(p)
+		no := tbl.Filter(func(tb *Table, i int) bool { return !p(tb, i) })
+		return yes.Len()+no.Len() == tbl.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting is idempotent and preserves row count.
+func TestQuickSortIdempotent(t *testing.T) {
+	f := func(vals []int16) bool {
+		tbl := MustTable(MustSchema(Field{"V", value.IntKind}))
+		for _, v := range vals {
+			tbl.AppendRow([]value.Value{value.Int(int64(v))})
+		}
+		s1, err := tbl.Sort(SortKey{Column: "V"})
+		if err != nil {
+			return false
+		}
+		s2, err := s1.Sort(SortKey{Column: "V"})
+		if err != nil || s1.Len() != len(vals) {
+			return false
+		}
+		for i := 0; i < s1.Len(); i++ {
+			if !s1.MustValue(i, "V").Equal(s2.MustValue(i, "V")) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package storage implements the columnar table engine that underlies the
+// DD-DGMS platform: typed columns with null bitmaps, a schema with named
+// fields, relational operations (filter, project, sort, group-by,
+// distinct), CSV interchange and a compact binary persistence format.
+//
+// The engine plays the role Microsoft SQL Server played in the paper's
+// prototype: the relational substrate on which the ETL layer and the
+// dimensional warehouse are built.
+package storage
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Field describes one column of a table: its name and value kind.
+type Field struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of fields with name-based lookup.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from fields. Field names must be non-empty and
+// unique.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: make([]Field, len(fields)),
+		index:  make(map[string]int, len(fields)),
+	}
+	copy(s.fields, fields)
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("storage: field %d has empty name", i)
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate field name %q", f.Name)
+		}
+		s.index[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and generators.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of all fields in order.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Lookup returns the position of the named field and whether it exists.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the field names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical fields in identical
+// order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Select builds a new schema containing the named fields in the given
+// order. It returns an error if any name is unknown.
+func (s *Schema) Select(names ...string) (*Schema, error) {
+	fields := make([]Field, 0, len(names))
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown field %q", n)
+		}
+		fields = append(fields, s.fields[i])
+	}
+	return NewSchema(fields...)
+}
