@@ -21,6 +21,7 @@ import (
 	"github.com/ddgms/ddgms/internal/dgsql"
 	"github.com/ddgms/ddgms/internal/discri"
 	"github.com/ddgms/ddgms/internal/etl"
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/experiments"
 	"github.com/ddgms/ddgms/internal/flatquery"
 	"github.com/ddgms/ddgms/internal/mining"
@@ -209,6 +210,93 @@ func BenchmarkFigAllRender(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := experiments.Fig6(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Execution core: coded kernel vs legacy scalar group-by ---------------
+
+// kernelGroupBySpec is the shared group-by used to compare the
+// dictionary-coded parallel kernel against the legacy string-keyed scalar
+// path: a realistic multivariate grouping over the full DiScRi attendance
+// fact table with a non-additive and an additive aggregate.
+func kernelGroupBySpec() ([]string, []storage.AggSpec) {
+	keys := []string{"AgeBand10", "Gender", "DiabetesStatus"}
+	aggs := []storage.AggSpec{
+		{Kind: storage.DistinctAgg, Column: "PatientID", As: "patients"},
+		{Kind: storage.AvgAgg, Column: "FBG", As: "avg_fbg"},
+	}
+	return keys, aggs
+}
+
+// BenchmarkGroupByCoded measures storage.Table.GroupBy on the coded
+// kernel (cached column dictionaries, packed integer group keys, worker
+// pool).
+func BenchmarkGroupByCoded(b *testing.B) {
+	flat := platformFor(b, 900).Flat()
+	keys, aggs := kernelGroupBySpec()
+	if _, err := flat.GroupBy(keys, aggs); err != nil { // warm the dictionaries
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flat.GroupBy(keys, aggs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByLegacy is the same grouping on the scalar ablation
+// path: per-row tuple-string keys into a hash map, single goroutine.
+func BenchmarkGroupByLegacy(b *testing.B) {
+	flat := platformFor(b, 900).Flat()
+	keys, aggs := kernelGroupBySpec()
+	if _, err := flat.GroupBy(keys, aggs, exec.WithVectorized(false)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flat.GroupBy(keys, aggs, exec.WithVectorized(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// kernelEngine builds a lattice-free engine on the chosen kernel path and
+// warms its attribute caches, mirroring scanEngine.
+func kernelEngine(b *testing.B, vectorized bool) *cube.Engine {
+	b.Helper()
+	p := platformFor(b, 900)
+	e := cube.NewEngine(p.Warehouse(),
+		cube.WithAggregateCache(false), cube.WithVectorized(vectorized))
+	if _, err := e.Execute(experiments.Fig5Query()); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkCubeExecuteVectorized measures cube.Engine.Execute with the
+// grouping scan on the coded kernel (the default).
+func BenchmarkCubeExecuteVectorized(b *testing.B) {
+	e := kernelEngine(b, true)
+	q := experiments.Fig5Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCubeExecuteLegacy is the same query on the scalar ablation
+// path.
+func BenchmarkCubeExecuteLegacy(b *testing.B) {
+	e := kernelEngine(b, false)
+	q := experiments.Fig5Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,11 +2,10 @@ package cube
 
 import (
 	"fmt"
-	"math"
 	"sort"
-	"strings"
 	"sync"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/star"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -21,9 +20,11 @@ type Engine struct {
 
 	useBitmaps bool
 	useLattice bool
+	execOpts   []exec.Option
 
 	mu          sync.Mutex
 	attrCols    map[AttrRef][]value.Value
+	codedCols   map[AttrRef]*exec.CodedColumn
 	bitmaps     map[AttrRef]map[value.Value]*Bitmap
 	lattice     map[string][]*latticeEntry
 	memberOrder map[AttrRef]map[value.Value]int
@@ -42,6 +43,13 @@ func WithBitmapIndex(on bool) Option { return func(e *Engine) { e.useBitmaps = o
 // by rolling up previously computed finer-grained results.
 func WithAggregateCache(on bool) Option { return func(e *Engine) { e.useLattice = on } }
 
+// WithVectorized selects between the dictionary-coded parallel group-by
+// kernel (default) and the legacy scalar string-keyed path — the ablation
+// baseline for the execution-core benchmarks.
+func WithVectorized(on bool) Option {
+	return func(e *Engine) { e.execOpts = append(e.execOpts, exec.WithVectorized(on)) }
+}
+
 // NewEngine creates an engine over a loaded star schema.
 func NewEngine(schema *star.Schema, opts ...Option) *Engine {
 	e := &Engine{
@@ -49,6 +57,7 @@ func NewEngine(schema *star.Schema, opts ...Option) *Engine {
 		useBitmaps:  true,
 		useLattice:  true,
 		attrCols:    make(map[AttrRef][]value.Value),
+		codedCols:   make(map[AttrRef]*exec.CodedColumn),
 		bitmaps:     make(map[AttrRef]map[value.Value]*Bitmap),
 		lattice:     make(map[string][]*latticeEntry),
 		memberOrder: make(map[AttrRef]map[value.Value]int),
@@ -82,6 +91,7 @@ func (e *Engine) InvalidateCaches() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.attrCols = make(map[AttrRef][]value.Value)
+	e.codedCols = make(map[AttrRef]*exec.CodedColumn)
 	e.bitmaps = make(map[AttrRef]map[value.Value]*Bitmap)
 	e.lattice = make(map[string][]*latticeEntry)
 }
@@ -130,7 +140,31 @@ func (e *Engine) attrColumn(ref AttrRef) ([]value.Value, error) {
 	return col, nil
 }
 
-// bitmapFor returns (building if needed) the member bitmaps of ref.
+// attrCoded materialises (and caches) the dictionary-encoded form of an
+// attribute column — the key representation the execution kernel groups
+// on.
+func (e *Engine) attrCoded(ref AttrRef) (*exec.CodedColumn, error) {
+	e.mu.Lock()
+	if cc, ok := e.codedCols[ref]; ok {
+		e.mu.Unlock()
+		return cc, nil
+	}
+	e.mu.Unlock()
+
+	col, err := e.attrColumn(ref)
+	if err != nil {
+		return nil, err
+	}
+	cc := exec.Encode(col)
+	e.mu.Lock()
+	e.codedCols[ref] = cc
+	e.mu.Unlock()
+	return cc, nil
+}
+
+// bitmapFor returns (building if needed) the member bitmaps of ref. The
+// bitmaps are built from the coded column — one pass over dense uint32
+// codes rather than per-row value hashing.
 func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
 	e.mu.Lock()
 	if m, ok := e.bitmaps[ref]; ok {
@@ -139,18 +173,24 @@ func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
 	}
 	e.mu.Unlock()
 
-	col, err := e.attrColumn(ref)
+	cc, err := e.attrCoded(ref)
 	if err != nil {
 		return nil, err
 	}
-	m := make(map[value.Value]*Bitmap)
-	for i, v := range col {
-		b, ok := m[v]
-		if !ok {
-			b = NewBitmap(len(col))
-			m[v] = b
+	perCode := make([]*Bitmap, cc.Card())
+	for i, code := range cc.Codes {
+		b := perCode[code]
+		if b == nil {
+			b = NewBitmap(cc.Len())
+			perCode[code] = b
 		}
 		b.Set(i)
+	}
+	m := make(map[value.Value]*Bitmap, len(perCode))
+	for code, b := range perCode {
+		if b != nil {
+			m[cc.Values[code]] = b
+		}
 	}
 	e.mu.Lock()
 	e.bitmaps[ref] = m
@@ -230,89 +270,19 @@ func (e *Engine) measureColumn(m MeasureRef) ([]value.Value, error) {
 	}
 }
 
-// cellAgg accumulates one cell.
-type cellAgg struct {
-	count    int64
-	sum      float64
-	min, max float64
-	seen     map[value.Value]struct{}
-	any      bool
-}
-
-func newCellAgg(kind storage.AggKind) *cellAgg {
-	a := &cellAgg{min: math.Inf(1), max: math.Inf(-1)}
-	if kind == storage.DistinctAgg {
-		a.seen = make(map[value.Value]struct{})
-	}
-	return a
-}
-
-func (a *cellAgg) observe(kind storage.AggKind, v value.Value, haveMeasure bool) {
-	if !haveMeasure {
-		a.count++
-		a.any = true
-		return
-	}
-	if v.IsNA() {
-		return
-	}
-	a.count++
-	a.any = true
-	if kind == storage.DistinctAgg {
-		a.seen[v] = struct{}{}
-		return
-	}
-	if f, ok := v.AsFloat(); ok {
-		a.sum += f
-		if f < a.min {
-			a.min = f
-		}
-		if f > a.max {
-			a.max = f
-		}
-	}
-}
-
-func (a *cellAgg) result(kind storage.AggKind) value.Value {
-	switch kind {
-	case storage.CountAgg:
-		return value.Int(a.count)
-	case storage.DistinctAgg:
-		return value.Int(int64(len(a.seen)))
-	case storage.SumAgg:
-		if !a.any {
-			return value.NA()
-		}
-		return value.Float(a.sum)
-	case storage.AvgAgg:
-		if a.count == 0 {
-			return value.NA()
-		}
-		return value.Float(a.sum / float64(a.count))
-	case storage.MinAgg:
-		if !a.any {
-			return value.NA()
-		}
-		return value.Float(a.min)
-	case storage.MaxAgg:
-		if !a.any {
-			return value.NA()
-		}
-		return value.Float(a.max)
-	}
-	return value.NA()
-}
-
-// Execute runs a query and returns its cell set.
+// Execute runs a query and returns its cell set. The grouping scan runs on
+// the shared execution kernel (internal/exec): axis columns are
+// dictionary-encoded once and cached, groups are keyed on packed integer
+// codes, and the slicer bitmap feeds the kernel as its row filter.
 func (e *Engine) Execute(q Query) (*CellSet, error) {
 	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
-	axisCols := make([][]value.Value, len(axes))
+	axisCoded := make([]*exec.CodedColumn, len(axes))
 	for i, ref := range axes {
-		col, err := e.attrColumn(ref)
+		cc, err := e.attrCoded(ref)
 		if err != nil {
 			return nil, err
 		}
-		axisCols[i] = col
+		axisCoded[i] = cc
 	}
 	mcol, err := e.measureColumn(q.Measure)
 	if err != nil {
@@ -335,35 +305,26 @@ func (e *Engine) Execute(q Query) (*CellSet, error) {
 	// NA tuples are dropped at assembly time unless IncludeMissing is set.
 	// Keeping them in the grouped form makes the cached lattice entry
 	// correct for later roll-ups to coarser attribute subsets.
-	groups := make(map[string]*tupleGroup)
-	tupleBuf := make([]value.Value, len(axes))
-	nfacts := e.schema.Fact().Len()
-	for i := 0; i < nfacts; i++ {
-		if !filter.Get(i) {
-			continue
-		}
-		for a := range axes {
-			tupleBuf[a] = axisCols[a][i]
-		}
-		gk := encodeTuple(tupleBuf)
-		g, ok := groups[gk]
-		if !ok {
-			g = &tupleGroup{tuple: append([]value.Value(nil), tupleBuf...), agg: newCellAgg(q.Measure.Agg)}
-			groups[gk] = g
-		}
-		var mv value.Value
-		if mcol != nil {
-			mv = mcol[i]
-		}
-		g.agg.observe(q.Measure.Agg, mv, mcol != nil)
+	in := exec.GroupInput{
+		NumRows: e.schema.Fact().Len(),
+		Keys:    axisCoded,
+		Aggs:    []exec.AggInput{{Kind: q.Measure.Agg}},
+		Filter:  filter.Get,
+	}
+	if mcol != nil {
+		in.Aggs[0].Measure = exec.ValueSlice(mcol)
+	}
+	groups, err := exec.GroupBy(in, e.execOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("cube: %w", err)
 	}
 
 	cs := e.assembleCellSet(q, func(yield func(tuple []value.Value, cell value.Value)) {
 		for _, g := range groups {
-			if !q.IncludeMissing && tupleHasNA(g.tuple) {
+			if !q.IncludeMissing && tupleHasNA(g.Tuple) {
 				continue
 			}
-			yield(g.tuple, g.agg.result(q.Measure.Agg))
+			yield(g.Tuple, g.States[0].Result())
 		}
 	})
 
@@ -371,13 +332,6 @@ func (e *Engine) Execute(q Query) (*CellSet, error) {
 		e.latticeStore(q, groups)
 	}
 	return cs, nil
-}
-
-// tupleGroup pairs an axis coordinate tuple with its accumulating
-// aggregate.
-type tupleGroup struct {
-	tuple []value.Value
-	agg   *cellAgg
 }
 
 func tupleHasNA(tuple []value.Value) bool {
@@ -401,7 +355,7 @@ func (e *Engine) assembleCellSet(q Query, emit func(yield func([]value.Value, va
 	var cells []pending
 	emit(func(tuple []value.Value, cell value.Value) {
 		rt, ct := tuple[:nr], tuple[nr:nr+nc]
-		rk, ck := encodeTuple(rt), encodeTuple(ct)
+		rk, ck := exec.EncodeTuple(rt), exec.EncodeTuple(ct)
 		if _, ok := rowSet[rk]; !ok {
 			rowSet[rk] = append([]value.Value(nil), rt...)
 		}
@@ -415,11 +369,11 @@ func (e *Engine) assembleCellSet(q Query, emit func(yield func([]value.Value, va
 	colHeaders := e.sortTuples(colSet, q.Cols)
 	rowIdx := make(map[string]int, len(rowHeaders))
 	for i, t := range rowHeaders {
-		rowIdx[encodeTuple(t)] = i
+		rowIdx[exec.EncodeTuple(t)] = i
 	}
 	colIdx := make(map[string]int, len(colHeaders))
 	for i, t := range colHeaders {
-		colIdx[encodeTuple(t)] = i
+		colIdx[exec.EncodeTuple(t)] = i
 	}
 	matrix := make([][]value.Value, len(rowHeaders))
 	for i := range matrix {
@@ -478,12 +432,4 @@ func (e *Engine) sortTuples(set map[string][]value.Value, attrs []AttrRef) [][]v
 		return false
 	})
 	return out
-}
-
-func encodeTuple(vals []value.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		fmt.Fprintf(&sb, "%d:%s\x00", v.Kind(), v.String())
-	}
-	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -104,20 +105,20 @@ func subsetPositions(want, have []AttrRef) ([]int, bool) {
 }
 
 // latticeStore records the grouped form of an executed additive query.
-// Groups arrive keyed in the query's axis order; they are stored in sorted
-// attribute order so permuted queries share entries.
-func (e *Engine) latticeStore(q Query, groups map[string]*tupleGroup) {
+// Groups arrive tupled in the query's axis order; they are stored in
+// sorted attribute order so permuted queries share entries.
+func (e *Engine) latticeStore(q Query, groups []exec.Group) {
 	sorted, perm := sortedAxes(q)
 	entry := &latticeEntry{attrs: sorted, groups: make([]latticeGroup, 0, len(groups))}
 	for _, g := range groups {
 		tuple := make([]value.Value, len(perm))
 		for p, orig := range perm {
-			tuple[p] = g.tuple[orig]
+			tuple[p] = g.Tuple[orig]
 		}
 		entry.groups = append(entry.groups, latticeGroup{
 			tuple: tuple,
-			sum:   g.agg.sum,
-			count: g.agg.count,
+			sum:   g.States[0].Sum,
+			count: g.States[0].Count,
 		})
 	}
 	base := latticeBase(q)
@@ -179,7 +180,7 @@ func (e *Engine) latticeLookup(q Query) (*CellSet, bool) {
 		for i, p := range pos {
 			buf[i] = g.tuple[p]
 		}
-		k := encodeTuple(buf)
+		k := exec.EncodeTuple(buf)
 		a, ok := rolled[k]
 		if !ok {
 			a = &acc{tuple: append([]value.Value(nil), buf...)}

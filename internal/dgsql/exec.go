@@ -54,16 +54,16 @@ func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
 		}
 	}
 
-	filtered := t
+	var pred storage.RowPredicate
 	if len(st.Where) > 0 {
-		filtered = t.Filter(func(tb *storage.Table, i int) bool {
+		pred = func(tb *storage.Table, i int) bool {
 			for _, c := range st.Where {
 				if !evalCond(tb.MustValue(i, c.Column), c) {
 					return false
 				}
 			}
 			return true
-		})
+		}
 	}
 
 	hasAgg := false
@@ -77,8 +77,15 @@ func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
 	var err error
 	switch {
 	case hasAgg || len(st.GroupBy) > 0:
-		out, err = db.executeAggregate(st, filtered)
+		// The WHERE predicate is pushed into the group-by kernel scan, so
+		// the aggregate path never materialises a filtered copy of the
+		// table.
+		out, err = db.executeAggregate(st, t, pred)
 	default:
+		filtered := t
+		if pred != nil {
+			filtered = t.Filter(pred)
+		}
 		cols := make([]string, len(st.Items))
 		for i, item := range st.Items {
 			cols[i] = item.Column
@@ -120,8 +127,9 @@ func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
 	return out, nil
 }
 
-// executeAggregate handles GROUP BY / aggregate projections.
-func (db *DB) executeAggregate(st *Stmt, t *storage.Table) (*storage.Table, error) {
+// executeAggregate handles GROUP BY / aggregate projections. The WHERE
+// predicate (nil when absent) is evaluated inside the kernel scan.
+func (db *DB) executeAggregate(st *Stmt, t *storage.Table, pred storage.RowPredicate) (*storage.Table, error) {
 	var aggs []storage.AggSpec
 	groupSet := make(map[string]bool, len(st.GroupBy))
 	for _, g := range st.GroupBy {
@@ -154,7 +162,7 @@ func (db *DB) executeAggregate(st *Stmt, t *storage.Table) (*storage.Table, erro
 		aggs = append(aggs, spec)
 		outNames[i] = name
 	}
-	grouped, err := t.GroupBy(st.GroupBy, aggs)
+	grouped, err := t.GroupByFiltered(st.GroupBy, aggs, pred)
 	if err != nil {
 		return nil, fmt.Errorf("dgsql: %w", err)
 	}

@@ -1,0 +1,137 @@
+// Package exec implements the shared vectorized execution core of the
+// DD-DGMS platform. Every query layer — the storage engine's group-by, the
+// OLAP cube, the flat-scan baseline and the DG-SQL executor — aggregates
+// low-cardinality clinical attributes; this package gives them one common
+// engine for that workload: dictionary-encoded columns (value.Value ->
+// uint32 code with a reverse table), a canonical tuple encoding, and a
+// group-by/aggregate kernel that keys groups on packed integer codes,
+// partitions the row range across a GOMAXPROCS-sized worker pool, and
+// merges per-worker partial aggregates deterministically.
+//
+// The legacy scalar path (string-keyed map over materialised values) is
+// retained behind WithVectorized(false) as the ablation baseline.
+package exec
+
+import (
+	"math"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// NACode is the dictionary code reserved for the missing value: every
+// CodedColumn maps NA to code 0, so kernels (and callers building filters)
+// can test missingness with a single integer compare.
+const NACode uint32 = 0
+
+// CodedColumn is the dictionary-encoded view of a column: one uint32 code
+// per row plus the reverse table mapping codes back to values. Values[0]
+// is always NA. A CodedColumn is immutable once built and therefore safe
+// for concurrent readers.
+type CodedColumn struct {
+	Codes  []uint32
+	Values []value.Value
+}
+
+// Len reports the number of rows.
+func (c *CodedColumn) Len() int { return len(c.Codes) }
+
+// Card reports the dictionary cardinality, including the reserved NA
+// entry.
+func (c *CodedColumn) Card() int { return len(c.Values) }
+
+// Value materialises row i. It implements the Measure accessor, so a
+// coded column can be aggregated over directly (the cube's distinct
+// patient counts take this path).
+func (c *CodedColumn) Value(i int) value.Value { return c.Values[c.Codes[i]] }
+
+// IsNA reports whether row i is missing.
+func (c *CodedColumn) IsNA(i int) bool { return c.Codes[i] == NACode }
+
+// dictBuilder interns values into a CodedColumn under construction.
+type dictBuilder struct {
+	col     *CodedColumn
+	index   map[value.Value]uint32
+	nanCode uint32 // float NaN never equals itself, so it needs a pinned code
+}
+
+func newDictBuilder(rows int) *dictBuilder {
+	return &dictBuilder{
+		col:   &CodedColumn{Codes: make([]uint32, 0, rows), Values: []value.Value{value.NA()}},
+		index: map[value.Value]uint32{value.NA(): NACode},
+	}
+}
+
+// intern returns the code for v, extending the dictionary when v is new.
+// Float NaN is folded onto one code (matching the string-keyed legacy
+// grouping, where every NaN rendered as "NaN" and grouped together).
+func (b *dictBuilder) intern(v value.Value) uint32 {
+	if v.Kind() == value.FloatKind && math.IsNaN(v.Float()) {
+		if b.nanCode == 0 {
+			b.nanCode = uint32(len(b.col.Values))
+			b.col.Values = append(b.col.Values, v)
+		}
+		return b.nanCode
+	}
+	if code, ok := b.index[v]; ok {
+		return code
+	}
+	code := uint32(len(b.col.Values))
+	b.col.Values = append(b.col.Values, v)
+	b.index[v] = code
+	return code
+}
+
+func (b *dictBuilder) append(v value.Value) {
+	b.col.Codes = append(b.col.Codes, b.intern(v))
+}
+
+// Encode dictionary-encodes a materialised value slice. It is the generic
+// path used for the cube engine's attribute columns; the storage layer
+// builds its dictionaries directly from typed column payloads.
+func Encode(vals []value.Value) *CodedColumn {
+	b := newDictBuilder(len(vals))
+	for _, v := range vals {
+		b.append(v)
+	}
+	return b.col
+}
+
+// EncodeFunc dictionary-encodes n rows produced by at(i). It lets typed
+// columns encode without first materialising a []value.Value.
+func EncodeFunc(n int, at func(i int) value.Value) *CodedColumn {
+	b := newDictBuilder(n)
+	for i := 0; i < n; i++ {
+		b.append(at(i))
+	}
+	return b.col
+}
+
+// EncodeTuple canonically encodes a tuple of values as a string map key:
+// kind tag, ':', the value's display form, NUL. This is the one shared
+// implementation of the tuple encoding previously duplicated as
+// storage.groupKey and cube.encodeTuple; unlike those it avoids
+// fmt.Sprintf on the hot path. It remains the keying scheme of the legacy
+// scalar group-by and of cell-set assembly, where tuples of variable
+// width need a comparable encoding.
+func EncodeTuple(vals []value.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteByte('0' + byte(v.Kind()))
+		sb.WriteByte(':')
+		sb.WriteString(v.String())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// CompareTuples orders two equal-width tuples lexicographically by
+// value.Compare — the deterministic group order every kernel output uses.
+func CompareTuples(a, b []value.Value) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,417 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Options configures a kernel invocation.
+type Options struct {
+	// Vectorized selects the coded parallel kernel (default). When false
+	// the legacy scalar path runs: one string-keyed map over materialised
+	// values on a single goroutine — the ablation baseline.
+	Vectorized bool
+	// Parallelism bounds the worker pool; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithVectorized enables or disables the coded parallel kernel (default
+// on). Disabling it is the ablation baseline for benchmarks.
+func WithVectorized(on bool) Option { return func(o *Options) { o.Vectorized = on } }
+
+// WithParallelism bounds the kernel's worker pool. 0 (the default) sizes
+// the pool by GOMAXPROCS.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+func buildOptions(opts []Option) Options {
+	o := Options{Vectorized: true}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// AggInput is one aggregate to compute per group: its kind and the
+// measure it reads. A nil Measure counts rows.
+type AggInput struct {
+	Kind    AggKind
+	Measure Measure
+}
+
+// GroupInput is one group-by over a row range [0, NumRows).
+type GroupInput struct {
+	NumRows int
+	// Keys are the grouping columns, dictionary-encoded. Each must have at
+	// least NumRows rows.
+	Keys []*CodedColumn
+	// Aggs are the aggregates computed per group.
+	Aggs []AggInput
+	// Filter, when non-nil, restricts the rows that participate. It must
+	// be safe for concurrent calls (the parallel kernel evaluates it from
+	// several workers).
+	Filter func(i int) bool
+}
+
+// Group is one output group: its key tuple (decoded, in key order) and
+// one finalised accumulator per aggregate.
+type Group struct {
+	Tuple  []value.Value
+	States []*AggState
+}
+
+// maxDenseBits bounds the direct-indexed accumulator table: when the
+// packed key fits this many bits each worker addresses groups with a
+// single array index, no hashing at all. 2^16 slots of one pointer each
+// is small enough to allocate per worker.
+const maxDenseBits = 16
+
+// minRowsPerWorker keeps the pool from fanning out over trivially small
+// inputs, where goroutine startup would dominate.
+const minRowsPerWorker = 2048
+
+// GroupBy groups the input rows by their key codes and computes the
+// requested aggregates per group. Groups are returned sorted ascending by
+// key tuple (value.Compare, lexicographic), which makes the result
+// deterministic regardless of worker count or merge order.
+func GroupBy(in GroupInput, opts ...Option) ([]Group, error) {
+	o := buildOptions(opts)
+	for k, key := range in.Keys {
+		if key.Len() < in.NumRows {
+			return nil, fmt.Errorf("exec: key column %d has %d rows, input has %d", k, key.Len(), in.NumRows)
+		}
+	}
+	var groups []Group
+	if !o.Vectorized {
+		groups = groupScalar(in)
+	} else {
+		groups = groupVectorized(in, o)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		return CompareTuples(groups[a].Tuple, groups[b].Tuple) < 0
+	})
+	return groups, nil
+}
+
+// --- legacy scalar path ----------------------------------------------------
+
+// groupScalar is the pre-vectorization algorithm kept as the ablation
+// baseline: materialise the key tuple of every row, encode it to a string
+// and accumulate in one map on the calling goroutine.
+func groupScalar(in GroupInput) []Group {
+	type entry struct {
+		tuple  []value.Value
+		states []*AggState
+	}
+	groups := make(map[string]*entry)
+	keyBuf := make([]value.Value, len(in.Keys))
+	for i := 0; i < in.NumRows; i++ {
+		if in.Filter != nil && !in.Filter(i) {
+			continue
+		}
+		for k, key := range in.Keys {
+			keyBuf[k] = key.Value(i)
+		}
+		gk := EncodeTuple(keyBuf)
+		g, ok := groups[gk]
+		if !ok {
+			g = &entry{tuple: append([]value.Value(nil), keyBuf...), states: newStates(in.Aggs)}
+			groups[gk] = g
+		}
+		observeRow(g.states, in.Aggs, i)
+	}
+	out := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, Group{Tuple: g.tuple, States: g.states})
+	}
+	return out
+}
+
+func newStates(aggs []AggInput) []*AggState {
+	states := make([]*AggState, len(aggs))
+	for k, a := range aggs {
+		states[k] = NewAggState(a.Kind)
+	}
+	return states
+}
+
+func observeRow(states []*AggState, aggs []AggInput, i int) {
+	for k, a := range aggs {
+		if a.Measure == nil {
+			states[k].ObserveRow()
+		} else {
+			states[k].Observe(a.Measure.Value(i))
+		}
+	}
+}
+
+// --- vectorized path -------------------------------------------------------
+
+// keyLayout packs one code per key column into a uint64: column k
+// occupies width[k] bits at shift[k]. Packable reports whether the whole
+// tuple fits 64 bits; when it does not, the kernel falls back to a
+// byte-string key over the raw codes.
+type keyLayout struct {
+	shift    []uint
+	width    []uint
+	total    uint
+	packable bool
+}
+
+func layoutFor(keys []*CodedColumn) keyLayout {
+	l := keyLayout{shift: make([]uint, len(keys)), width: make([]uint, len(keys)), packable: true}
+	for k, key := range keys {
+		w := uint(bits.Len(uint(key.Card() - 1)))
+		if w == 0 {
+			w = 1
+		}
+		l.shift[k] = l.total
+		l.width[k] = w
+		l.total += w
+	}
+	if l.total > 64 {
+		l.packable = false
+	}
+	return l
+}
+
+func (l keyLayout) pack(keys []*CodedColumn, i int) uint64 {
+	var packed uint64
+	for k, key := range keys {
+		packed |= uint64(key.Codes[i]) << l.shift[k]
+	}
+	return packed
+}
+
+func (l keyLayout) unpack(packed uint64, keys []*CodedColumn) []value.Value {
+	tuple := make([]value.Value, len(keys))
+	for k, key := range keys {
+		code := (packed >> l.shift[k]) & (1<<l.width[k] - 1)
+		tuple[k] = key.Values[code]
+	}
+	return tuple
+}
+
+// workerCount sizes the pool: bounded by Parallelism (or GOMAXPROCS) and
+// by the number of minimum-size row chunks available.
+func workerCount(numRows int, o Options) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if byRows := numRows / minRowsPerWorker; byRows < p {
+		p = byRows
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func groupVectorized(in GroupInput, o Options) []Group {
+	layout := layoutFor(in.Keys)
+	workers := workerCount(in.NumRows, o)
+	switch {
+	case layout.packable && layout.total <= maxDenseBits:
+		return groupDense(in, layout, workers)
+	case layout.packable:
+		return groupHashed(in, layout, workers)
+	default:
+		return groupWide(in, workers)
+	}
+}
+
+// partition splits [0, n) into one contiguous chunk per worker.
+func partition(n, workers int) [][2]int {
+	chunks := make([][2]int, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		chunks[w] = [2]int{lo, hi}
+	}
+	return chunks
+}
+
+// runWorkers executes fn(worker, lo, hi) on the pool. With one worker it
+// runs inline, avoiding goroutine overhead for small inputs.
+func runWorkers(n, workers int, fn func(w, lo, hi int)) {
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunks := partition(n, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, chunks[w][0], chunks[w][1])
+		}(w)
+	}
+	wg.Wait()
+}
+
+// groupDense is the fast path for low-cardinality keys (the clinical
+// norm): per-worker direct-indexed accumulator tables addressed by the
+// packed code, merged slot-by-slot in worker order.
+func groupDense(in GroupInput, layout keyLayout, workers int) []Group {
+	size := 1 << layout.total
+	partials := make([][][]*AggState, workers)
+	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
+		dense := make([][]*AggState, size)
+		for i := lo; i < hi; i++ {
+			if in.Filter != nil && !in.Filter(i) {
+				continue
+			}
+			slot := layout.pack(in.Keys, i)
+			states := dense[slot]
+			if states == nil {
+				states = newStates(in.Aggs)
+				dense[slot] = states
+			}
+			observeRow(states, in.Aggs, i)
+		}
+		partials[w] = dense
+	})
+
+	var out []Group
+	for slot := 0; slot < size; slot++ {
+		var merged []*AggState
+		for w := 0; w < workers; w++ {
+			states := partials[w][slot]
+			if states == nil {
+				continue
+			}
+			if merged == nil {
+				merged = states
+				continue
+			}
+			for k := range merged {
+				merged[k].Merge(states[k])
+			}
+		}
+		// dense[slot] is non-nil iff some row hit the slot, even for
+		// zero-aggregate group-bys (Distinct), where the states slice is
+		// empty but non-nil.
+		if merged == nil {
+			continue
+		}
+		out = append(out, Group{Tuple: layout.unpack(uint64(slot), in.Keys), States: merged})
+	}
+	return out
+}
+
+// groupHashed handles packed keys wider than the dense budget: per-worker
+// hash maps keyed by the packed uint64, merged in worker order.
+func groupHashed(in GroupInput, layout keyLayout, workers int) []Group {
+	partials := make([]map[uint64][]*AggState, workers)
+	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
+		local := make(map[uint64][]*AggState)
+		for i := lo; i < hi; i++ {
+			if in.Filter != nil && !in.Filter(i) {
+				continue
+			}
+			packed := layout.pack(in.Keys, i)
+			states, ok := local[packed]
+			if !ok {
+				states = newStates(in.Aggs)
+				local[packed] = states
+			}
+			observeRow(states, in.Aggs, i)
+		}
+		partials[w] = local
+	})
+
+	merged := partials[0]
+	for w := 1; w < workers; w++ {
+		for packed, states := range partials[w] {
+			have, ok := merged[packed]
+			if !ok {
+				merged[packed] = states
+				continue
+			}
+			for k := range have {
+				have[k].Merge(states[k])
+			}
+		}
+	}
+	out := make([]Group, 0, len(merged))
+	for packed, states := range merged {
+		out = append(out, Group{Tuple: layout.unpack(packed, in.Keys), States: states})
+	}
+	return out
+}
+
+// groupWide handles key tuples whose packed form exceeds 64 bits: the key
+// is the raw code bytes (still no per-value string formatting).
+func groupWide(in GroupInput, workers int) []Group {
+	type entry struct {
+		codes  []uint32
+		states []*AggState
+	}
+	partials := make([]map[string]*entry, workers)
+	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
+		local := make(map[string]*entry)
+		buf := make([]byte, 4*len(in.Keys))
+		for i := lo; i < hi; i++ {
+			if in.Filter != nil && !in.Filter(i) {
+				continue
+			}
+			for k, key := range in.Keys {
+				code := key.Codes[i]
+				buf[4*k] = byte(code)
+				buf[4*k+1] = byte(code >> 8)
+				buf[4*k+2] = byte(code >> 16)
+				buf[4*k+3] = byte(code >> 24)
+			}
+			g, ok := local[string(buf)]
+			if !ok {
+				codes := make([]uint32, len(in.Keys))
+				for k, key := range in.Keys {
+					codes[k] = key.Codes[i]
+				}
+				g = &entry{codes: codes, states: newStates(in.Aggs)}
+				local[string(buf)] = g
+			}
+			observeRow(g.states, in.Aggs, i)
+		}
+		partials[w] = local
+	})
+
+	merged := partials[0]
+	for w := 1; w < workers; w++ {
+		for gk, g := range partials[w] {
+			have, ok := merged[gk]
+			if !ok {
+				merged[gk] = g
+				continue
+			}
+			for k := range have.states {
+				have.states[k].Merge(g.states[k])
+			}
+		}
+	}
+	out := make([]Group, 0, len(merged))
+	for _, g := range merged {
+		tuple := make([]value.Value, len(in.Keys))
+		for k, key := range in.Keys {
+			tuple[k] = key.Values[g.codes[k]]
+		}
+		out = append(out, Group{Tuple: tuple, States: g.states})
+	}
+	return out
+}

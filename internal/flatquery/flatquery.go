@@ -9,6 +9,7 @@ package flatquery
 import (
 	"fmt"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -36,51 +37,66 @@ type Result struct {
 	AggName string
 }
 
-// Execute answers the query with a full scan: filter, then group-by, with
-// no indexes, no member interning and no caching. Rows with NA in any
-// grouping column are dropped, matching the cube engine's default.
-func Execute(t *storage.Table, q Query) (*Result, error) {
-	for _, f := range q.Filters {
+// Execute answers the query with a single filtered scan on the shared
+// execution kernel: no warehouse, no bitmap indexes, no aggregate caching.
+// Filters are evaluated as allowed-code sets over each column's cached
+// dictionary (one set lookup per row instead of per-row value equality),
+// and no intermediate filtered table is materialised. Rows with NA in any
+// grouping column are dropped, matching the cube engine's default. Extra
+// opts (e.g. exec.WithVectorized(false)) select the kernel path.
+func Execute(t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
+	type codeFilter struct {
+		codes   []uint32
+		allowed []bool // indexed by dictionary code
+	}
+	filters := make([]codeFilter, len(q.Filters))
+	for k, f := range q.Filters {
 		if len(f.Values) == 0 {
 			return nil, fmt.Errorf("flatquery: filter on %q has no values", f.Column)
 		}
-		if _, ok := t.Schema().Lookup(f.Column); !ok {
+		dict, err := t.Dict(f.Column)
+		if err != nil {
 			return nil, fmt.Errorf("flatquery: unknown filter column %q", f.Column)
 		}
-	}
-	groupCols := append(append([]string{}, q.Rows...), q.Cols...)
-	for _, c := range groupCols {
-		if _, ok := t.Schema().Lookup(c); !ok {
-			return nil, fmt.Errorf("flatquery: unknown group column %q", c)
-		}
-	}
-
-	filtered := t.Filter(func(tb *storage.Table, i int) bool {
-		for _, f := range q.Filters {
-			v := tb.MustValue(i, f.Column)
-			hit := false
+		allowed := make([]bool, dict.Card())
+		for code, v := range dict.Values {
 			for _, want := range f.Values {
 				if v.Equal(want) {
-					hit = true
+					allowed[code] = true
 					break
 				}
 			}
-			if !hit {
+		}
+		filters[k] = codeFilter{codes: dict.Codes, allowed: allowed}
+	}
+	groupCols := append(append([]string{}, q.Rows...), q.Cols...)
+	groupDicts := make([]*exec.CodedColumn, len(groupCols))
+	for k, c := range groupCols {
+		dict, err := t.Dict(c)
+		if err != nil {
+			return nil, fmt.Errorf("flatquery: unknown group column %q", c)
+		}
+		groupDicts[k] = dict
+	}
+
+	pred := func(_ *storage.Table, i int) bool {
+		for _, f := range filters {
+			if !f.allowed[f.codes[i]] {
 				return false
 			}
 		}
-		for _, c := range groupCols {
-			if tb.MustValue(i, c).IsNA() {
+		for _, d := range groupDicts {
+			if d.Codes[i] == exec.NACode {
 				return false
 			}
 		}
 		return true
-	})
+	}
 
 	aggName := "agg"
-	grouped, err := filtered.GroupBy(groupCols, []storage.AggSpec{
+	grouped, err := t.GroupByFiltered(groupCols, []storage.AggSpec{
 		{Kind: q.Agg, Column: q.Measure, As: aggName},
-	})
+	}, pred, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("flatquery: %w", err)
 	}

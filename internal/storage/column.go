@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
@@ -24,6 +26,36 @@ type Column interface {
 	// Set replaces row i. NA is always accepted; otherwise kinds must
 	// match.
 	Set(i int, v value.Value) error
+	// Dict returns the dictionary-encoded view of the column: one code
+	// per row plus the code -> value reverse table, with NA pinned to
+	// code 0. The view is built lazily, cached, and invalidated by
+	// Append/Set; the returned snapshot is immutable, so concurrent
+	// readers may hold it across later mutations.
+	Dict() *exec.CodedColumn
+}
+
+// dictCache memoises a column's coded view. The mutex makes concurrent
+// Dict calls safe (two readers racing to build the cache), which the
+// parallel execution kernel relies on; mutation is already documented as
+// single-goroutine, so invalidate simply clears the pointer.
+type dictCache struct {
+	mu   sync.Mutex
+	dict *exec.CodedColumn
+}
+
+func (d *dictCache) get(build func() *exec.CodedColumn) *exec.CodedColumn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dict == nil {
+		d.dict = build()
+	}
+	return d.dict
+}
+
+func (d *dictCache) invalidate() {
+	d.mu.Lock()
+	d.dict = nil
+	d.mu.Unlock()
 }
 
 // NewColumn creates an empty column of the given kind. String-kinded
@@ -75,6 +107,7 @@ type intColumn struct {
 	kind  value.Kind
 	data  []int64
 	nulls nullBitmap
+	dc    dictCache
 }
 
 func (c *intColumn) Kind() value.Kind { return c.kind }
@@ -95,6 +128,7 @@ func (c *intColumn) Value(i int) value.Value {
 }
 
 func (c *intColumn) Append(v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.data = append(c.data, 0)
 		c.nulls.appendValid(false)
@@ -108,7 +142,12 @@ func (c *intColumn) Append(v value.Value) error {
 	return nil
 }
 
+func (c *intColumn) Dict() *exec.CodedColumn {
+	return c.dc.get(func() *exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
+}
+
 func (c *intColumn) Set(i int, v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.data[i] = 0
 		c.nulls.setValid(i, false)
@@ -143,6 +182,7 @@ func timeFromNanos(n int64) value.Value {
 type floatColumn struct {
 	data  []float64
 	nulls nullBitmap
+	dc    dictCache
 }
 
 func (c *floatColumn) Kind() value.Kind { return value.FloatKind }
@@ -156,7 +196,12 @@ func (c *floatColumn) Value(i int) value.Value {
 	return value.Float(c.data[i])
 }
 
+func (c *floatColumn) Dict() *exec.CodedColumn {
+	return c.dc.get(func() *exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
+}
+
 func (c *floatColumn) Append(v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.data = append(c.data, 0)
 		c.nulls.appendValid(false)
@@ -171,6 +216,7 @@ func (c *floatColumn) Append(v value.Value) error {
 }
 
 func (c *floatColumn) Set(i int, v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.data[i] = 0
 		c.nulls.setValid(i, false)
@@ -193,6 +239,7 @@ type stringColumn struct {
 	dict  []string
 	byStr map[string]uint32
 	nulls nullBitmap
+	dc    dictCache
 }
 
 func newStringColumn() *stringColumn {
@@ -220,7 +267,30 @@ func (c *stringColumn) code(s string) uint32 {
 	return code
 }
 
+// Dict shifts the column's existing string dictionary by one to make
+// room for the pinned NA code — no per-row hashing, unlike the generic
+// encode path.
+func (c *stringColumn) Dict() *exec.CodedColumn {
+	return c.dc.get(func() *exec.CodedColumn {
+		cc := &exec.CodedColumn{
+			Codes:  make([]uint32, len(c.codes)),
+			Values: make([]value.Value, len(c.dict)+1),
+		}
+		cc.Values[exec.NACode] = value.NA()
+		for code, s := range c.dict {
+			cc.Values[code+1] = value.Str(s)
+		}
+		for i, code := range c.codes {
+			if c.nulls.valid(i) {
+				cc.Codes[i] = code + 1
+			}
+		}
+		return cc
+	})
+}
+
 func (c *stringColumn) Append(v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.codes = append(c.codes, 0)
 		c.nulls.appendValid(false)
@@ -235,6 +305,7 @@ func (c *stringColumn) Append(v value.Value) error {
 }
 
 func (c *stringColumn) Set(i int, v value.Value) error {
+	c.dc.invalidate()
 	if v.IsNA() {
 		c.codes[i] = 0
 		c.nulls.setValid(i, false)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
@@ -104,69 +104,31 @@ func (t *Table) Sort(keys ...SortKey) (*Table, error) {
 	return out, nil
 }
 
-// groupKey is a canonical string encoding of a tuple of values, used as a
-// map key during group-by. Value itself is comparable, but tuples of
-// variable width need an encoding.
-func groupKey(vals []value.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		sb.WriteString(fmt.Sprintf("%d:%s\x00", v.Kind(), v.String()))
-	}
-	return sb.String()
-}
-
-// AggKind selects the aggregate computed over a group.
-type AggKind uint8
+// AggKind selects the aggregate computed over a group. It is the
+// execution core's AggKind re-exported under its historical name, so
+// every layer shares one set of aggregate semantics.
+type AggKind = exec.AggKind
 
 // Supported aggregates. CountAgg counts non-NA values of the measure column
 // (or rows if the measure is empty); DistinctAgg counts distinct non-NA
 // values.
 const (
-	CountAgg AggKind = iota
-	SumAgg
-	AvgAgg
-	MinAgg
-	MaxAgg
-	DistinctAgg
+	CountAgg    = exec.CountAgg
+	SumAgg      = exec.SumAgg
+	AvgAgg      = exec.AvgAgg
+	MinAgg      = exec.MinAgg
+	MaxAgg      = exec.MaxAgg
+	DistinctAgg = exec.DistinctAgg
 )
-
-// String returns the conventional lower-case aggregate name.
-func (a AggKind) String() string {
-	switch a {
-	case CountAgg:
-		return "count"
-	case SumAgg:
-		return "sum"
-	case AvgAgg:
-		return "avg"
-	case MinAgg:
-		return "min"
-	case MaxAgg:
-		return "max"
-	case DistinctAgg:
-		return "distinct"
-	}
-	return fmt.Sprintf("AggKind(%d)", uint8(a))
-}
 
 // ParseAggKind converts an aggregate name ("count", "sum", ...) to its
 // AggKind.
 func ParseAggKind(s string) (AggKind, error) {
-	switch strings.ToLower(s) {
-	case "count":
-		return CountAgg, nil
-	case "sum":
-		return SumAgg, nil
-	case "avg", "mean":
-		return AvgAgg, nil
-	case "min":
-		return MinAgg, nil
-	case "max":
-		return MaxAgg, nil
-	case "distinct":
-		return DistinctAgg, nil
+	k, err := exec.ParseAggKind(s)
+	if err != nil {
+		return k, fmt.Errorf("storage: unknown aggregate %q", s)
 	}
-	return CountAgg, fmt.Errorf("storage: unknown aggregate %q", s)
+	return k, nil
 }
 
 // AggSpec is one aggregate to compute per group: the aggregate kind, the
@@ -178,89 +140,23 @@ type AggSpec struct {
 	As     string
 }
 
-// aggState accumulates one aggregate over one group.
-type aggState struct {
-	kind     AggKind
-	count    int64
-	sum      float64
-	min, max float64
-	seen     map[value.Value]struct{}
-	any      bool
-}
-
-func newAggState(kind AggKind) *aggState {
-	st := &aggState{kind: kind, min: math.Inf(1), max: math.Inf(-1)}
-	if kind == DistinctAgg {
-		st.seen = make(map[value.Value]struct{})
-	}
-	return st
-}
-
-func (st *aggState) observe(v value.Value) {
-	if v.IsNA() {
-		return
-	}
-	st.count++
-	st.any = true
-	if st.kind == DistinctAgg {
-		st.seen[v] = struct{}{}
-		return
-	}
-	if f, ok := v.AsFloat(); ok {
-		st.sum += f
-		if f < st.min {
-			st.min = f
-		}
-		if f > st.max {
-			st.max = f
-		}
-	}
-}
-
-func (st *aggState) observeRow() { st.count++; st.any = true }
-
-func (st *aggState) result() value.Value {
-	switch st.kind {
-	case CountAgg:
-		return value.Int(st.count)
-	case DistinctAgg:
-		return value.Int(int64(len(st.seen)))
-	case SumAgg:
-		if !st.any {
-			return value.NA()
-		}
-		return value.Float(st.sum)
-	case AvgAgg:
-		if st.count == 0 {
-			return value.NA()
-		}
-		return value.Float(st.sum / float64(st.count))
-	case MinAgg:
-		if !st.any {
-			return value.NA()
-		}
-		return value.Float(st.min)
-	case MaxAgg:
-		if !st.any {
-			return value.NA()
-		}
-		return value.Float(st.max)
-	}
-	return value.NA()
-}
-
-func aggResultKind(k AggKind) value.Kind {
-	switch k {
-	case CountAgg, DistinctAgg:
-		return value.IntKind
-	}
-	return value.FloatKind
-}
-
 // GroupBy groups rows by the named key columns and computes the requested
 // aggregates per group. The result has the key columns followed by one
 // column per AggSpec, with groups ordered by key values ascending.
-func (t *Table) GroupBy(keys []string, aggs []AggSpec) (*Table, error) {
+//
+// Grouping runs on the shared execution kernel: key columns are
+// dictionary-encoded (cached on the column), groups are keyed on packed
+// integer codes and aggregated in parallel. Pass
+// exec.WithVectorized(false) for the legacy single-goroutine scalar path.
+func (t *Table) GroupBy(keys []string, aggs []AggSpec, opts ...exec.Option) (*Table, error) {
+	return t.GroupByFiltered(keys, aggs, nil, opts...)
+}
+
+// GroupByFiltered is GroupBy restricted to the rows for which pred is
+// true. Filtering happens inside the kernel scan, so no intermediate
+// filtered table is materialised (the DG-SQL aggregate path relies on
+// this).
+func (t *Table) GroupByFiltered(keys []string, aggs []AggSpec, pred RowPredicate, opts ...exec.Option) (*Table, error) {
 	keyIdx := make([]int, len(keys))
 	for k, name := range keys {
 		j, ok := t.schema.Lookup(name)
@@ -269,63 +165,36 @@ func (t *Table) GroupBy(keys []string, aggs []AggSpec) (*Table, error) {
 		}
 		keyIdx[k] = j
 	}
-	aggIdx := make([]int, len(aggs))
+	in := exec.GroupInput{
+		NumRows: t.n,
+		Keys:    make([]*exec.CodedColumn, len(keys)),
+		Aggs:    make([]exec.AggInput, len(aggs)),
+	}
+	for k, j := range keyIdx {
+		in.Keys[k] = t.cols[j].Dict()
+	}
 	for k, a := range aggs {
+		in.Aggs[k].Kind = a.Kind
 		if a.Column == "" {
 			if a.Kind != CountAgg {
 				return nil, fmt.Errorf("storage: aggregate %s requires a column", a.Kind)
 			}
-			aggIdx[k] = -1
-			continue
+			continue // nil measure: count rows
 		}
 		j, ok := t.schema.Lookup(a.Column)
 		if !ok {
 			return nil, fmt.Errorf("storage: unknown aggregate column %q", a.Column)
 		}
-		aggIdx[k] = j
+		in.Aggs[k].Measure = t.cols[j]
+	}
+	if pred != nil {
+		in.Filter = func(i int) bool { return pred(t, i) }
 	}
 
-	type group struct {
-		keyVals []value.Value
-		states  []*aggState
+	groups, err := exec.GroupBy(in, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
 	}
-	groups := make(map[string]*group)
-	var order []string // group keys in first-seen order, sorted later
-
-	keyBuf := make([]value.Value, len(keys))
-	for i := 0; i < t.n; i++ {
-		for k, j := range keyIdx {
-			keyBuf[k] = t.cols[j].Value(i)
-		}
-		gk := groupKey(keyBuf)
-		g, ok := groups[gk]
-		if !ok {
-			g = &group{keyVals: append([]value.Value(nil), keyBuf...), states: make([]*aggState, len(aggs))}
-			for k := range aggs {
-				g.states[k] = newAggState(aggs[k].Kind)
-			}
-			groups[gk] = g
-			order = append(order, gk)
-		}
-		for k, j := range aggIdx {
-			if j < 0 {
-				g.states[k].observeRow()
-			} else {
-				g.states[k].observe(t.cols[j].Value(i))
-			}
-		}
-	}
-
-	// Deterministic output: sort groups by their key tuple.
-	sort.Slice(order, func(a, b int) bool {
-		ga, gb := groups[order[a]], groups[order[b]]
-		for k := range ga.keyVals {
-			if c := ga.keyVals[k].Compare(gb.keyVals[k]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
 
 	fields := make([]Field, 0, len(keys)+len(aggs))
 	for k, name := range keys {
@@ -339,19 +208,18 @@ func (t *Table) GroupBy(keys []string, aggs []AggSpec) (*Table, error) {
 				name += "_" + a.Column
 			}
 		}
-		fields = append(fields, Field{Name: name, Kind: aggResultKind(a.Kind)})
+		fields = append(fields, Field{Name: name, Kind: exec.ResultKind(a.Kind)})
 	}
 	schema, err := NewSchema(fields...)
 	if err != nil {
 		return nil, err
 	}
 	out := MustTable(schema)
-	for _, gk := range order {
-		g := groups[gk]
-		row := make([]value.Value, 0, len(fields))
-		row = append(row, g.keyVals...)
-		for _, st := range g.states {
-			row = append(row, st.result())
+	row := make([]value.Value, len(fields))
+	for _, g := range groups {
+		copy(row, g.Tuple)
+		for k, st := range g.States {
+			row[len(keys)+k] = st.Result()
 		}
 		if err := out.AppendRow(row); err != nil {
 			return nil, err
@@ -361,30 +229,14 @@ func (t *Table) GroupBy(keys []string, aggs []AggSpec) (*Table, error) {
 }
 
 // Distinct returns the distinct rows of the named columns, sorted
-// ascending.
+// ascending. It is a zero-aggregate group-by on the shared kernel.
 func (t *Table) Distinct(names ...string) (*Table, error) {
-	proj, err := t.Project(names...)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[string]struct{}, proj.Len())
-	out := MustTable(proj.schema)
-	for i := 0; i < proj.Len(); i++ {
-		row := proj.Row(i)
-		gk := groupKey(row)
-		if _, dup := seen[gk]; dup {
-			continue
-		}
-		seen[gk] = struct{}{}
-		if err := out.AppendRow(row); err != nil {
-			return nil, err
+	for _, n := range names {
+		if _, ok := t.schema.Lookup(n); !ok {
+			return nil, fmt.Errorf("storage: unknown field %q", n)
 		}
 	}
-	keys := make([]SortKey, len(names))
-	for i, n := range names {
-		keys[i] = SortKey{Column: n}
-	}
-	return out.Sort(keys...)
+	return t.GroupBy(names, nil)
 }
 
 // FloatStats summarises the non-NA numeric content of a column.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ddgms/ddgms/internal/exec"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
@@ -128,6 +129,16 @@ func (t *Table) MustColumn(name string) Column {
 
 // ColumnAt returns the column at position j.
 func (t *Table) ColumnAt(j int) Column { return t.cols[j] }
+
+// Dict returns the cached dictionary-encoded view of the named column
+// (see Column.Dict).
+func (t *Table) Dict(name string) (*exec.CodedColumn, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Dict(), nil
+}
 
 // AppendTable appends all rows of o, whose schema must equal t's.
 func (t *Table) AppendTable(o *Table) error {

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Benchmarks the shared execution core: the dictionary-coded parallel
+# group-by kernel against the legacy scalar path, at both the storage
+# layer (Table.GroupBy) and the cube layer (Engine.Execute), over the
+# full DiScRi attendance fact table. Writes machine-readable results to
+# BENCH_1.json next to this script's repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_1.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkGroupBy(Coded|Legacy)$|BenchmarkCubeExecute(Vectorized|Legacy)$' \
+  -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ",\n"
+  printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    name, $2, $3, $5, $7
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1+ gate: everything the repo requires before a change lands.
+# Extends the tier-1 command (go build + go test) with vet and the race
+# detector, which the parallel execution kernel makes load-bearing.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
