@@ -14,11 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/core"
 	"github.com/ddgms/ddgms/internal/cube"
@@ -313,14 +318,51 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "flat.ddgt", "transformed table path")
 	addr := fs.String("addr", "127.0.0.1:8360", "listen address")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-request /query deadline (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	fs.Parse(args)
 	p, err := platformFromFlat(*in)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+
+	h := server.New(p, server.WithQueryTimeout(*queryTimeout))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving DD-DGMS on http://%s (endpoints: /healthz /schema /query /findings)\n", *addr)
-	return http.ListenAndServe(*addr, server.New(p))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "shutting down, draining in-flight requests...")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the application handler first (stops admitting, waits for
+	// in-flight queries), then close listeners and idle connections.
+	if err := h.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func cmdReport(args []string) error {

@@ -1,7 +1,9 @@
 package etl
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -12,6 +14,7 @@ import (
 // each receives the table produced by its predecessor.
 type Pipeline struct {
 	steps []Step
+	retry RetryPolicy
 }
 
 // Step is one named transformation. Apply may modify the table in place
@@ -116,12 +119,95 @@ func (p *Pipeline) AddCardinality(patientCol, timeCol, out string) *Pipeline {
 	})
 }
 
+// transientError marks an error as transient: the step that produced it
+// may succeed if retried (e.g. a source fetch hitting a flaky share).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the pipeline retry policy treats the failure as
+// retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked with
+// Transient.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// RetryPolicy controls how Run retries steps that fail with a transient
+// error. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per step, including the
+	// first. Values below 1 are treated as 1.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay (when MaxDelay > 0).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is called between attempts; tests can stub it. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// WithRetry sets the retry policy applied by Run to transient step
+// failures.
+func (p *Pipeline) WithRetry(r RetryPolicy) *Pipeline {
+	p.retry = r
+	return p
+}
+
+func (r RetryPolicy) sleep(attempt int) {
+	d := r.BaseDelay << uint(attempt)
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	if d <= 0 {
+		return
+	}
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Run executes the pipeline over a copy of the input table and returns the
 // transformed table. The input is never modified.
+//
+// Steps failing with an error marked Transient are retried with
+// exponential backoff per the pipeline's RetryPolicy. Each attempt runs on
+// a fresh clone of the step's input, so a step that mutated the table
+// before failing cannot leak a half-applied transform into the retry.
 func (p *Pipeline) Run(t *storage.Table) (*storage.Table, error) {
 	cur := t.Clone()
+	attempts := p.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
 	for _, s := range p.steps {
-		next, err := s.Apply(cur)
+		var next *storage.Table
+		var err error
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				p.retry.sleep(attempt - 1)
+			}
+			in := cur
+			if attempts > 1 {
+				in = cur.Clone()
+			}
+			next, err = s.Apply(in)
+			if err == nil || !IsTransient(err) {
+				break
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("etl: step %s: %w", s.Name, err)
 		}

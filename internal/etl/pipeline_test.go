@@ -1,7 +1,9 @@
 package etl
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -160,6 +162,135 @@ func TestPipelineDiscretizeNonNumericFails(t *testing.T) {
 	p.AddDiscretize("G", "GB", MustManualScheme("X", []float64{1}, []string{"a", "b"}))
 	if _, err := p.Run(tbl); err == nil {
 		t.Error("discretising a string column must fail")
+	}
+}
+
+func TestPipelineRetriesTransient(t *testing.T) {
+	tbl := visitsTable(t)
+	var slept []time.Duration
+	calls := 0
+	var p Pipeline
+	p.Add(Step{
+		Name: "flaky-source",
+		Apply: func(t *storage.Table) (*storage.Table, error) {
+			calls++
+			if calls < 3 {
+				// Mutate before failing: the retry must not see this.
+				t.MustValue(0, "FBG")
+				return nil, Transient(errors.New("share unreachable"))
+			}
+			return t, nil
+		},
+	}).AddImputeMean("FBG").WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    15 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	out, err := p.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if out.Len() != tbl.Len() {
+		t.Errorf("rows = %d", out.Len())
+	}
+	// Backoff doubles from BaseDelay and is capped at MaxDelay.
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("slept = %v, want %v", slept, want)
+	}
+}
+
+func TestPipelineRetryExhausted(t *testing.T) {
+	tbl := visitsTable(t)
+	calls := 0
+	var p Pipeline
+	p.Add(Step{
+		Name: "always-down",
+		Apply: func(t *storage.Table) (*storage.Table, error) {
+			calls++
+			return nil, Transient(errors.New("still unreachable"))
+		},
+	}).WithRetry(RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	_, err := p.Run(tbl)
+	if err == nil {
+		t.Fatal("exhausted retries must fail")
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !IsTransient(err) {
+		t.Errorf("wrapped error lost its transient mark: %v", err)
+	}
+}
+
+func TestPipelinePermanentErrorNotRetried(t *testing.T) {
+	tbl := visitsTable(t)
+	calls := 0
+	var p Pipeline
+	p.Add(Step{
+		Name: "bad-config",
+		Apply: func(t *storage.Table) (*storage.Table, error) {
+			calls++
+			return nil, errors.New("no such column")
+		},
+	}).WithRetry(RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}})
+	if _, err := p.Run(tbl); err == nil {
+		t.Fatal("permanent error must surface")
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (permanent errors are not retried)", calls)
+	}
+}
+
+func TestPipelineRetryCloneIsolation(t *testing.T) {
+	// A step that mutates its input and then fails transiently must not
+	// leak the mutation into the successful attempt.
+	tbl := visitsTable(t)
+	calls := 0
+	var p Pipeline
+	p.Add(Step{
+		Name: "mutate-then-fail",
+		Apply: func(in *storage.Table) (*storage.Table, error) {
+			calls++
+			if err := in.AddColumn(storage.Field{Name: "Scratch", Kind: value.IntKind},
+				func(int) value.Value { return value.Int(int64(calls)) }); err != nil {
+				return nil, err
+			}
+			if calls == 1 {
+				return nil, Transient(errors.New("flake"))
+			}
+			return in, nil
+		},
+	}).WithRetry(RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}})
+	out, err := p.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Had the failed attempt's mutation leaked, the second AddColumn of
+	// "Scratch" would have errored on a duplicate column.
+	if got := out.MustValue(0, "Scratch").Int(); got != 2 {
+		t.Errorf("Scratch = %d, want 2 (value from the successful attempt)", got)
+	}
+}
+
+func TestTransientHelpers(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+	base := errors.New("boom")
+	te := Transient(base)
+	if !IsTransient(te) {
+		t.Error("IsTransient(Transient(err)) = false")
+	}
+	if !errors.Is(te, base) {
+		t.Error("Transient must wrap the original error")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
 	}
 }
 

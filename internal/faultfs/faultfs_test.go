@@ -1,0 +1,156 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// workload performs a fixed sequence of filesystem operations and returns
+// the first error. It is the determinism fixture: the same sequence must
+// count the same number of injection points every run.
+func workload(fs FS, dir string) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		return err
+	}
+	g, err := fs.OpenAppend(filepath.Join(dir, "b"))
+	if err != nil {
+		return err
+	}
+	if _, err := g.Write([]byte("!!")); err != nil {
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestFaultCountingDeterministic(t *testing.T) {
+	f1 := NewFault(OS{})
+	if err := workload(f1, t.TempDir()); err != nil {
+		t.Fatalf("unarmed workload: %v", err)
+	}
+	f2 := NewFault(OS{})
+	if err := workload(f2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Ops() != f2.Ops() || f1.Ops() == 0 {
+		t.Fatalf("op counts differ: %d vs %d", f1.Ops(), f2.Ops())
+	}
+}
+
+func TestFaultCrashAtEveryPoint(t *testing.T) {
+	count := NewFault(OS{})
+	if err := workload(count, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	total := count.Ops()
+	for i := 1; i <= total; i++ {
+		f := NewFault(OS{}).CrashAt(i, 0)
+		err := workload(f, t.TempDir())
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("crashAt(%d): err = %v, want ErrInjected", i, err)
+		}
+		if !f.Crashed() {
+			t.Fatalf("crashAt(%d): did not fire", i)
+		}
+		// Dead after the crash: any further op fails too.
+		if err := f.MkdirAll(t.TempDir()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("crashAt(%d): post-crash op err = %v", i, err)
+		}
+	}
+	// Beyond the end: never fires, workload succeeds.
+	f := NewFault(OS{}).CrashAt(total+1, 0)
+	if err := workload(f, t.TempDir()); err != nil {
+		t.Fatalf("crash beyond end: %v", err)
+	}
+}
+
+func TestFaultPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	// Count ops up to and including the first Write (MkdirAll, Create, Write).
+	f := NewFault(OS{}).CrashAt(3, 0.5)
+	err := workload(f, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("torn write left %q, want %q", data, "hello")
+	}
+}
+
+func TestFaultFullWriteThenCrash(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS{}).CrashAt(3, 1)
+	if err := workload(f, dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(data) != "hello world" {
+		t.Fatalf("frac=1 write left %q", data)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("abcdef"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(filepath.Join(dir, "x"), 3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "abc" {
+		t.Fatalf("read back %q", data)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "x")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package oltp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// Checkpoint file layout: the 8-byte magic, then the same length+CRC32-C
+// framing as WAL segments. The first frame is a meta record (nextID,
+// nextTx, row count); each following frame is one committed row (id, nval,
+// values). The file number is the first WAL segment sequence to replay on
+// top of the snapshot. Checkpoints are written to <name>.tmp, synced and
+// renamed into place, so recovery only ever sees complete files; a frame
+// error inside one is therefore bit rot and fails loudly with the offset.
+
+// writeCheckpoint snapshots current committed state as checkpoint seq.
+// The caller must guarantee the state is quiescent (holds s.mu or is in
+// recovery before any writer exists).
+func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
+	final := filepath.Join(dir, ckptName(seq))
+	tmp := final + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("oltp: creating checkpoint: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var scratch bytes.Buffer
+
+	frame := func(payload []byte) error {
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+
+	write := func() error {
+		if _, err := bw.WriteString(ckptMagic); err != nil {
+			return err
+		}
+		scratch.Reset()
+		writeUvarint(&scratch, uint64(s.nextID))
+		writeUvarint(&scratch, s.nextTx)
+		writeUvarint(&scratch, uint64(len(s.rows)))
+		if err := frame(scratch.Bytes()); err != nil {
+			return err
+		}
+		ids := make([]RowID, 0, len(s.rows))
+		for id := range s.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			scratch.Reset()
+			writeUvarint(&scratch, uint64(id))
+			row := s.rows[id].row
+			writeUvarint(&scratch, uint64(len(row)))
+			for _, v := range row {
+				if err := writeValue(&scratch, v); err != nil {
+					return err
+				}
+			}
+			if err := frame(scratch.Bytes()); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+
+	if err := write(); err != nil {
+		f.Close()
+		return fmt.Errorf("oltp: writing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("oltp: closing checkpoint: %w", err)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return fmt.Errorf("oltp: publishing checkpoint: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("oltp: syncing store dir: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores committed state from checkpoint seq. Rows are
+// installed directly; secondary indexes are created later (CreateIndex
+// scans current rows), so none exist yet at recovery time.
+func (s *Store) loadCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
+	name := ckptName(seq)
+	f, err := fs.Open(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("oltp: opening checkpoint: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("oltp: reading checkpoint %s: %w", name, err)
+	}
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("%w: checkpoint %s: bad magic at offset 0", errCorrupt, name)
+	}
+
+	off := len(ckptMagic)
+	nextFrame := func() ([]byte, error) {
+		rem := len(data) - off
+		if rem < frameHeader {
+			return nil, fmt.Errorf("%w: checkpoint %s: truncated frame header at offset %d", errCorrupt, name, off)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxFrame || rem < frameHeader+int(length) {
+			return nil, fmt.Errorf("%w: checkpoint %s: truncated record at offset %d", errCorrupt, name, off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, fmt.Errorf("%w: checkpoint %s: checksum mismatch at offset %d", errCorrupt, name, off)
+		}
+		off += frameHeader + int(length)
+		return payload, nil
+	}
+
+	meta, err := nextFrame()
+	if err != nil {
+		return err
+	}
+	mr := bytes.NewReader(meta)
+	nextID, err := binary.ReadUvarint(mr)
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint %s: bad meta record", errCorrupt, name)
+	}
+	nextTx, err := binary.ReadUvarint(mr)
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint %s: bad meta record", errCorrupt, name)
+	}
+	nRows, err := binary.ReadUvarint(mr)
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint %s: bad meta record", errCorrupt, name)
+	}
+
+	for i := uint64(0); i < nRows; i++ {
+		rowOff := off
+		payload, err := nextFrame()
+		if err != nil {
+			return err
+		}
+		br := bytes.NewReader(payload)
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: checkpoint %s: bad row record at offset %d", errCorrupt, name, rowOff)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: checkpoint %s: bad row record at offset %d", errCorrupt, name, rowOff)
+		}
+		row := make(Row, n)
+		for j := range row {
+			v, err := readValue(br)
+			if err != nil {
+				return fmt.Errorf("%w: checkpoint %s: bad row value at offset %d", errCorrupt, name, rowOff)
+			}
+			row[j] = v
+		}
+		s.rows[RowID(id)] = versionedRow{row: row, version: 1}
+	}
+	if off != len(data) {
+		return fmt.Errorf("%w: checkpoint %s: %d trailing bytes at offset %d", errCorrupt, name, len(data)-off, off)
+	}
+	s.nextID = RowID(nextID)
+	s.nextTx = nextTx
+	return nil
+}
+
+// Checkpoint snapshots committed state to disk and truncates the log: the
+// current segment is sealed, a new segment is opened, the snapshot is
+// published atomically, and all segments and checkpoints the snapshot
+// subsumes are deleted. Commits happening after the call see only the new
+// segment. Checkpoint is also triggered automatically once the log grows
+// past Options.CheckpointBytes.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked needs s.walMu and at least a read hold on s.mu.
+func (s *Store) checkpointLocked() error {
+	if err := s.walUsableLocked(); err != nil {
+		return err
+	}
+	old := s.wal
+	if err := old.close(); err != nil {
+		return s.failWalLocked(fmt.Errorf("oltp: sealing WAL segment: %w", err))
+	}
+	next, err := createSegment(s.fs, s.dir, old.seq+1)
+	if err != nil {
+		return s.failWalLocked(err)
+	}
+	s.wal = next
+	if err := s.writeCheckpoint(s.fs, s.dir, next.seq); err != nil {
+		return s.failWalLocked(err)
+	}
+	// Best-effort cleanup: everything below the new checkpoint is garbage;
+	// a crash mid-sweep just leaves files the next recovery removes.
+	lay, err := scanWalDir(s.fs, s.dir)
+	if err != nil {
+		return s.failWalLocked(err)
+	}
+	for _, seq := range lay.segs {
+		if seq < next.seq {
+			if err := s.fs.Remove(filepath.Join(s.dir, segName(seq))); err != nil {
+				return s.failWalLocked(err)
+			}
+		}
+	}
+	for _, c := range lay.ckpts {
+		if c < next.seq {
+			if err := s.fs.Remove(filepath.Join(s.dir, ckptName(c))); err != nil {
+				return s.failWalLocked(err)
+			}
+		}
+	}
+	s.walSinceCkpt = 0
+	return nil
+}

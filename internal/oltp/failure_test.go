@@ -3,7 +3,7 @@ package oltp
 import (
 	"errors"
 	"os"
-	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -12,8 +12,6 @@ import (
 
 // Failure-injection tests: WAL corruption in various positions, and
 // conflict-retry behaviour under contention.
-
-func walPath(dir string) string { return filepath.Join(dir, "wal.log") }
 
 func populate(t *testing.T, dir string, n int) {
 	t.Helper()
@@ -35,68 +33,99 @@ func populate(t *testing.T, dir string, n int) {
 	}
 }
 
-func TestWALCorruptionMidFile(t *testing.T) {
+func TestFaultWALCorruptionMidFileDetected(t *testing.T) {
 	dir := t.TempDir()
 	populate(t, dir, 20)
-	data, err := os.ReadFile(walPath(dir))
+	path := tailSegmentPath(t, dir)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a byte in the middle: replay must stop there and keep the
-	// valid prefix, never panic.
+	// Flip a byte in the middle: the record's checksum no longer matches,
+	// and recovery must refuse to open rather than silently replay a
+	// corrupted prefix-or-garbage state. The error names the offset so an
+	// operator can inspect the log.
 	corrupted := append([]byte(nil), data...)
 	corrupted[len(corrupted)/2] ^= 0xFF
-	if err := os.WriteFile(walPath(dir), corrupted, 0o644); err != nil {
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Open(dir, testSchema())
-	if err != nil {
-		t.Fatalf("Open after corruption: %v", err)
+	if err == nil {
+		s.Close()
+		t.Fatal("Open succeeded on a mid-log corrupted WAL")
 	}
-	defer s.Close()
-	if s.Len() >= 20 {
-		// Corruption may land inside an op byte that happens to still
-		// parse; but it must never yield MORE rows.
-		t.Errorf("recovered %d rows from corrupted log of 20", s.Len())
+	if !errors.Is(err, errCorrupt) {
+		t.Errorf("err = %v, want errCorrupt", err)
 	}
-	// Store remains writable.
-	tx := s.Begin()
-	if _, err := tx.Insert(row(99, 1, "M")); err != nil {
-		t.Fatal(err)
-	}
-	if err := tx.Commit(); err != nil {
-		t.Fatalf("commit after corrupted recovery: %v", err)
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error does not name the offset: %v", err)
 	}
 }
 
-func TestWALTruncatedToEveryPrefix(t *testing.T) {
+func TestFaultWALCorruptHeaderDetected(t *testing.T) {
 	dir := t.TempDir()
-	populate(t, dir, 5)
-	data, err := os.ReadFile(walPath(dir))
+	populate(t, dir, 3)
+	path := tailSegmentPath(t, dir)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Recovery must be total: any prefix of the log opens cleanly with a
-	// row count between 0 and 5.
-	for cut := 0; cut <= len(data); cut += 7 {
+	data[0] ^= 0xFF // break the segment magic
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := Open(dir, testSchema()); err == nil {
+		s.Close()
+		t.Fatal("Open succeeded with a corrupted segment header")
+	} else if !errors.Is(err, errCorrupt) {
+		t.Errorf("err = %v, want errCorrupt", err)
+	}
+}
+
+func TestFaultWALTruncatedToEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir, 5)
+	path := tailSegmentPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash truncates the log to an arbitrary prefix. Recovery must be
+	// total over prefixes: every cut opens cleanly with a row count
+	// between 0 and 5 — a torn tail is discarded, never fatal.
+	for cut := 0; cut <= len(data); cut++ {
 		sub := t.TempDir()
-		if err := os.WriteFile(walPath(sub), data[:cut], 0o644); err != nil {
+		s, err := Open(sub, testSchema())
+		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := Open(sub, testSchema())
+		s.Close()
+		if err := os.WriteFile(tailSegmentPath(t, sub), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err = Open(sub, testSchema())
 		if err != nil {
 			t.Fatalf("cut=%d: %v", cut, err)
 		}
 		if s.Len() > 5 {
 			t.Errorf("cut=%d: %d rows", cut, s.Len())
 		}
+		// Still writable after torn-tail recovery.
+		tx := s.Begin()
+		if _, err := tx.Insert(row(99, 1, "M")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("cut=%d: commit after recovery: %v", cut, err)
+		}
 		s.Close()
 	}
 }
 
-func TestEmptyWALFile(t *testing.T) {
+func TestFaultEmptyLegacyWALFile(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(walPath(dir), nil, 0o644); err != nil {
+	if err := os.WriteFile(walLegacyPath(dir), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Open(dir, testSchema())

@@ -13,11 +13,10 @@ package oltp
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
+	"github.com/ddgms/ddgms/internal/faultfs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -38,7 +37,36 @@ var (
 	ErrTxDone = errors.New("oltp: transaction already finished")
 	// ErrNotFound reports an operation against a row that does not exist.
 	ErrNotFound = errors.New("oltp: row not found")
+	// ErrClosed reports use of a store after Close.
+	ErrClosed = errors.New("oltp: store closed")
 )
+
+// Options tunes durability behaviour. The zero value means defaults.
+type Options struct {
+	// FS is the filesystem the WAL writes through; nil means the real
+	// one. Tests substitute a faultfs.Fault to crash the store at exact
+	// injection points.
+	FS faultfs.FS
+	// SegmentBytes rotates the WAL to a fresh segment once the current
+	// one exceeds this size. Default 4 MiB.
+	SegmentBytes int64
+	// CheckpointBytes snapshots committed state and truncates old
+	// segments once the log grows past this size. Default 32 MiB.
+	CheckpointBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 32 << 20
+	}
+	return o
+}
 
 // versionedRow is the committed state of one row.
 type versionedRow struct {
@@ -55,51 +83,101 @@ type Store struct {
 	nextID  RowID
 	indexes map[string]*index
 
-	walMu sync.Mutex
-	wal   *walWriter
-	dir   string
+	walMu        sync.Mutex
+	wal          *walWriter
+	walErr       error // sticky: a failed WAL write poisons the log
+	walSinceCkpt int64 // bytes appended since the last checkpoint
+	closed       bool
+	dir          string
+	fs           faultfs.FS
+	opts         Options
 
 	nextTx uint64
 }
 
-// Open creates or reopens a store in dir. If a write-ahead log exists, all
-// committed transactions are replayed; an interrupted (uncommitted) tail is
-// discarded. Pass an empty dir for a purely in-memory store without
-// durability.
+// Open creates or reopens a store in dir with default durability options.
+// If a write-ahead log exists, all committed transactions are replayed; an
+// interrupted (uncommitted) tail is discarded; detected corruption (a
+// checksum failure anywhere before the tail) fails the open loudly. Pass
+// an empty dir for a purely in-memory store without durability.
 func Open(dir string, schema *storage.Schema) (*Store, error) {
+	return OpenWith(dir, schema, Options{})
+}
+
+// OpenWith is Open with explicit durability options.
+func OpenWith(dir string, schema *storage.Schema, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
 	s := &Store{
 		schema:  schema,
 		rows:    make(map[RowID]versionedRow),
 		indexes: make(map[string]*index),
 		dir:     dir,
+		fs:      opts.FS,
+		opts:    opts,
 	}
 	if dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("oltp: creating store dir: %w", err)
 	}
-	path := filepath.Join(dir, "wal.log")
-	if err := s.replay(path); err != nil {
+	if err := s.recover(s.fs, dir); err != nil {
 		return nil, err
 	}
-	w, err := openWalWriter(path)
-	if err != nil {
-		return nil, err
-	}
-	s.wal = w
 	return s, nil
 }
 
-// Close releases the write-ahead log file handle.
+// Close flushes, syncs and releases the write-ahead log, reporting the
+// first error encountered. The store accepts no commits afterwards.
 func (s *Store) Close() error {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.wal == nil {
 		return nil
 	}
 	err := s.wal.close()
 	s.wal = nil
+	if err != nil {
+		return fmt.Errorf("oltp: closing WAL: %w", err)
+	}
+	return nil
+}
+
+// Healthy reports whether the store can durably accept commits: nil for a
+// usable store, ErrClosed after Close, or the sticky WAL error after a
+// failed log write.
+func (s *Store) Healthy() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walErr != nil {
+		return s.walErr
+	}
+	return nil
+}
+
+// walUsableLocked guards WAL use; the caller holds s.walMu.
+func (s *Store) walUsableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walErr != nil {
+		return fmt.Errorf("oltp: WAL unusable after earlier failure: %w", s.walErr)
+	}
+	return nil
+}
+
+// failWalLocked records a WAL failure. The log may now contain a partial
+// record, so no further appends are allowed: replay would otherwise read
+// garbage across the boundary. The caller holds s.walMu.
+func (s *Store) failWalLocked(err error) error {
+	s.walErr = err
 	return err
 }
 
@@ -335,29 +413,70 @@ func (t *Tx) Commit() error {
 	}
 
 	// Durability: WAL first, then apply.
-	if s.wal != nil {
-		s.walMu.Lock()
-		for _, id := range t.order {
-			w := t.writes[id]
-			if err := s.wal.append(walRecord{tx: t.id, op: w.op, id: id, row: w.row}); err != nil {
-				s.walMu.Unlock()
-				return fmt.Errorf("oltp: writing WAL: %w", err)
-			}
+	if s.dir != "" {
+		if err := s.logCommit(t); err != nil {
+			return err
 		}
-		if err := s.wal.append(walRecord{tx: t.id, op: opCommit}); err != nil {
-			s.walMu.Unlock()
-			return fmt.Errorf("oltp: writing WAL commit: %w", err)
-		}
-		if err := s.wal.sync(); err != nil {
-			s.walMu.Unlock()
-			return fmt.Errorf("oltp: syncing WAL: %w", err)
-		}
-		s.walMu.Unlock()
 	}
 
 	for _, id := range t.order {
 		s.applyLocked(t.writes[id])
 	}
+	return nil
+}
+
+// logCommit makes t's write set durable: segment housekeeping (rotation or
+// checkpoint when thresholds are crossed, both at a record boundary before
+// this transaction's first byte), then the data records, the commit marker
+// and a sync. Any failure poisons the WAL — a partial record may be on
+// disk, and appending after it would make the next replay read garbage —
+// so every later commit fails fast until the store is reopened. The
+// caller holds s.mu.
+func (s *Store) logCommit(t *Tx) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.walUsableLocked(); err != nil {
+		return err
+	}
+	switch {
+	case s.walSinceCkpt >= s.opts.CheckpointBytes:
+		if err := s.checkpointLocked(); err != nil {
+			return fmt.Errorf("oltp: checkpointing WAL: %w", err)
+		}
+	case s.wal.size >= s.opts.SegmentBytes:
+		if err := s.rotateLocked(); err != nil {
+			return fmt.Errorf("oltp: rotating WAL: %w", err)
+		}
+	}
+	before := s.wal.size
+	for _, id := range t.order {
+		w := t.writes[id]
+		if err := s.wal.append(walRecord{tx: t.id, op: w.op, id: id, row: w.row}); err != nil {
+			return s.failWalLocked(fmt.Errorf("oltp: writing WAL: %w", err))
+		}
+	}
+	if err := s.wal.append(walRecord{tx: t.id, op: opCommit}); err != nil {
+		return s.failWalLocked(fmt.Errorf("oltp: writing WAL commit: %w", err))
+	}
+	if err := s.wal.sync(); err != nil {
+		return s.failWalLocked(fmt.Errorf("oltp: syncing WAL: %w", err))
+	}
+	s.walSinceCkpt += s.wal.size - before
+	return nil
+}
+
+// rotateLocked seals the current segment and starts the next one. The
+// caller holds s.walMu.
+func (s *Store) rotateLocked() error {
+	old := s.wal
+	if err := old.close(); err != nil {
+		return s.failWalLocked(err)
+	}
+	next, err := createSegment(s.fs, s.dir, old.seq+1)
+	if err != nil {
+		return s.failWalLocked(err)
+	}
+	s.wal = next
 	return nil
 }
 

@@ -2,10 +2,12 @@ package oltp
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 
+	"github.com/ddgms/ddgms/internal/faultfs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -291,13 +293,14 @@ func TestWALTornTailDiscarded(t *testing.T) {
 	tx.Commit()
 	s.Close()
 
-	// Append garbage simulating a torn write of an uncommitted tx.
-	path := filepath.Join(dir, "wal.log")
-	f, err := openAppend(path)
+	// Append garbage simulating a torn write of an uncommitted tx: a few
+	// bytes too short to even form a frame header.
+	path := tailSegmentPath(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Write([]byte{byte(opInsert), 0x05, 0x09}) // truncated record
+	f.Write([]byte{byte(opInsert), 0x05, 0x09})
 	f.Close()
 
 	s2 := mustOpen(t, dir)
@@ -390,19 +393,15 @@ func TestConcurrentInserts(t *testing.T) {
 	}
 }
 
-// openAppend opens a file for appending; test helper for torn-tail setup.
-func openAppend(path string) (interface {
-	Write([]byte) (int, error)
-	Close() error
-}, error) {
-	w, err := openWalWriter(path)
+// tailSegmentPath returns the path of the highest-numbered WAL segment.
+func tailSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	lay, err := scanWalDir(faultfs.OS{}, dir)
 	if err != nil {
-		return nil, err
+		t.Fatal(err)
 	}
-	return walAppender{w}, nil
+	if len(lay.segs) == 0 {
+		t.Fatal("no WAL segments")
+	}
+	return filepath.Join(dir, segName(lay.segs[len(lay.segs)-1]))
 }
-
-type walAppender struct{ w *walWriter }
-
-func (a walAppender) Write(p []byte) (int, error) { return a.w.bw.Write(p) }
-func (a walAppender) Close() error                { return a.w.close() }

@@ -2,13 +2,19 @@ package oltp
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
+	"github.com/ddgms/ddgms/internal/faultfs"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
@@ -31,49 +37,121 @@ type walRecord struct {
 	row Row
 }
 
-// WAL wire format per record, little-endian varints:
+// On-disk format, version 2 (format 1 is the legacy unframed wal.log; see
+// replayLegacy). The log is a sequence of numbered segment files
+// wal-NNNNNNNN.seg, each starting with an 8-byte magic and containing
+// framed records:
 //
-//	op   1 byte
-//	tx   uvarint
-//	id   uvarint        (data records only)
-//	nval uvarint        (data records with rows only)
-//	vals nval × value   (kind byte + payload)
+//	frame   length  uint32 LE   (payload bytes)
+//	        crc     uint32 LE   (CRC32-C of payload)
+//	        payload
 //
-// Commit markers consist of just op+tx. The log is an append-only stream;
-// recovery replays records of committed transactions and discards any
-// trailing partial record (torn write).
+//	payload op   1 byte
+//	        tx   uvarint
+//	        id   uvarint        (data records only)
+//	        nval uvarint        (data records with rows only)
+//	        vals nval × value   (kind byte + payload)
+//
+// Commit markers consist of just op+tx. Recovery replays records of
+// committed transactions across segments in sequence order. An incomplete
+// frame at the end of the LAST segment is a torn tail from a crash: it is
+// physically truncated away and the store continues. A checksum mismatch,
+// an implausible frame length, or an incomplete frame anywhere else is
+// mid-log corruption and recovery fails loudly with the segment and byte
+// offset — a flipped bit is never silently replayed.
+//
+// A checkpoint file checkpoint-NNNNNNNN.ckpt holds a full snapshot of
+// committed state; its number is the first segment sequence that must be
+// replayed on top of it. Checkpoints are written to a temp file, synced
+// and renamed, so a crash never exposes a partial checkpoint; after a
+// checkpoint lands, older segments and checkpoints are deleted.
 
-type walWriter struct {
-	f  *os.File
-	bw *bufio.Writer
-}
+const (
+	segMagic  = "DDGWSEG2"
+	ckptMagic = "DDGWCKP2"
 
-func openWalWriter(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("oltp: opening WAL: %w", err)
+	frameHeader = 8       // uint32 length + uint32 crc
+	maxFrame    = 1 << 26 // sanity bound on one record
+
+	legacyWALName = "wal.log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorrupt distinguishes detected log corruption from I/O failures.
+var errCorrupt = errors.New("oltp: WAL corrupt")
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%08d.seg", seq) }
+func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", seq) }
+
+// parseSeq extracts the sequence number from a segment or checkpoint file
+// name, returning ok=false for anything else.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
 	}
-	return &walWriter{f: f, bw: bufio.NewWriter(f)}, nil
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
+// walWriter appends framed records to the current segment.
+type walWriter struct {
+	fs   faultfs.FS
+	dir  string
+	seq  uint64
+	f    faultfs.File
+	bw   *bufio.Writer
+	size int64 // bytes in the current segment, including buffered
+
+	scratch bytes.Buffer
+}
+
+// createSegment starts a fresh segment file with its magic header.
+func createSegment(fs faultfs.FS, dir string, seq uint64) (*walWriter, error) {
+	f, err := fs.Create(filepath.Join(dir, segName(seq)))
+	if err != nil {
+		return nil, fmt.Errorf("oltp: creating WAL segment %d: %w", seq, err)
+	}
+	w := &walWriter{fs: fs, dir: dir, seq: seq, f: f, bw: bufio.NewWriter(f), size: int64(len(segMagic))}
+	if _, err := w.bw.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oltp: writing WAL segment header: %w", err)
+	}
+	return w, nil
+}
+
+// openSegmentAppend reopens an existing, already-verified segment for
+// appending. size is its verified length (after torn-tail truncation).
+func openSegmentAppend(fs faultfs.FS, dir string, seq uint64, size int64) (*walWriter, error) {
+	f, err := fs.OpenAppend(filepath.Join(dir, segName(seq)))
+	if err != nil {
+		return nil, fmt.Errorf("oltp: opening WAL segment %d: %w", seq, err)
+	}
+	return &walWriter{fs: fs, dir: dir, seq: seq, f: f, bw: bufio.NewWriter(f), size: size}, nil
+}
+
+// append frames one record into the buffer. The record is not durable
+// until sync.
 func (w *walWriter) append(rec walRecord) error {
-	if err := w.bw.WriteByte(byte(rec.op)); err != nil {
+	w.scratch.Reset()
+	if err := encodeRecordPayload(&w.scratch, rec); err != nil {
 		return err
 	}
-	writeUvarint(w.bw, rec.tx)
-	if rec.op == opCommit {
-		return nil
+	payload := w.scratch.Bytes()
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
 	}
-	writeUvarint(w.bw, uint64(rec.id))
-	if rec.op == opDelete {
-		return nil
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
 	}
-	writeUvarint(w.bw, uint64(len(rec.row)))
-	for _, v := range rec.row {
-		if err := writeValue(w.bw, v); err != nil {
-			return err
-		}
-	}
+	w.size += int64(frameHeader + len(payload))
 	return nil
 }
 
@@ -84,52 +162,356 @@ func (w *walWriter) sync() error {
 	return w.f.Sync()
 }
 
+// close flushes, syncs and closes the segment, reporting the first error
+// but always releasing the file handle.
 func (w *walWriter) close() error {
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
+	err := w.bw.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
 	}
-	return w.f.Close()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// replay reads the WAL at path (if present) and applies all committed
-// transactions to the store. Uncommitted or torn trailing records are
-// ignored, matching crash-recovery semantics.
-func (s *Store) replay(path string) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+// encodeRecordPayload writes the unframed record encoding (shared between
+// format 1, where records are concatenated bare, and format 2, where each
+// payload is framed with a length and checksum).
+func encodeRecordPayload(buf *bytes.Buffer, rec walRecord) error {
+	buf.WriteByte(byte(rec.op))
+	writeUvarint(buf, rec.tx)
+	if rec.op == opCommit {
 		return nil
 	}
-	if err != nil {
-		return fmt.Errorf("oltp: opening WAL for replay: %w", err)
+	writeUvarint(buf, uint64(rec.id))
+	if rec.op == opDelete {
+		return nil
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-
-	pending := make(map[uint64][]*writeOp)
-	for {
-		rec, err := readRecord(br)
-		if err == io.EOF {
-			break
+	writeUvarint(buf, uint64(len(rec.row)))
+	for _, v := range rec.row {
+		if err := writeValue(buf, v); err != nil {
+			return err
 		}
-		if err != nil {
-			// Torn tail: stop replay here; everything before the tear that
-			// committed is already applied.
-			break
-		}
-		if rec.op == opCommit {
-			for _, w := range pending[rec.tx] {
-				s.applyLocked(w)
-			}
-			delete(pending, rec.tx)
-			continue
-		}
-		pending[rec.tx] = append(pending[rec.tx], &writeOp{op: rec.op, id: rec.id, row: rec.row})
 	}
 	return nil
 }
 
-func readRecord(br *bufio.Reader) (walRecord, error) {
+// byteReader is satisfied by bufio.Reader and bytes.Reader.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// decodeRecordPayload parses one framed payload; trailing bytes are an
+// error because the frame length said exactly how long the record is.
+func decodeRecordPayload(payload []byte) (walRecord, error) {
+	br := bytes.NewReader(payload)
+	rec, err := readRecord(br)
+	if err != nil {
+		return walRecord{}, err
+	}
+	if br.Len() != 0 {
+		return walRecord{}, fmt.Errorf("oltp: %d trailing bytes after record", br.Len())
+	}
+	return rec, nil
+}
+
+// replayState carries pending (uncommitted) transactions across segment
+// boundaries during recovery, and the highest transaction id seen so the
+// reopened store never reuses one.
+type replayState struct {
+	pending map[uint64][]*writeOp
+	maxTx   uint64
+}
+
+func newReplayState() *replayState {
+	return &replayState{pending: make(map[uint64][]*writeOp)}
+}
+
+// applyRecord feeds one recovered record through the commit protocol.
+func (s *Store) applyRecord(st *replayState, rec walRecord) {
+	if rec.tx > st.maxTx {
+		st.maxTx = rec.tx
+	}
+	if rec.op == opCommit {
+		for _, w := range st.pending[rec.tx] {
+			s.applyLocked(w)
+		}
+		delete(st.pending, rec.tx)
+		return
+	}
+	st.pending[rec.tx] = append(st.pending[rec.tx], &writeOp{op: rec.op, id: rec.id, row: rec.row})
+}
+
+// replaySegment scans one segment. last marks the final segment of the
+// log, whose incomplete tail frame (if any) is a legitimate torn write;
+// the returned validSize is the byte offset up to which the segment is
+// intact, so the caller can truncate the tear away. Everywhere else an
+// incomplete or checksum-failing frame is corruption, reported with its
+// offset.
+func (s *Store) replaySegment(fs faultfs.FS, dir string, seq uint64, last bool, st *replayState) (validSize int64, err error) {
+	name := segName(seq)
+	f, err := fs.Open(filepath.Join(dir, name))
+	if err != nil {
+		return 0, fmt.Errorf("oltp: opening WAL segment for replay: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, fmt.Errorf("oltp: reading WAL segment %s: %w", name, err)
+	}
+
+	if len(data) < len(segMagic) {
+		// Shorter than the magic: only a torn segment creation can do this,
+		// and only to the last segment.
+		if last {
+			return -1, nil // signal: recreate this segment from scratch
+		}
+		return 0, fmt.Errorf("%w: segment %s: truncated header (%d bytes)", errCorrupt, name, len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, fmt.Errorf("%w: segment %s: bad magic at offset 0", errCorrupt, name)
+	}
+
+	off := len(segMagic)
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < frameHeader {
+			if last {
+				return int64(off), nil
+			}
+			return 0, fmt.Errorf("%w: segment %s: truncated frame header at offset %d", errCorrupt, name, off)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxFrame {
+			// A torn write leaves a strict prefix of valid bytes, so a
+			// fully-present header with an absurd length can only be rot.
+			return 0, fmt.Errorf("%w: segment %s: implausible record length %d at offset %d", errCorrupt, name, length, off)
+		}
+		if rem < frameHeader+int(length) {
+			if last {
+				return int64(off), nil
+			}
+			return 0, fmt.Errorf("%w: segment %s: truncated record at offset %d", errCorrupt, name, off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return 0, fmt.Errorf("%w: segment %s: checksum mismatch at offset %d", errCorrupt, name, off)
+		}
+		rec, err := decodeRecordPayload(payload)
+		if err != nil {
+			return 0, fmt.Errorf("%w: segment %s: undecodable record at offset %d: %v", errCorrupt, name, off, err)
+		}
+		s.applyRecord(st, rec)
+		off += frameHeader + int(length)
+	}
+	return int64(off), nil
+}
+
+// walLayout is what a directory listing says about the log.
+type walLayout struct {
+	segs     []uint64 // sorted segment sequence numbers
+	ckpts    []uint64 // sorted checkpoint numbers
+	legacy   bool     // wal.log present
+	tmpFiles []string // leftover temp files to sweep
+}
+
+func scanWalDir(fs faultfs.FS, dir string) (walLayout, error) {
+	var lay walLayout
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return lay, fmt.Errorf("oltp: listing store dir: %w", err)
+	}
+	for _, n := range names {
+		switch {
+		case n == legacyWALName:
+			lay.legacy = true
+		case strings.HasSuffix(n, ".tmp"):
+			lay.tmpFiles = append(lay.tmpFiles, n)
+		default:
+			if seq, ok := parseSeq(n, "wal-", ".seg"); ok {
+				lay.segs = append(lay.segs, seq)
+			} else if seq, ok := parseSeq(n, "checkpoint-", ".ckpt"); ok {
+				lay.ckpts = append(lay.ckpts, seq)
+			}
+		}
+	}
+	sort.Slice(lay.segs, func(a, b int) bool { return lay.segs[a] < lay.segs[b] })
+	sort.Slice(lay.ckpts, func(a, b int) bool { return lay.ckpts[a] < lay.ckpts[b] })
+	return lay, nil
+}
+
+// recover rebuilds committed state from the directory and leaves s.wal
+// open on the tail segment, ready to append. It handles all three
+// layouts: fresh directory, format-2 segments (+ optional checkpoint),
+// and a format-1 wal.log which is migrated to format 2 on first open.
+func (s *Store) recover(fs faultfs.FS, dir string) error {
+	lay, err := scanWalDir(fs, dir)
+	if err != nil {
+		return err
+	}
+	// Sweep temp files from an interrupted checkpoint: the rename never
+	// happened, so they are invisible to recovery semantics.
+	for _, n := range lay.tmpFiles {
+		if err := fs.Remove(filepath.Join(dir, n)); err != nil {
+			return fmt.Errorf("oltp: sweeping %s: %w", n, err)
+		}
+	}
+
+	if lay.legacy {
+		if len(lay.ckpts) == 0 && len(lay.segs) == 0 {
+			return s.migrateLegacy(fs, dir)
+		}
+		// A crash between checkpoint rename and wal.log removal during a
+		// previous migration: the checkpoint already owns the state.
+		if err := fs.Remove(filepath.Join(dir, legacyWALName)); err != nil {
+			return fmt.Errorf("oltp: removing migrated %s: %w", legacyWALName, err)
+		}
+	}
+
+	var base uint64 // first segment that must be replayed
+	if len(lay.ckpts) > 0 {
+		base = lay.ckpts[len(lay.ckpts)-1]
+		if err := s.loadCheckpoint(fs, dir, base); err != nil {
+			return err
+		}
+		// Older checkpoints are superseded.
+		for _, c := range lay.ckpts[:len(lay.ckpts)-1] {
+			if err := fs.Remove(filepath.Join(dir, ckptName(c))); err != nil {
+				return fmt.Errorf("oltp: removing stale checkpoint %d: %w", c, err)
+			}
+		}
+	}
+
+	// Segments below the checkpoint are subsumed by it (a crash between
+	// checkpoint rename and segment deletion leaves them behind).
+	var replay []uint64
+	for _, seq := range lay.segs {
+		if seq < base {
+			if err := fs.Remove(filepath.Join(dir, segName(seq))); err != nil {
+				return fmt.Errorf("oltp: removing stale segment %d: %w", seq, err)
+			}
+			continue
+		}
+		replay = append(replay, seq)
+	}
+	if base > 0 && len(replay) > 0 && replay[0] != base {
+		return fmt.Errorf("%w: missing segment %d (checkpoint base)", errCorrupt, base)
+	}
+	for i, seq := range replay {
+		want := replay[0] + uint64(i)
+		if seq != want {
+			return fmt.Errorf("%w: missing segment %d (found %d)", errCorrupt, want, seq)
+		}
+	}
+
+	st := newReplayState()
+	tailSize := int64(-1)
+	for i, seq := range replay {
+		last := i == len(replay)-1
+		size, err := s.replaySegment(fs, dir, seq, last, st)
+		if err != nil {
+			return err
+		}
+		if last {
+			tailSize = size
+		}
+	}
+	if st.maxTx > s.nextTx {
+		s.nextTx = st.maxTx
+	}
+
+	switch {
+	case len(replay) == 0:
+		seq := base
+		if seq == 0 {
+			seq = 1
+		}
+		w, err := createSegment(fs, dir, seq)
+		if err != nil {
+			return err
+		}
+		s.wal = w
+	case tailSize < 0:
+		// Tail segment died before its header landed: recreate it.
+		w, err := createSegment(fs, dir, replay[len(replay)-1])
+		if err != nil {
+			return err
+		}
+		s.wal = w
+	default:
+		tail := replay[len(replay)-1]
+		// Physically drop any torn tail so the next append starts at a
+		// clean frame boundary.
+		if err := fs.Truncate(filepath.Join(dir, segName(tail)), tailSize); err != nil {
+			return fmt.Errorf("oltp: truncating torn WAL tail: %w", err)
+		}
+		w, err := openSegmentAppend(fs, dir, tail, tailSize)
+		if err != nil {
+			return err
+		}
+		s.wal = w
+	}
+	return nil
+}
+
+// migrateLegacy replays a format-1 wal.log, snapshots the result as a
+// format-2 checkpoint, opens segment 1 and removes the old log. A crash
+// anywhere in this sequence is safe: before the checkpoint rename the old
+// log is still authoritative; after it, recovery deletes the leftover
+// wal.log.
+func (s *Store) migrateLegacy(fs faultfs.FS, dir string) error {
+	if err := s.replayLegacy(fs, filepath.Join(dir, legacyWALName)); err != nil {
+		return err
+	}
+	if err := s.writeCheckpoint(fs, dir, 1); err != nil {
+		return fmt.Errorf("oltp: migrating legacy WAL: %w", err)
+	}
+	w, err := createSegment(fs, dir, 1)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	if err := fs.Remove(filepath.Join(dir, legacyWALName)); err != nil {
+		return fmt.Errorf("oltp: removing legacy WAL: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("oltp: syncing store dir: %w", err)
+	}
+	return nil
+}
+
+// replayLegacy reads the unframed format-1 log. Format 1 has no
+// checksums, so — as before this format existed — replay is lenient: the
+// first unparsable byte is treated as the torn tail and everything
+// committed before it survives.
+func (s *Store) replayLegacy(fs faultfs.FS, path string) error {
+	f, err := fs.Open(path)
+	if err != nil {
+		return fmt.Errorf("oltp: opening legacy WAL for replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	st := newReplayState()
+	for {
+		rec, err := readRecord(br)
+		if err != nil {
+			// io.EOF is the clean end; anything else is a torn tail, which
+			// format 1 cannot distinguish from corruption.
+			break
+		}
+		s.applyRecord(st, rec)
+	}
+	if st.maxTx > s.nextTx {
+		s.nextTx = st.maxTx
+	}
+	return nil
+}
+
+func readRecord(br byteReader) (walRecord, error) {
 	opb, err := br.ReadByte()
 	if err != nil {
 		return walRecord{}, err
@@ -173,39 +555,35 @@ func readRecord(br *bufio.Reader) (walRecord, error) {
 	return rec, nil
 }
 
-func writeValue(bw *bufio.Writer, v value.Value) error {
-	if err := bw.WriteByte(byte(v.Kind())); err != nil {
-		return err
-	}
+func writeValue(buf *bytes.Buffer, v value.Value) error {
+	buf.WriteByte(byte(v.Kind()))
 	switch v.Kind() {
 	case value.NAKind:
 	case value.IntKind:
-		writeVarint(bw, v.Int())
+		writeVarint(buf, v.Int())
 	case value.BoolKind:
 		b := byte(0)
 		if v.Bool() {
 			b = 1
 		}
-		return bw.WriteByte(b)
+		buf.WriteByte(b)
 	case value.TimeKind:
-		writeVarint(bw, v.Time().UnixNano())
+		writeVarint(buf, v.Time().UnixNano())
 	case value.FloatKind:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
-		_, err := bw.Write(buf[:])
-		return err
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(v.Float()))
+		buf.Write(fb[:])
 	case value.StringKind:
 		s := v.Str()
-		writeUvarint(bw, uint64(len(s)))
-		_, err := bw.WriteString(s)
-		return err
+		writeUvarint(buf, uint64(len(s)))
+		buf.WriteString(s)
 	default:
 		return fmt.Errorf("oltp: cannot encode kind %v", v.Kind())
 	}
 	return nil
 }
 
-func readValue(br *bufio.Reader) (value.Value, error) {
+func readValue(br byteReader) (value.Value, error) {
 	kb, err := br.ReadByte()
 	if err != nil {
 		return value.NA(), err
@@ -255,14 +633,14 @@ func readValue(br *bufio.Reader) (value.Value, error) {
 	return value.NA(), fmt.Errorf("oltp: bad WAL value kind %d", kb)
 }
 
-func writeUvarint(bw *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	bw.Write(buf[:n])
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	buf.Write(b[:n])
 }
 
-func writeVarint(bw *bufio.Writer, v int64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	bw.Write(buf[:n])
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	buf.Write(b[:n])
 }

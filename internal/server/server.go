@@ -7,33 +7,94 @@
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness; ?deep=1 adds readiness (warehouse built, OLTP store open)
 //	GET  /schema             the star schema: dimensions, attributes, hierarchies, measures
 //	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON
 //	GET  /findings?q=term    knowledge-base search
 //	POST /findings           {"topic","statement","source"} -> recorded finding id
 //	POST /findings/reinforce {"id"} -> evidence added (promotes at threshold)
+//
+// The handler degrades gracefully rather than falling over: every request
+// runs under panic recovery (a handler bug answers 500 JSON, not a dropped
+// connection), POST bodies are size-capped, /query is bounded by a
+// per-request timeout (a wedged or slow cube answers 504 instead of
+// holding the connection forever), and Shutdown drains in-flight queries
+// before the process exits.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync"
+	"time"
 
-	"github.com/ddgms/ddgms/internal/core"
 	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/kb"
+	"github.com/ddgms/ddgms/internal/oltp"
+	"github.com/ddgms/ddgms/internal/star"
 )
+
+// Platform is the surface the server needs from a DD-DGMS instance.
+// *core.Platform satisfies it; tests substitute wrappers (e.g. a
+// deliberately slow cube) to exercise degradation paths.
+type Platform interface {
+	Warehouse() *star.Schema
+	QueryMDX(src string) (*cube.CellSet, error)
+	KB() *kb.Base
+	RecordFinding(topic, statement, source string) (string, error)
+	Store() *oltp.Store
+}
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds how long one /query may run; 0 disables the
+// bound. Default 30s.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithMaxBodyBytes caps POST request bodies. Default 1 MiB.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// WithLogger routes server diagnostics (panics, failed response writes)
+// somewhere other than the process default logger.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
 
 // Server wraps a platform with an http.Handler. The platform must have
 // its warehouse built before any /query arrives.
 type Server struct {
-	platform *core.Platform
-	mux      *http.ServeMux
+	platform     Platform
+	mux          *http.ServeMux
+	queryTimeout time.Duration
+	maxBody      int64
+	log          *log.Logger
+
+	inflight sync.WaitGroup
+	drainMu  sync.Mutex
+	draining bool
 }
 
 // New creates a server over a platform.
-func New(p *core.Platform) *Server {
-	s := &Server{platform: p, mux: http.NewServeMux()}
+func New(p Platform, opts ...Option) *Server {
+	s := &Server{
+		platform:     p,
+		mux:          http.NewServeMux(),
+		queryTimeout: 30 * time.Second,
+		maxBody:      1 << 20,
+		log:          log.Default(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
@@ -43,28 +104,99 @@ func New(p *core.Platform) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: admission control (draining answers
+// 503), in-flight accounting for Shutdown, body caps and panic recovery
+// around the routed handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.inflight.Add(1)
+	s.drainMu.Unlock()
+	defer s.inflight.Done()
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			// Best effort: if the handler already wrote a status this is a
+			// no-op on the status line, but the client still gets closed.
+			s.writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	if r.Body != nil && r.Method == http.MethodPost {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops admitting requests and waits for in-flight ones to
+// drain, or for ctx to expire — the context's error is returned in that
+// case so callers know the drain was cut short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown drain interrupted: %w", ctx.Err())
+	}
+}
 
 // errorBody is the uniform error envelope.
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response. Encoding can fail midway (a broken
+// client connection, an unencodable value); by then the status line is
+// gone, so the failure is logged rather than silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("server: writing %d response: %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleHealth is liveness; with ?deep=1 it also reports readiness: the
+// warehouse must be built and the OLTP store open and un-poisoned, so ops
+// can tell "process up" from "able to serve".
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if r.URL.Query().Get("deep") == "" {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	doc := map[string]string{"status": "ok", "warehouse": "ready", "store": "open"}
+	status := http.StatusOK
+	if s.platform.Warehouse() == nil {
+		doc["status"], doc["warehouse"] = "degraded", "not built"
+		status = http.StatusServiceUnavailable
+	}
+	if st := s.platform.Store(); st == nil {
+		doc["status"], doc["store"] = "degraded", "not opened"
+		status = http.StatusServiceUnavailable
+	} else if err := st.Healthy(); err != nil {
+		doc["status"], doc["store"] = "degraded", err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, doc)
 }
 
 // schemaDoc is the JSON form of the star schema.
@@ -90,7 +222,7 @@ type hierarchyDoc struct {
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	ws := s.platform.Warehouse()
 	if ws == nil {
-		writeError(w, http.StatusServiceUnavailable, "warehouse not built")
+		s.writeError(w, http.StatusServiceUnavailable, "warehouse not built")
 		return
 	}
 	doc := schemaDoc{Fact: ws.Name, Facts: ws.Fact().Len()}
@@ -104,7 +236,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		}
 		doc.Dimensions = append(doc.Dimensions, dd)
 	}
-	writeJSON(w, http.StatusOK, doc)
+	s.writeJSON(w, http.StatusOK, doc)
 }
 
 // queryRequest is the /query body.
@@ -147,27 +279,69 @@ func cellSetToDoc(cs *cube.CellSet) cellSetDoc {
 	return doc
 }
 
+// queryResult carries an MDX evaluation across the timeout boundary.
+type queryResult struct {
+	cs  *cube.CellSet
+	err error
+}
+
+// errQueryPanic marks evaluator panics so they answer 500, not 400.
+var errQueryPanic = fmt.Errorf("query panicked")
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.MDX == "" {
-		writeError(w, http.StatusBadRequest, "missing mdx field")
+		s.writeError(w, http.StatusBadRequest, "missing mdx field")
 		return
 	}
-	cs, err := s.platform.QueryMDX(req.MDX)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
 	}
-	writeJSON(w, http.StatusOK, cellSetToDoc(cs))
+	// The cube engine is a CPU-bound library without context plumbing, so
+	// the bound is enforced at the service layer: evaluate on a side
+	// goroutine and abandon it on timeout. The buffered channel lets an
+	// abandoned evaluation finish and be collected without leaking a
+	// goroutine forever.
+	ch := make(chan queryResult, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- queryResult{err: fmt.Errorf("%w: %v", errQueryPanic, rec)}
+			}
+		}()
+		cs, err := s.platform.QueryMDX(req.MDX)
+		ch <- queryResult{cs: cs, err: err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		s.log.Printf("server: /query abandoned: %v", ctx.Err())
+		s.writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.queryTimeout)
+	case res := <-ch:
+		if errors.Is(res.err, errQueryPanic) {
+			s.log.Printf("server: /query: %v", res.err)
+			s.writeError(w, http.StatusInternalServerError, "%v", res.err)
+			return
+		}
+		if res.err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", res.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, cellSetToDoc(res.cs))
+	}
 }
 
 func (s *Server) handleFindingsSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
-	writeJSON(w, http.StatusOK, s.platform.KB().Search(q))
+	s.writeJSON(w, http.StatusOK, s.platform.KB().Search(q))
 }
 
 // findingRequest is the POST /findings body.
@@ -180,15 +354,15 @@ type findingRequest struct {
 func (s *Server) handleFindingsAdd(w http.ResponseWriter, r *http.Request) {
 	var req findingRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	id, err := s.platform.RecordFinding(req.Topic, req.Statement, req.Source)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"id": id})
 }
 
 // reinforceRequest is the POST /findings/reinforce body.
@@ -199,17 +373,17 @@ type reinforceRequest struct {
 func (s *Server) handleFindingsReinforce(w http.ResponseWriter, r *http.Request) {
 	var req reinforceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if err := s.platform.KB().Reinforce(req.ID); err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	f, err := s.platform.KB().Get(req.ID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, f)
+	s.writeJSON(w, http.StatusOK, f)
 }

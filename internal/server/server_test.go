@@ -2,18 +2,25 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/discri"
 	"github.com/ddgms/ddgms/internal/kb"
+	"github.com/ddgms/ddgms/internal/star"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testPlatform(t *testing.T) *core.Platform {
 	t.Helper()
 	dcfg := discri.DefaultConfig()
 	dcfg.Patients = 120
@@ -21,12 +28,47 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(p))
-	t.Cleanup(func() {
-		ts.Close()
-		p.Close()
-	})
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func serveHandler(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
 	return ts
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return serveHandler(t, New(testPlatform(t)))
+}
+
+// slowPlatform injects latency into the cube: what /query degradation
+// looks like when an expensive or wedged evaluation holds the engine.
+type slowPlatform struct {
+	*core.Platform
+	delay time.Duration
+}
+
+func (p *slowPlatform) QueryMDX(src string) (*cube.CellSet, error) {
+	time.Sleep(p.delay)
+	return p.Platform.QueryMDX(src)
+}
+
+// panicPlatform blows up in the evaluator or in the schema handler.
+type panicPlatform struct {
+	*core.Platform
+	panicWarehouse bool
+}
+
+func (p *panicPlatform) QueryMDX(string) (*cube.CellSet, error) { panic("cube exploded") }
+
+func (p *panicPlatform) Warehouse() *star.Schema {
+	if p.panicWarehouse {
+		panic("schema exploded")
+	}
+	return p.Platform.Warehouse()
 }
 
 func getJSON(t *testing.T, url string, out any) int {
@@ -72,6 +114,153 @@ func TestHealth(t *testing.T) {
 	if body["status"] != "ok" {
 		t.Errorf("body = %v", body)
 	}
+}
+
+func TestHealthDeep(t *testing.T) {
+	p := testPlatform(t)
+	ts := serveHandler(t, New(p))
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz?deep=1", &body); code != http.StatusOK {
+		t.Fatalf("deep status = %d (%v)", code, body)
+	}
+	if body["warehouse"] != "ready" || body["store"] != "open" {
+		t.Errorf("deep body = %v", body)
+	}
+	// Closing the platform releases the store: liveness stays ok, deep
+	// readiness flips to 503 — the distinction ops page on.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("liveness after close = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz?deep=1", &body); code != http.StatusServiceUnavailable {
+		t.Errorf("deep after close = %d (%v)", code, body)
+	}
+	if body["status"] != "degraded" {
+		t.Errorf("deep body after close = %v", body)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &slowPlatform{Platform: testPlatform(t), delay: 300 * time.Millisecond}
+	ts := serveHandler(t, New(p, WithQueryTimeout(30*time.Millisecond), WithLogger(quiet)))
+	var errBody errorBody
+	code := postJSON(t, ts.URL+"/query", queryRequest{MDX: `
+		SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS
+		FROM [MedicalMeasures]`}, &errBody)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow query status = %d, want 504", code)
+	}
+	if !strings.Contains(errBody.Error, "timed out") {
+		t.Errorf("error = %q", errBody.Error)
+	}
+}
+
+func TestQueryPanicAnswers500(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &panicPlatform{Platform: testPlatform(t)}
+	ts := serveHandler(t, New(p, WithLogger(quiet)))
+	var errBody errorBody
+	code := postJSON(t, ts.URL+"/query", queryRequest{MDX: "SELECT x"}, &errBody)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking query status = %d, want 500", code)
+	}
+	if !strings.Contains(errBody.Error, "panicked") {
+		t.Errorf("error = %q", errBody.Error)
+	}
+	// The server survives and keeps answering.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz after panic = %d", code)
+	}
+}
+
+func TestHandlerPanicRecovered(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &panicPlatform{Platform: testPlatform(t), panicWarehouse: true}
+	ts := serveHandler(t, New(p, WithLogger(quiet)))
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, want 500", resp.StatusCode)
+	}
+	var errBody errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("500 body is not the JSON error envelope: %v", err)
+	}
+}
+
+func TestPostBodyCapped(t *testing.T) {
+	ts := serveHandler(t, New(testPlatform(t), WithMaxBodyBytes(128)))
+	big := `{"mdx": "` + strings.Repeat("X", 4096) + `"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+	// A normal-sized query still works.
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: `
+		SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS
+		FROM [MedicalMeasures]`}, nil); code != http.StatusOK {
+		t.Errorf("normal body status = %d", code)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	p := &slowPlatform{Platform: testPlatform(t), delay: 150 * time.Millisecond}
+	srv := New(p, WithQueryTimeout(5*time.Second))
+	ts := serveHandler(t, srv)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var inflightCode int
+	go func() {
+		defer wg.Done()
+		inflightCode = postJSON(t, ts.URL+"/query", queryRequest{MDX: `
+			SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS
+			FROM [MedicalMeasures]`}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow query get admitted
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if inflightCode != http.StatusOK {
+		t.Errorf("in-flight query during drain = %d, want 200", inflightCode)
+	}
+	// After the drain, new requests are refused.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("request after shutdown = %d, want 503", code)
+	}
+}
+
+func TestShutdownDrainTimeout(t *testing.T) {
+	p := &slowPlatform{Platform: testPlatform(t), delay: 500 * time.Millisecond}
+	srv := New(p, WithQueryTimeout(5*time.Second))
+	ts := serveHandler(t, srv)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, ts.URL+"/query", queryRequest{MDX: "SELECT x"}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("Shutdown with expired context reported a clean drain")
+	}
+	<-done
 }
 
 func TestSchema(t *testing.T) {

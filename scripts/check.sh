@@ -14,4 +14,7 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== fault suite (crash recovery + WAL corruption, -count=2)"
+go test -race -run 'Crash|Fault' -count=2 ./internal/oltp/ ./internal/faultfs/
+
 echo "check: OK"

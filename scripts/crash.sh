@@ -1,0 +1,23 @@
+#!/bin/sh
+# Extended crash-recovery soak: the full deterministic injection-point
+# sweep plus a multi-seed randomized crash loop. Slower than check.sh's
+# fault gate; run before touching the WAL, recovery, or checkpoint code.
+#
+#   scripts/crash.sh [seeds]   # default 10 randomized seeds
+set -eu
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-10}"
+
+echo "== full injection-point sweep (every FS op, -race)"
+go test -race -run 'TestCrashRecoveryEveryInjectionPoint' -count=1 \
+	-timeout 20m ./internal/oltp/
+
+echo "== randomized crash loop ($SEEDS seeds, -race)"
+DDGMS_CRASH_SEEDS="$SEEDS" go test -race -run 'TestCrashRecoveryRandomSeeds' \
+	-count=1 -timeout 30m -v ./internal/oltp/
+
+echo "== remaining fault tests"
+go test -race -run 'Crash|Fault' -count=1 ./internal/oltp/ ./internal/faultfs/
+
+echo "crash: OK"
