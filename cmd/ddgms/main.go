@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -320,6 +321,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8360", "listen address")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-request /query deadline (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 	p, err := platformFromFlat(*in)
 	if err != nil {
@@ -328,9 +330,23 @@ func cmdServe(args []string) error {
 	defer p.Close()
 
 	h := server.New(p, server.WithQueryTimeout(*queryTimeout))
+	var handler http.Handler = h
+	if *pprofOn {
+		// The profiling endpoints live on an outer mux so they bypass the
+		// server's drain/panic/metrics middleware: a CPU profile must keep
+		// streaming even while the app handler is shutting down.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", h)
+		handler = outer
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           h,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -339,7 +355,11 @@ func cmdServe(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving DD-DGMS on http://%s (endpoints: /healthz /schema /query /findings)\n", *addr)
+	endpoints := "/healthz /schema /query /findings /metrics /debug/traces"
+	if *pprofOn {
+		endpoints += " /debug/pprof/"
+	}
+	fmt.Printf("serving DD-DGMS on http://%s (endpoints: %s)\n", *addr, endpoints)
 
 	select {
 	case err := <-errc:

@@ -16,6 +16,7 @@ import (
 	"github.com/ddgms/ddgms/internal/kb"
 	"github.com/ddgms/ddgms/internal/mdx"
 	"github.com/ddgms/ddgms/internal/mining"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/optimize"
 	"github.com/ddgms/ddgms/internal/predict"
@@ -158,10 +159,17 @@ func (p *Platform) Query(q cube.Query) (*cube.CellSet, error) {
 
 // QueryMDX executes an MDX query string.
 func (p *Platform) QueryMDX(src string) (*cube.CellSet, error) {
+	return p.QueryMDXTraced(src, nil)
+}
+
+// QueryMDXTraced executes an MDX query string with stage spans hung
+// under sp — the path behind the server's ?trace=1 flag. A nil sp
+// traces nothing.
+func (p *Platform) QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, error) {
 	if p.eval == nil {
 		return nil, fmt.Errorf("core: warehouse not built")
 	}
-	return p.eval.Query(src)
+	return p.eval.QueryTraced(src, sp)
 }
 
 // PatientRecord is the OLTP-reporting half of the Reporting feature: a

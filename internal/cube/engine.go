@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/ddgms/ddgms/internal/exec"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/star"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -147,9 +148,11 @@ func (e *Engine) attrCoded(ref AttrRef) (*exec.CodedColumn, error) {
 	e.mu.Lock()
 	if cc, ok := e.codedCols[ref]; ok {
 		e.mu.Unlock()
+		cubeDictHit.Inc()
 		return cc, nil
 	}
 	e.mu.Unlock()
+	cubeDictMiss.Inc()
 
 	col, err := e.attrColumn(ref)
 	if err != nil {
@@ -275,16 +278,28 @@ func (e *Engine) measureColumn(m MeasureRef) ([]value.Value, error) {
 // dictionary-encoded once and cached, groups are keyed on packed integer
 // codes, and the slicer bitmap feeds the kernel as its row filter.
 func (e *Engine) Execute(q Query) (*CellSet, error) {
+	return e.ExecuteTraced(q, nil)
+}
+
+// ExecuteTraced is Execute with per-stage spans (cube.encode,
+// cube.filter, cube.group, cube.assemble) hung under sp. A nil sp is
+// the untraced fast path — each stage pays one nil check.
+func (e *Engine) ExecuteTraced(q Query, sp *obs.Span) (*CellSet, error) {
+	metricQueries.Inc()
+	encode := sp.Start("cube.encode")
 	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
 	axisCoded := make([]*exec.CodedColumn, len(axes))
 	for i, ref := range axes {
 		cc, err := e.attrCoded(ref)
 		if err != nil {
+			encode.End()
 			return nil, err
 		}
 		axisCoded[i] = cc
 	}
 	mcol, err := e.measureColumn(q.Measure)
+	encode.Annotate("axes", len(axes))
+	encode.End()
 	if err != nil {
 		return nil, err
 	}
@@ -292,11 +307,17 @@ func (e *Engine) Execute(q Query) (*CellSet, error) {
 	// Try the aggregate lattice before scanning facts.
 	if e.useLattice {
 		if cs, ok := e.latticeLookup(q); ok {
+			latticeHit.Inc()
+			sp.Annotate("lattice", "hit")
 			return cs, nil
 		}
+		latticeMiss.Inc()
 	}
 
+	filterSp := sp.Start("cube.filter")
 	filter, err := e.filterBitmap(q.Slicers)
+	filterSp.Annotate("slicers", len(q.Slicers))
+	filterSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -314,11 +335,20 @@ func (e *Engine) Execute(q Query) (*CellSet, error) {
 	if mcol != nil {
 		in.Aggs[0].Measure = exec.ValueSlice(mcol)
 	}
-	groups, err := exec.GroupBy(in, e.execOpts...)
+	groupSp := sp.Start("cube.group")
+	opts := e.execOpts
+	if groupSp != nil {
+		// Full-slice append: never mutate the shared opts backing array.
+		opts = append(opts[:len(opts):len(opts)], exec.WithSpan(groupSp))
+	}
+	groups, err := exec.GroupBy(in, opts...)
+	groupSp.Annotate("groups", len(groups))
+	groupSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cube: %w", err)
 	}
 
+	assemble := sp.Start("cube.assemble")
 	cs := e.assembleCellSet(q, func(yield func(tuple []value.Value, cell value.Value)) {
 		for _, g := range groups {
 			if !q.IncludeMissing && tupleHasNA(g.Tuple) {
@@ -327,6 +357,7 @@ func (e *Engine) Execute(q Query) (*CellSet, error) {
 			yield(g.Tuple, g.States[0].Result())
 		}
 	})
+	assemble.End()
 
 	if e.useLattice && latticeable(q.Measure) {
 		e.latticeStore(q, groups)

@@ -1,0 +1,24 @@
+package cube
+
+import (
+	"github.com/ddgms/ddgms/internal/exec"
+	"github.com/ddgms/ddgms/internal/obs"
+)
+
+// OLAP-layer metric families. Lattice hits answer a query without
+// touching the fact table, so the hit/miss split is the first number to
+// look at when interactive exploration slows down.
+var (
+	metricQueries = obs.Default().Counter(
+		"ddgms_cube_queries_total",
+		"OLAP queries executed by the cube engine.")
+	metricLattice = obs.Default().CounterVec(
+		"ddgms_cube_lattice_total",
+		"Aggregate-lattice lookups by result.",
+		"result")
+
+	latticeHit  = metricLattice.WithLabelValues("hit")
+	latticeMiss = metricLattice.WithLabelValues("miss")
+
+	cubeDictHit, cubeDictMiss = exec.DictLookupCounters("cube")
+)

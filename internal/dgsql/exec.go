@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/ddgms/ddgms/internal/exec"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -28,15 +30,30 @@ func (db *DB) Register(name string, t *storage.Table) error {
 
 // Query parses and executes a statement, returning the result table.
 func (db *DB) Query(src string) (*storage.Table, error) {
+	return db.QueryTraced(src, nil)
+}
+
+// QueryTraced is Query with stage spans (dgsql.parse, dgsql.execute and
+// the kernel phases for aggregate statements) hung under sp.
+func (db *DB) QueryTraced(src string, sp *obs.Span) (*storage.Table, error) {
+	parse := sp.Start("dgsql.parse")
 	st, err := Parse(src)
+	parse.End()
 	if err != nil {
 		return nil, err
 	}
-	return db.Execute(st)
+	return db.ExecuteTraced(st, sp)
 }
 
 // Execute runs a parsed statement.
 func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
+	return db.ExecuteTraced(st, nil)
+}
+
+// ExecuteTraced runs a parsed statement with stage spans under sp.
+func (db *DB) ExecuteTraced(st *Stmt, sp *obs.Span) (*storage.Table, error) {
+	exe := sp.Start("dgsql.execute")
+	defer exe.End()
 	t, ok := db.tables[strings.ToLower(st.Table)]
 	if !ok {
 		return nil, fmt.Errorf("dgsql: unknown table %q", st.Table)
@@ -80,7 +97,7 @@ func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
 		// The WHERE predicate is pushed into the group-by kernel scan, so
 		// the aggregate path never materialises a filtered copy of the
 		// table.
-		out, err = db.executeAggregate(st, t, pred)
+		out, err = db.executeAggregate(st, t, pred, exe)
 	default:
 		filtered := t
 		if pred != nil {
@@ -129,7 +146,7 @@ func (db *DB) Execute(st *Stmt) (*storage.Table, error) {
 
 // executeAggregate handles GROUP BY / aggregate projections. The WHERE
 // predicate (nil when absent) is evaluated inside the kernel scan.
-func (db *DB) executeAggregate(st *Stmt, t *storage.Table, pred storage.RowPredicate) (*storage.Table, error) {
+func (db *DB) executeAggregate(st *Stmt, t *storage.Table, pred storage.RowPredicate, sp *obs.Span) (*storage.Table, error) {
 	var aggs []storage.AggSpec
 	groupSet := make(map[string]bool, len(st.GroupBy))
 	for _, g := range st.GroupBy {
@@ -162,7 +179,13 @@ func (db *DB) executeAggregate(st *Stmt, t *storage.Table, pred storage.RowPredi
 		aggs = append(aggs, spec)
 		outNames[i] = name
 	}
-	grouped, err := t.GroupByFiltered(st.GroupBy, aggs, pred)
+	groupSp := sp.Start("dgsql.group")
+	var opts []exec.Option
+	if groupSp != nil {
+		opts = append(opts, exec.WithSpan(groupSp))
+	}
+	grouped, err := t.GroupByFiltered(st.GroupBy, aggs, pred, opts...)
+	groupSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("dgsql: %w", err)
 	}

@@ -5,8 +5,24 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
+)
+
+// ETL metric families, labelled by step name. Step names are the
+// pipeline's declared transforms (a handful per deployment), so the
+// label cardinality stays bounded.
+var (
+	metricStepSeconds = obs.Default().HistogramVec(
+		"ddgms_etl_step_seconds",
+		"Time per ETL step, including retries.",
+		nil,
+		"step")
+	metricRetries = obs.Default().CounterVec(
+		"ddgms_etl_retries_total",
+		"Transient-failure retries per ETL step.",
+		"step")
 )
 
 // Pipeline is an ordered list of transformation steps applied to a flat
@@ -187,6 +203,12 @@ func (r RetryPolicy) sleep(attempt int) {
 // a fresh clone of the step's input, so a step that mutated the table
 // before failing cannot leak a half-applied transform into the retry.
 func (p *Pipeline) Run(t *storage.Table) (*storage.Table, error) {
+	return p.RunTraced(t, nil)
+}
+
+// RunTraced is Run with one child span per step hung under sp,
+// annotated with the attempt count. A nil sp traces nothing.
+func (p *Pipeline) RunTraced(t *storage.Table, sp *obs.Span) (*storage.Table, error) {
 	cur := t.Clone()
 	attempts := p.retry.MaxAttempts
 	if attempts < 1 {
@@ -195,8 +217,12 @@ func (p *Pipeline) Run(t *storage.Table) (*storage.Table, error) {
 	for _, s := range p.steps {
 		var next *storage.Table
 		var err error
+		stepSp := sp.Start("etl." + s.Name)
+		stepStart := time.Now()
 		for attempt := 0; attempt < attempts; attempt++ {
 			if attempt > 0 {
+				metricRetries.WithLabelValues(s.Name).Inc()
+				stepSp.Annotate("retry", attempt)
 				p.retry.sleep(attempt - 1)
 			}
 			in := cur
@@ -208,6 +234,8 @@ func (p *Pipeline) Run(t *storage.Table) (*storage.Table, error) {
 				break
 			}
 		}
+		metricStepSeconds.WithLabelValues(s.Name).ObserveSince(stepStart)
+		stepSp.End()
 		if err != nil {
 			return nil, fmt.Errorf("etl: step %s: %w", s.Name, err)
 		}

@@ -11,17 +11,17 @@ func day(n int) time.Time {
 	return time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
 }
 
-func obs(n int, v float64) Observation {
+func mkObs(n int, v float64) Observation {
 	return Observation{At: day(n), V: value.Float(v)}
 }
 
 func TestAbstractStates(t *testing.T) {
 	scheme := MustManualScheme("FBG", []float64{5.5, 7}, []string{"normal", "elevated", "diabetic"})
 	readings := []Observation{
-		obs(0, 5.0), obs(30, 5.2), // normal ×2
-		obs(60, 6.0), obs(90, 6.5), obs(120, 6.9), // elevated ×3
-		obs(150, 7.5), // diabetic ×1
-		obs(180, 6.0), // back to elevated
+		mkObs(0, 5.0), mkObs(30, 5.2), // normal ×2
+		mkObs(60, 6.0), mkObs(90, 6.5), mkObs(120, 6.9), // elevated ×3
+		mkObs(150, 7.5), // diabetic ×1
+		mkObs(180, 6.0), // back to elevated
 	}
 	ivals, err := AbstractStates(readings, scheme)
 	if err != nil {
@@ -47,7 +47,7 @@ func TestAbstractStates(t *testing.T) {
 func TestAbstractStatesUnorderedInputAndNA(t *testing.T) {
 	scheme := MustManualScheme("X", []float64{5}, []string{"lo", "hi"})
 	readings := []Observation{
-		obs(60, 9), {At: day(30), V: value.NA()}, obs(0, 1),
+		mkObs(60, 9), {At: day(30), V: value.NA()}, mkObs(0, 1),
 	}
 	ivals, err := AbstractStates(readings, scheme)
 	if err != nil {
@@ -72,9 +72,9 @@ func TestAbstractStatesEmpty(t *testing.T) {
 
 func TestAbstractTrends(t *testing.T) {
 	readings := []Observation{
-		obs(0, 100), obs(10, 120), obs(20, 140), // increasing (2/day)
-		obs(30, 140.1), // steady (0.01/day)
-		obs(40, 100),   // decreasing
+		mkObs(0, 100), mkObs(10, 120), mkObs(20, 140), // increasing (2/day)
+		mkObs(30, 140.1), // steady (0.01/day)
+		mkObs(40, 100),   // decreasing
 	}
 	ivals, err := AbstractTrends(readings, 0.5)
 	if err != nil {
@@ -99,14 +99,14 @@ func TestAbstractTrendsEdgeCases(t *testing.T) {
 	if _, err := AbstractTrends(nil, -1); err == nil {
 		t.Error("negative epsilon must fail")
 	}
-	if ivals, err := AbstractTrends([]Observation{obs(0, 1)}, 0.5); err != nil || len(ivals) != 0 {
+	if ivals, err := AbstractTrends([]Observation{mkObs(0, 1)}, 0.5); err != nil || len(ivals) != 0 {
 		t.Errorf("single observation: %v, %v", ivals, err)
 	}
-	if _, err := AbstractTrends([]Observation{{At: day(0), V: value.Str("x")}, obs(1, 2)}, 0.5); err == nil {
+	if _, err := AbstractTrends([]Observation{{At: day(0), V: value.Str("x")}, mkObs(1, 2)}, 0.5); err == nil {
 		t.Error("non-numeric must fail")
 	}
 	// Same-timestamp observations: zero elapsed time counts as steady.
-	ivals, err := AbstractTrends([]Observation{obs(0, 1), obs(0, 100)}, 0.5)
+	ivals, err := AbstractTrends([]Observation{mkObs(0, 1), mkObs(0, 100)}, 0.5)
 	if err != nil || len(ivals) != 1 || ivals[0].State != TrendSteady {
 		t.Errorf("zero-elapsed = %+v, %v", ivals, err)
 	}

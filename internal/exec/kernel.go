@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
@@ -18,6 +20,10 @@ type Options struct {
 	Vectorized bool
 	// Parallelism bounds the worker pool; 0 means GOMAXPROCS.
 	Parallelism int
+	// Span, when non-nil, receives child spans for the kernel phases
+	// (exec.scan, exec.merge, exec.sort). Nil — the default — costs one
+	// nil check per phase.
+	Span *obs.Span
 }
 
 // Option mutates Options.
@@ -30,6 +36,10 @@ func WithVectorized(on bool) Option { return func(o *Options) { o.Vectorized = o
 // WithParallelism bounds the kernel's worker pool. 0 (the default) sizes
 // the pool by GOMAXPROCS.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithSpan hangs the kernel's phase spans (exec.scan, exec.merge,
+// exec.sort) under a parent trace span.
+func WithSpan(sp *obs.Span) Option { return func(o *Options) { o.Span = sp } }
 
 func buildOptions(opts []Option) Options {
 	o := Options{Vectorized: true}
@@ -88,15 +98,24 @@ func GroupBy(in GroupInput, opts ...Option) ([]Group, error) {
 			return nil, fmt.Errorf("exec: key column %d has %d rows, input has %d", k, key.Len(), in.NumRows)
 		}
 	}
+	metricRowsScanned.Add(uint64(in.NumRows))
 	var groups []Group
 	if !o.Vectorized {
+		invokeScalar.Inc()
+		scan := o.Span.Start("exec.scan")
+		scan.Annotate("rows", in.NumRows)
 		groups = groupScalar(in)
+		scan.End()
 	} else {
 		groups = groupVectorized(in, o)
 	}
+	sortSp := o.Span.Start("exec.sort")
 	sort.Slice(groups, func(a, b int) bool {
 		return CompareTuples(groups[a].Tuple, groups[b].Tuple) < 0
 	})
+	sortSp.Annotate("groups", len(groups))
+	sortSp.End()
+	metricGroups.Add(uint64(len(groups)))
 	return groups, nil
 }
 
@@ -218,14 +237,27 @@ func workerCount(numRows int, o Options) int {
 func groupVectorized(in GroupInput, o Options) []Group {
 	layout := layoutFor(in.Keys)
 	workers := workerCount(in.NumRows, o)
+	metricWorkers.Observe(float64(workers))
 	switch {
 	case layout.packable && layout.total <= maxDenseBits:
-		return groupDense(in, layout, workers)
+		invokeDense.Inc()
+		return groupDense(in, layout, workers, o.Span)
 	case layout.packable:
-		return groupHashed(in, layout, workers)
+		invokeHashed.Inc()
+		return groupHashed(in, layout, workers, o.Span)
 	default:
-		return groupWide(in, workers)
+		invokeWide.Inc()
+		return groupWide(in, workers, o.Span)
 	}
+}
+
+// scanSpan opens the exec.scan phase span shared by the vectorized
+// paths, annotated with the fan-out.
+func scanSpan(sp *obs.Span, rows, workers int) *obs.Span {
+	scan := sp.Start("exec.scan")
+	scan.Annotate("rows", rows)
+	scan.Annotate("workers", workers)
+	return scan
 }
 
 // partition splits [0, n) into one contiguous chunk per worker.
@@ -268,9 +300,10 @@ func runWorkers(n, workers int, fn func(w, lo, hi int)) {
 // groupDense is the fast path for low-cardinality keys (the clinical
 // norm): per-worker direct-indexed accumulator tables addressed by the
 // packed code, merged slot-by-slot in worker order.
-func groupDense(in GroupInput, layout keyLayout, workers int) []Group {
+func groupDense(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []Group {
 	size := 1 << layout.total
 	partials := make([][][]*AggState, workers)
+	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		dense := make([][]*AggState, size)
 		for i := lo; i < hi; i++ {
@@ -287,7 +320,10 @@ func groupDense(in GroupInput, layout keyLayout, workers int) []Group {
 		}
 		partials[w] = dense
 	})
+	scan.End()
 
+	mergeStart := time.Now()
+	merge := sp.Start("exec.merge")
 	var out []Group
 	for slot := 0; slot < size; slot++ {
 		var merged []*AggState
@@ -312,13 +348,17 @@ func groupDense(in GroupInput, layout keyLayout, workers int) []Group {
 		}
 		out = append(out, Group{Tuple: layout.unpack(uint64(slot), in.Keys), States: merged})
 	}
+	merge.Annotate("groups", len(out))
+	merge.End()
+	metricMergeSeconds.ObserveSince(mergeStart)
 	return out
 }
 
 // groupHashed handles packed keys wider than the dense budget: per-worker
 // hash maps keyed by the packed uint64, merged in worker order.
-func groupHashed(in GroupInput, layout keyLayout, workers int) []Group {
+func groupHashed(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []Group {
 	partials := make([]map[uint64][]*AggState, workers)
+	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[uint64][]*AggState)
 		for i := lo; i < hi; i++ {
@@ -335,7 +375,10 @@ func groupHashed(in GroupInput, layout keyLayout, workers int) []Group {
 		}
 		partials[w] = local
 	})
+	scan.End()
 
+	mergeStart := time.Now()
+	merge := sp.Start("exec.merge")
 	merged := partials[0]
 	for w := 1; w < workers; w++ {
 		for packed, states := range partials[w] {
@@ -353,17 +396,21 @@ func groupHashed(in GroupInput, layout keyLayout, workers int) []Group {
 	for packed, states := range merged {
 		out = append(out, Group{Tuple: layout.unpack(packed, in.Keys), States: states})
 	}
+	merge.Annotate("groups", len(out))
+	merge.End()
+	metricMergeSeconds.ObserveSince(mergeStart)
 	return out
 }
 
 // groupWide handles key tuples whose packed form exceeds 64 bits: the key
 // is the raw code bytes (still no per-value string formatting).
-func groupWide(in GroupInput, workers int) []Group {
+func groupWide(in GroupInput, workers int, sp *obs.Span) []Group {
 	type entry struct {
 		codes  []uint32
 		states []*AggState
 	}
 	partials := make([]map[string]*entry, workers)
+	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[string]*entry)
 		buf := make([]byte, 4*len(in.Keys))
@@ -391,7 +438,10 @@ func groupWide(in GroupInput, workers int) []Group {
 		}
 		partials[w] = local
 	})
+	scan.End()
 
+	mergeStart := time.Now()
+	merge := sp.Start("exec.merge")
 	merged := partials[0]
 	for w := 1; w < workers; w++ {
 		for gk, g := range partials[w] {
@@ -413,5 +463,8 @@ func groupWide(in GroupInput, workers int) []Group {
 		}
 		out = append(out, Group{Tuple: tuple, States: g.states})
 	}
+	merge.Annotate("groups", len(out))
+	merge.End()
+	metricMergeSeconds.ObserveSince(mergeStart)
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/ddgms/ddgms/internal/exec"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -45,10 +46,18 @@ type Result struct {
 // grouping column are dropped, matching the cube engine's default. Extra
 // opts (e.g. exec.WithVectorized(false)) select the kernel path.
 func Execute(t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
+	return ExecuteTraced(t, q, nil, opts...)
+}
+
+// ExecuteTraced is Execute with per-stage spans (flatquery.compile for
+// filter compilation, then the kernel's phases under flatquery.group)
+// hung beneath sp. A nil sp traces nothing.
+func ExecuteTraced(t *storage.Table, q Query, sp *obs.Span, opts ...exec.Option) (*Result, error) {
 	type codeFilter struct {
 		codes   []uint32
 		allowed []bool // indexed by dictionary code
 	}
+	compile := sp.Start("flatquery.compile")
 	filters := make([]codeFilter, len(q.Filters))
 	for k, f := range q.Filters {
 		if len(f.Values) == 0 {
@@ -78,6 +87,8 @@ func Execute(t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
 		}
 		groupDicts[k] = dict
 	}
+	compile.Annotate("filters", len(filters))
+	compile.End()
 
 	pred := func(_ *storage.Table, i int) bool {
 		for _, f := range filters {
@@ -94,9 +105,14 @@ func Execute(t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
 	}
 
 	aggName := "agg"
+	groupSp := sp.Start("flatquery.group")
+	if groupSp != nil {
+		opts = append(opts[:len(opts):len(opts)], exec.WithSpan(groupSp))
+	}
 	grouped, err := t.GroupByFiltered(groupCols, []storage.AggSpec{
 		{Kind: q.Agg, Column: q.Measure, As: aggName},
 	}, pred, opts...)
+	groupSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("flatquery: %w", err)
 	}

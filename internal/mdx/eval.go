@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -37,11 +38,19 @@ func (ev *Evaluator) RegisterMeasure(name string, m cube.MeasureRef) {
 
 // Query parses and executes an MDX query string.
 func (ev *Evaluator) Query(src string) (*cube.CellSet, error) {
+	return ev.QueryTraced(src, nil)
+}
+
+// QueryTraced is Query with stage spans (mdx.parse, then the cube
+// engine's stages) hung under sp. A nil sp traces nothing.
+func (ev *Evaluator) QueryTraced(src string, sp *obs.Span) (*cube.CellSet, error) {
+	parse := sp.Start("mdx.parse")
 	q, err := Parse(src)
+	parse.End()
 	if err != nil {
 		return nil, err
 	}
-	return ev.Execute(q)
+	return ev.ExecuteTraced(q, sp)
 }
 
 // axisBinding is the cube-level meaning of one axis: attribute refs, the
@@ -61,6 +70,12 @@ type namedMeasure struct {
 
 // Execute runs a parsed query against the engine.
 func (ev *Evaluator) Execute(q *QueryExpr) (*cube.CellSet, error) {
+	return ev.ExecuteTraced(q, nil)
+}
+
+// ExecuteTraced runs a parsed query against the engine, threading sp
+// down to the cube engine and execution kernel.
+func (ev *Evaluator) ExecuteTraced(q *QueryExpr, sp *obs.Span) (*cube.CellSet, error) {
 	if !strings.EqualFold(q.CubeRef, ev.cubeName) {
 		return nil, fmt.Errorf("mdx: unknown cube %q (have %q)", q.CubeRef, ev.cubeName)
 	}
@@ -107,7 +122,7 @@ func (ev *Evaluator) Execute(q *QueryExpr) (*cube.CellSet, error) {
 	allMeasures := append(append([]namedMeasure{}, colBinding.measures...), rowBinding.measures...)
 	switch {
 	case len(allMeasures) > 1:
-		cs, err = ev.executeMultiMeasure(cq, colBinding, rowBinding)
+		cs, err = ev.executeMultiMeasure(cq, colBinding, rowBinding, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +130,7 @@ func (ev *Evaluator) Execute(q *QueryExpr) (*cube.CellSet, error) {
 		if len(allMeasures) == 1 {
 			cq.Measure = allMeasures[0].ref
 		}
-		cs, err = ev.engine.Execute(cq)
+		cs, err = ev.engine.ExecuteTraced(cq, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +153,7 @@ func (ev *Evaluator) Execute(q *QueryExpr) (*cube.CellSet, error) {
 // executeMultiMeasure answers a query whose axis lists several measures:
 // the axis carrying the measures must hold nothing else, and becomes one
 // position per measure.
-func (ev *Evaluator) executeMultiMeasure(cq cube.Query, colB, rowB *axisBinding) (*cube.CellSet, error) {
+func (ev *Evaluator) executeMultiMeasure(cq cube.Query, colB, rowB *axisBinding, sp *obs.Span) (*cube.CellSet, error) {
 	var measures []namedMeasure
 	var onCols bool
 	switch {
@@ -160,7 +175,7 @@ func (ev *Evaluator) executeMultiMeasure(cq cube.Query, colB, rowB *axisBinding)
 	for _, m := range measures {
 		q := cq
 		q.Measure = m.ref
-		cs, err := ev.engine.Execute(q)
+		cs, err := ev.engine.ExecuteTraced(q, sp)
 		if err != nil {
 			return nil, err
 		}

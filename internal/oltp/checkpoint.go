@@ -9,6 +9,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/faultfs"
 )
@@ -207,6 +208,7 @@ func (s *Store) checkpointLocked() error {
 	if err := s.walUsableLocked(); err != nil {
 		return err
 	}
+	start := time.Now()
 	old := s.wal
 	if err := old.close(); err != nil {
 		return s.failWalLocked(fmt.Errorf("oltp: sealing WAL segment: %w", err))
@@ -240,5 +242,7 @@ func (s *Store) checkpointLocked() error {
 		}
 	}
 	s.walSinceCkpt = 0
+	metricCheckpoints.Inc()
+	metricCheckpointSeconds.ObserveSince(start)
 	return nil
 }

@@ -1,0 +1,40 @@
+package oltp
+
+import (
+	"github.com/ddgms/ddgms/internal/obs"
+)
+
+// Durability metric families. The WAL fsync is the slow operation on
+// the commit path, so appends-per-fsync (group commit potential) and
+// the lock-wait histogram are the first numbers to look at when commit
+// latency climbs.
+var (
+	metricCommits = obs.Default().CounterVec(
+		"ddgms_oltp_commits_total",
+		"Transaction commits by outcome.",
+		"status")
+	metricWalAppends = obs.Default().Counter(
+		"ddgms_oltp_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	metricWalFsyncs = obs.Default().Counter(
+		"ddgms_oltp_wal_fsyncs_total",
+		"WAL fsync calls.")
+	metricWalRotations = obs.Default().Counter(
+		"ddgms_oltp_wal_rotations_total",
+		"WAL segment rotations.")
+	metricCheckpoints = obs.Default().Counter(
+		"ddgms_oltp_checkpoints_total",
+		"Checkpoints written.")
+	metricCheckpointSeconds = obs.Default().Histogram(
+		"ddgms_oltp_checkpoint_seconds",
+		"Time writing a checkpoint and sweeping old segments.",
+		nil)
+	metricLockWaitSeconds = obs.Default().Histogram(
+		"ddgms_oltp_lock_wait_seconds",
+		"Time commits waited for the WAL lock.",
+		nil)
+
+	commitOK       = metricCommits.WithLabelValues("ok")
+	commitConflict = metricCommits.WithLabelValues("conflict")
+	commitError    = metricCommits.WithLabelValues("error")
+)

@@ -4,10 +4,20 @@
 //
 // The store provides serializable transactions via optimistic concurrency
 // control with commit-time validation (per-row version numbers, with locks
-// acquired in sorted row order so commits cannot deadlock), durability via
-// a write-ahead log with commit markers and replay-on-open recovery, and
-// hash plus ordered secondary indexes for point and range reporting
-// queries.
+// acquired in sorted row order so commits cannot deadlock), and hash plus
+// ordered secondary indexes for point and range reporting queries.
+//
+// Durability is a segmented write-ahead log: length+CRC32-C framed
+// records with per-transaction commit markers, fsynced before apply.
+// Segments rotate at a size threshold; past a byte budget the store
+// instead writes a checkpoint — a framed snapshot of committed state,
+// written to a temp file and renamed into place — and sweeps the
+// segments it supersedes. Recovery loads the newest complete
+// checkpoint, replays the segments above it (tolerating a torn tail in
+// the last segment only), and any WAL error mid-commit poisons the log
+// so later commits fail fast instead of appending after garbage.
+// Commit, fsync, rotation, checkpoint and lock-wait rates are exported
+// through internal/obs as the ddgms_oltp_* metric families.
 package oltp
 
 import (
@@ -15,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/faultfs"
 	"github.com/ddgms/ddgms/internal/storage"
@@ -398,8 +409,10 @@ func (t *Tx) Commit() error {
 		cur, ok := s.rows[id]
 		switch {
 		case !ok && ver != 0:
+			commitConflict.Inc()
 			return fmt.Errorf("%w: row %d deleted concurrently", ErrConflict, id)
 		case ok && cur.version != ver:
+			commitConflict.Inc()
 			return fmt.Errorf("%w: row %d modified concurrently", ErrConflict, id)
 		}
 	}
@@ -407,6 +420,7 @@ func (t *Tx) Commit() error {
 		w := t.writes[id]
 		if w.op != opInsert {
 			if _, ok := s.rows[id]; !ok {
+				commitConflict.Inc()
 				return fmt.Errorf("%w: row %d vanished before commit", ErrConflict, id)
 			}
 		}
@@ -415,6 +429,7 @@ func (t *Tx) Commit() error {
 	// Durability: WAL first, then apply.
 	if s.dir != "" {
 		if err := s.logCommit(t); err != nil {
+			commitError.Inc()
 			return err
 		}
 	}
@@ -422,6 +437,7 @@ func (t *Tx) Commit() error {
 	for _, id := range t.order {
 		s.applyLocked(t.writes[id])
 	}
+	commitOK.Inc()
 	return nil
 }
 
@@ -433,7 +449,9 @@ func (t *Tx) Commit() error {
 // so every later commit fails fast until the store is reopened. The
 // caller holds s.mu.
 func (s *Store) logCommit(t *Tx) error {
+	lockStart := time.Now()
 	s.walMu.Lock()
+	metricLockWaitSeconds.ObserveSince(lockStart)
 	defer s.walMu.Unlock()
 	if err := s.walUsableLocked(); err != nil {
 		return err
@@ -461,6 +479,8 @@ func (s *Store) logCommit(t *Tx) error {
 	if err := s.wal.sync(); err != nil {
 		return s.failWalLocked(fmt.Errorf("oltp: syncing WAL: %w", err))
 	}
+	metricWalAppends.Add(uint64(len(t.order) + 1))
+	metricWalFsyncs.Inc()
 	s.walSinceCkpt += s.wal.size - before
 	return nil
 }
@@ -477,6 +497,7 @@ func (s *Store) rotateLocked() error {
 		return s.failWalLocked(err)
 	}
 	s.wal = next
+	metricWalRotations.Inc()
 	return nil
 }
 

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/obs"
+)
+
+const genderMDX = `
+	SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS
+	FROM [MedicalMeasures]`
+
+// TestQueryTraceSpans: ?trace=1 must return a span tree covering the
+// whole execution path — parse, encode, filter, then the kernel's
+// scan -> merge -> sort inside the group stage.
+func TestQueryTraceSpans(t *testing.T) {
+	ts := testServer(t)
+	var doc cellSetDoc
+	if code := postJSON(t, ts.URL+"/query?trace=1", queryRequest{MDX: genderMDX}, &doc); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Trace == nil {
+		t.Fatal("?trace=1 response has no trace")
+	}
+	root := doc.Trace.Root
+	if root.Name != "query" {
+		t.Errorf("root span = %q", root.Name)
+	}
+	for _, name := range []string{
+		"mdx.parse", "cube.encode", "cube.filter", "cube.group",
+		"exec.scan", "exec.merge", "exec.sort", "cube.assemble",
+	} {
+		if _, ok := root.FindSpan(name); !ok {
+			t.Errorf("span %q missing from trace", name)
+		}
+	}
+	scan, _ := root.FindSpan("exec.scan")
+	if scan.Attrs["rows"] == nil {
+		t.Errorf("exec.scan has no rows annotation: %v", scan.Attrs)
+	}
+	grp, _ := root.FindSpan("cube.group")
+	if grp.DurationUS > doc.Trace.DurationUS {
+		t.Errorf("cube.group %dus exceeds trace %dus", grp.DurationUS, doc.Trace.DurationUS)
+	}
+
+	// Without the flag, no trace document rides on the response.
+	var plain cellSetDoc
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, &plain); code != http.StatusOK {
+		t.Fatalf("untraced status = %d", code)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced response carries a trace")
+	}
+}
+
+// TestDebugTraces: every /query lands in the ring buffer, traced or not.
+func TestDebugTraces(t *testing.T) {
+	ts := testServer(t)
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	var body struct {
+		Traces []obs.TraceDoc `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces", &body); code != http.StatusOK {
+		t.Fatalf("/debug/traces status = %d", code)
+	}
+	if len(body.Traces) == 0 {
+		t.Fatal("ring buffer empty after a query")
+	}
+	if body.Traces[0].Root.Name != "query" {
+		t.Errorf("latest trace root = %q", body.Traces[0].Root.Name)
+	}
+	if body.Traces[0].Root.Attrs["mdx"] == nil {
+		t.Error("trace root missing mdx annotation")
+	}
+}
+
+// TestMetricsEndpoint: the exposition must cover the server, exec, oltp
+// and etl families after ordinary traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`ddgms_http_requests_total{route="/query",code="200"}`,
+		"# TYPE ddgms_http_request_seconds histogram",
+		"ddgms_exec_rows_scanned_total",
+		`ddgms_exec_kernel_invocations_total{path=`,
+		"# TYPE ddgms_oltp_commits_total counter",
+		"ddgms_oltp_wal_fsyncs_total",
+		"# TYPE ddgms_etl_step_seconds histogram",
+		"ddgms_cube_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestErrorCounter: 5xx responses must increment the error family, so
+// error rates are visible without log scraping.
+func TestErrorCounter(t *testing.T) {
+	before := metricErrors.WithLabelValues("/query", "500").Value()
+	panicsBefore := metricPanics.Value()
+
+	quiet := log.New(io.Discard, "", 0)
+	p := &panicPlatform{Platform: testPlatform(t)}
+	ts := serveHandler(t, New(p, WithLogger(quiet)))
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: "SELECT x"}, nil); code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", code)
+	}
+	if got := metricErrors.WithLabelValues("/query", "500").Value(); got != before+1 {
+		t.Errorf("error counter = %d, want %d", got, before+1)
+	}
+
+	// A handler panic (outside the query goroutine) trips the recovery
+	// middleware counter too.
+	p2 := &panicPlatform{Platform: testPlatform(t), panicWarehouse: true}
+	ts2 := serveHandler(t, New(p2, WithLogger(quiet)))
+	if code := getJSON(t, ts2.URL+"/schema", nil); code != http.StatusInternalServerError {
+		t.Fatalf("schema panic status = %d", code)
+	}
+	if got := metricPanics.Value(); got != panicsBefore+1 {
+		t.Errorf("panic counter = %d, want %d", got, panicsBefore+1)
+	}
+}

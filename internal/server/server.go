@@ -9,10 +9,12 @@
 //
 //	GET  /healthz            liveness; ?deep=1 adds readiness (warehouse built, OLTP store open)
 //	GET  /schema             the star schema: dimensions, attributes, hierarchies, measures
-//	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON
+//	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON; ?trace=1 attaches a span tree
 //	GET  /findings?q=term    knowledge-base search
 //	POST /findings           {"topic","statement","source"} -> recorded finding id
 //	POST /findings/reinforce {"id"} -> evidence added (promotes at threshold)
+//	GET  /metrics            Prometheus text exposition of every subsystem's counters
+//	GET  /debug/traces       ring buffer of recent query traces as JSON
 //
 // The handler degrades gracefully rather than falling over: every request
 // runs under panic recovery (a handler bug answers 500 JSON, not a dropped
@@ -29,11 +31,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/kb"
+	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/star"
 )
@@ -47,6 +51,14 @@ type Platform interface {
 	KB() *kb.Base
 	RecordFinding(topic, statement, source string) (string, error)
 	Store() *oltp.Store
+}
+
+// TracedQuerier is the optional platform surface behind ?trace=1.
+// It is checked only for traced requests, so a test wrapper that
+// overrides QueryMDX (but embeds a type promoting QueryMDXTraced) still
+// intercepts every untraced query.
+type TracedQuerier interface {
+	QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, error)
 }
 
 // Option customises a Server.
@@ -69,6 +81,12 @@ func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
+// WithTracer substitutes the per-query tracer (default: a ring of the
+// 128 most recent traces). Pass nil to disable query tracing entirely.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // Server wraps a platform with an http.Handler. The platform must have
 // its warehouse built before any /query arrives.
 type Server struct {
@@ -77,6 +95,7 @@ type Server struct {
 	queryTimeout time.Duration
 	maxBody      int64
 	log          *log.Logger
+	tracer       *obs.Tracer
 
 	inflight sync.WaitGroup
 	drainMu  sync.Mutex
@@ -91,6 +110,7 @@ func New(p Platform, opts ...Option) *Server {
 		queryTimeout: 30 * time.Second,
 		maxBody:      1 << 20,
 		log:          log.Default(),
+		tracer:       obs.NewTracer(128),
 	}
 	for _, o := range opts {
 		o(s)
@@ -101,35 +121,48 @@ func New(p Platform, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
 	s.mux.HandleFunc("POST /findings", s.handleFindingsAdd)
 	s.mux.HandleFunc("POST /findings/reinforce", s.handleFindingsReinforce)
+	s.mux.Handle("GET /metrics", obs.Default().Handler())
+	s.mux.Handle("GET /debug/traces", s.tracer.Handler())
 	return s
 }
 
 // ServeHTTP implements http.Handler: admission control (draining answers
-// 503), in-flight accounting for Shutdown, body caps and panic recovery
-// around the routed handler.
+// 503), in-flight accounting for Shutdown, request metrics, body caps
+// and panic recovery around the routed handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := routeLabel(r.URL.Path)
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK, route: route}
+	start := time.Now()
+	defer func() {
+		metricRequests.WithLabelValues(route, strconv.Itoa(sr.status)).Inc()
+		metricRequestSeconds.WithLabelValues(route).ObserveSince(start)
+	}()
+
 	s.drainMu.Lock()
 	if s.draining {
 		s.drainMu.Unlock()
-		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(sr, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 	s.inflight.Add(1)
 	s.drainMu.Unlock()
 	defer s.inflight.Done()
+	metricInflight.Add(1)
+	defer metricInflight.Add(-1)
 
 	defer func() {
 		if rec := recover(); rec != nil {
+			metricPanics.Inc()
 			s.log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
 			// Best effort: if the handler already wrote a status this is a
 			// no-op on the status line, but the client still gets closed.
-			s.writeError(w, http.StatusInternalServerError, "internal error")
+			s.writeError(sr, http.StatusInternalServerError, "internal error")
 		}
 	}()
 	if r.Body != nil && r.Method == http.MethodPost {
-		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		r.Body = http.MaxBytesReader(sr, r.Body, s.maxBody)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sr, r)
 }
 
 // Shutdown stops admitting requests and waits for in-flight ones to
@@ -160,8 +193,17 @@ type errorBody struct {
 
 // writeJSON encodes v as the response. Encoding can fail midway (a broken
 // client connection, an unencodable value); by then the status line is
-// gone, so the failure is logged rather than silently dropped.
+// gone, so the failure is logged rather than silently dropped. Server
+// errors are counted here so 5xx rates show up in /metrics no matter
+// which handler produced them.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 500 {
+		route := "other"
+		if sr, ok := w.(*statusRecorder); ok {
+			route = sr.route
+		}
+		metricErrors.WithLabelValues(route, strconv.Itoa(status)).Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -244,12 +286,14 @@ type queryRequest struct {
 	MDX string `json:"mdx"`
 }
 
-// cellSetDoc is the JSON form of a query result.
+// cellSetDoc is the JSON form of a query result. Trace is attached only
+// when the request asked for ?trace=1.
 type cellSetDoc struct {
-	RowHeaders []string `json:"row_headers"`
-	ColHeaders []string `json:"col_headers"`
-	Cells      [][]any  `json:"cells"` // numbers, or null for NA
-	Measure    string   `json:"measure"`
+	RowHeaders []string      `json:"row_headers"`
+	ColHeaders []string      `json:"col_headers"`
+	Cells      [][]any       `json:"cells"` // numbers, or null for NA
+	Measure    string        `json:"measure"`
+	Trace      *obs.TraceDoc `json:"trace,omitempty"`
 }
 
 func cellSetToDoc(cs *cube.CellSet) cellSetDoc {
@@ -299,6 +343,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing is opt-in per request. The platform's traced surface is
+	// consulted only for traced requests, so test doubles overriding
+	// QueryMDX keep intercepting everything else.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	tr := s.tracer.StartTrace("query")
+	tr.Root().Annotate("mdx", req.MDX)
+
 	ctx := r.Context()
 	if s.queryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -317,15 +368,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				ch <- queryResult{err: fmt.Errorf("%w: %v", errQueryPanic, rec)}
 			}
 		}()
-		cs, err := s.platform.QueryMDX(req.MDX)
-		ch <- queryResult{cs: cs, err: err}
+		var res queryResult
+		if tq, ok := s.platform.(TracedQuerier); ok && wantTrace {
+			res.cs, res.err = tq.QueryMDXTraced(req.MDX, tr.Root())
+		} else {
+			res.cs, res.err = s.platform.QueryMDX(req.MDX)
+		}
+		ch <- res
 	}()
 
 	select {
 	case <-ctx.Done():
+		tr.Finish()
 		s.log.Printf("server: /query abandoned: %v", ctx.Err())
 		s.writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.queryTimeout)
 	case res := <-ch:
+		tr.Finish()
 		if errors.Is(res.err, errQueryPanic) {
 			s.log.Printf("server: /query: %v", res.err)
 			s.writeError(w, http.StatusInternalServerError, "%v", res.err)
@@ -335,7 +393,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, "%v", res.err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, cellSetToDoc(res.cs))
+		doc := cellSetToDoc(res.cs)
+		if wantTrace && tr != nil {
+			td := tr.Doc()
+			doc.Trace = &td
+		}
+		s.writeJSON(w, http.StatusOK, doc)
 	}
 }
 

@@ -43,11 +43,17 @@ type dictCache struct {
 	dict *exec.CodedColumn
 }
 
+// dictHit / dictMiss are resolved once; each lookup pays one atomic.
+var dictHit, dictMiss = exec.DictLookupCounters("storage")
+
 func (d *dictCache) get(build func() *exec.CodedColumn) *exec.CodedColumn {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dict == nil {
+		dictMiss.Inc()
 		d.dict = build()
+	} else {
+		dictHit.Inc()
 	}
 	return d.dict
 }

@@ -17,4 +17,8 @@ go test -race ./...
 echo "== fault suite (crash recovery + WAL corruption, -count=2)"
 go test -race -run 'Crash|Fault' -count=2 ./internal/oltp/ ./internal/faultfs/
 
+echo "== metrics suite (registry + trace + exposition under race, -count=2)"
+go test -race -count=2 ./internal/obs/
+go test -race -run 'Trace|Metrics|ErrorCounter' ./internal/server/
+
 echo "check: OK"

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Captures a CPU profile from a running `ddgms serve -pprof` instance.
+#
+#   scripts/profile.sh [host:port] [seconds]
+#
+# Defaults to 127.0.0.1:8360 and a 10 second window. The profile is
+# written to cpu-<timestamp>.pprof in the current directory; inspect it
+# with `go tool pprof cpu-*.pprof` (try `top20`, then `web` for a call
+# graph). Drive query load (e.g. the curl session in README.md) while
+# the capture runs, or the profile will be all idle time.
+set -eu
+
+addr="${1:-127.0.0.1:8360}"
+seconds="${2:-10}"
+out="cpu-$(date +%Y%m%d-%H%M%S).pprof"
+
+echo "capturing ${seconds}s CPU profile from http://${addr}/debug/pprof/profile ..."
+if ! curl -sf --max-time "$((seconds + 30))" \
+    "http://${addr}/debug/pprof/profile?seconds=${seconds}" -o "$out"; then
+  echo "profile capture failed — is serve running with -pprof on ${addr}?" >&2
+  exit 1
+fi
+echo "wrote $out"
+echo "inspect with: go tool pprof $out"
