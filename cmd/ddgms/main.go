@@ -18,10 +18,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -32,9 +34,11 @@ import (
 	"github.com/ddgms/ddgms/internal/discri"
 	"github.com/ddgms/ddgms/internal/ewing"
 	"github.com/ddgms/ddgms/internal/mining"
+	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/report"
 	"github.com/ddgms/ddgms/internal/server"
 	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
 	"github.com/ddgms/ddgms/internal/viz"
 )
 
@@ -322,8 +326,18 @@ func cmdServe(args []string) error {
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-request /query deadline (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	follow := fs.Bool("follow", false, "follow mode: serve from a durable OLTP store and keep the warehouse fresh via CDC")
+	dataDir := fs.String("data", "", "OLTP store directory (required with -follow; seeded with a synthetic cohort when empty)")
+	patients := fs.Int("patients", 900, "cohort size used to seed an empty -follow store")
+	simulate := fs.Duration("simulate", 0, "with -follow, commit one synthetic follow-up attendance per interval (0 disables)")
 	fs.Parse(args)
-	p, err := platformFromFlat(*in)
+	var p *core.Platform
+	var err error
+	if *follow {
+		p, err = followPlatform(*dataDir, *patients)
+	} else {
+		p, err = platformFromFlat(*in)
+	}
 	if err != nil {
 		return err
 	}
@@ -353,9 +367,23 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *follow {
+		go func() {
+			if err := p.RunFollow(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "follow loop: %v\n", err)
+			}
+		}()
+		if *simulate > 0 {
+			go simulateVisits(ctx, p.Store(), *simulate)
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	endpoints := "/healthz /schema /query /findings /metrics /debug/traces"
+	if *follow {
+		endpoints += " /freshness"
+	}
 	if *pprofOn {
 		endpoints += " /debug/pprof/"
 	}
@@ -383,6 +411,88 @@ func cmdServe(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// followPlatform stands a platform up in follow mode: open (or create)
+// the durable OLTP store, seed it with the synthetic cohort when empty,
+// and start the CDC-driven incremental warehouse maintainer.
+func followPlatform(dataDir string, patients int) (*core.Platform, error) {
+	if dataDir == "" {
+		return nil, fmt.Errorf("-follow requires -data DIR")
+	}
+	cfg := discri.DefaultConfig()
+	cfg.Patients = patients
+	raw, err := discri.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := core.New(core.Config{DataDir: dataDir})
+	if err := p.OpenStore(raw.Schema()); err != nil {
+		return nil, err
+	}
+	if p.Store().Len() == 0 {
+		if err := p.Store().LoadTable(raw); err != nil {
+			p.Close()
+			return nil, err
+		}
+		fmt.Printf("seeded empty store with %d attendances\n", raw.Len())
+	} else {
+		fmt.Printf("reopened store with %d attendances\n", p.Store().Len())
+	}
+	if err := p.StartFollow(core.FollowConfig{
+		Pipeline:  core.NewDiScRiPipeline(),
+		Builder:   core.NewDiScRiBuilder(),
+		CursorDir: filepath.Join(dataDir, "cdc"),
+		Setup:     core.FinishDiScRiSetup,
+	}); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// simulateVisits commits one synthetic follow-up attendance per tick: a
+// random existing attendance is re-booked about three months later with
+// a drifted fasting glucose, exercising commit -> CDC -> incremental
+// refresh end to end (watch it on /freshness).
+func simulateVisits(ctx context.Context, st *oltp.Store, every time.Duration) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if err := simulateOneVisit(st, rng); err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		}
+	}
+}
+
+func simulateOneVisit(st *oltp.Store, rng *rand.Rand) error {
+	snap, err := st.Snapshot()
+	if err != nil {
+		return err
+	}
+	if snap.Len() == 0 {
+		return nil
+	}
+	row := snap.Row(rng.Intn(snap.Len()))
+	schema := st.Schema()
+	if j, ok := schema.Lookup("VisitDate"); ok && !row[j].IsNA() {
+		row[j] = value.Time(row[j].Time().AddDate(0, 3, rng.Intn(29)-14))
+	}
+	if j, ok := schema.Lookup("FBG"); ok && !row[j].IsNA() {
+		row[j] = value.Float(row[j].Float() + rng.NormFloat64()*0.4)
+	}
+	tx := st.Begin()
+	if _, err := tx.Insert(oltp.Row(row)); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
 }
 
 func cmdReport(args []string) error {

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	figures [-exp all|table1|fig1|fig2|fig3|fig4|fig5|fig6] [-patients N] [-seed S]
+//	figures [-exp all|table1|fig1|fig2|fig3|fig4|fig5|fig6] [-patients N] [-seed S] [-source batch|cdc]
+//
+// With -source cdc the warehouse is populated through the change-data-
+// capture path (seed half the cohort, stream the rest through
+// incremental refresh) instead of one batch ETL run; the figures must
+// come out identical either way.
 package main
 
 import (
@@ -20,21 +25,37 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig1, fig2, fig3, fig4, fig5, fig6")
 	patients := flag.Int("patients", 900, "synthetic cohort size")
 	seed := flag.Int64("seed", 0, "generator seed (0 = paper default)")
+	source := flag.String("source", "batch", "warehouse population path: batch (one-shot ETL) or cdc (stream through incremental refresh)")
 	flag.Parse()
 
-	if err := run(*exp, *patients, *seed); err != nil {
+	if err := run(*exp, *patients, *seed, *source); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, patients int, seed int64) error {
+func run(exp string, patients int, seed int64, source string) error {
 	dcfg := discri.DefaultConfig()
 	dcfg.Patients = patients
 	if seed != 0 {
 		dcfg.Seed = seed
 	}
-	p, err := core.NewDiScRiPlatform(core.Config{}, dcfg)
+	var p *core.Platform
+	var err error
+	switch source {
+	case "batch":
+		p, err = core.NewDiScRiPlatform(core.Config{}, dcfg)
+	case "cdc":
+		var dir string
+		dir, err = os.MkdirTemp("", "ddgms-figures-cdc-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		p, err = experiments.NewCDCPlatform(dir, dcfg)
+	default:
+		return fmt.Errorf("unknown source %q (want batch or cdc)", source)
+	}
 	if err != nil {
 		return err
 	}

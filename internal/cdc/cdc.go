@@ -1,0 +1,286 @@
+// Package cdc implements change-data capture over the oltp store's
+// write-ahead log: a tailer that surfaces committed transactions in
+// commit order with a durable resume cursor.
+//
+// The tailer is a thin consumption protocol around oltp.TailWAL:
+//
+//	txs, err := t.Poll()   // read committed txns after the cursor
+//	... apply txs ...
+//	t.Ack()                // persist the advanced cursor
+//
+// The cursor is persisted only at Ack, after the consumer has applied
+// the batch, so delivery is at-least-once: a crash between apply and
+// Ack replays the batch, and consumers must apply idempotently (the
+// refresh maintainer's patient-scoped recompute is). The cursor file is
+// written through the same (possibly fault-injected) filesystem as the
+// store, with the same tmp+rename+dirsync discipline as WAL
+// checkpoints, so a crash mid-save never corrupts the cursor.
+//
+// When the log has been checkpoint-truncated past the cursor (ErrGap),
+// tailing cannot resume; the consumer rebuilds from
+// oltp.SnapshotWithLSN and calls Reset with the snapshot's LSN. While a
+// tailer is live it pins its unread segments in the store
+// (RetainWALFrom), so gaps only arise across process restarts.
+package cdc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+	"github.com/ddgms/ddgms/internal/oltp"
+)
+
+// ErrGap is returned by Poll when the WAL no longer contains the
+// cursor's position. It aliases oltp.ErrTailGap so errors.Is works
+// against either.
+var ErrGap = oltp.ErrTailGap
+
+// cursorMagic heads the cursor file; the payload is seq + off uvarints
+// followed by a CRC32-C of everything after the magic.
+const (
+	cursorMagic = "DDGWCUR1"
+	cursorFile  = "cursor.cdc"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Tailer.
+type Options struct {
+	// Dir is where the durable cursor lives; empty disables cursor
+	// persistence (the tailer still works, but restarts lose position).
+	Dir string
+	// FS is the filesystem for cursor persistence; nil means the real
+	// one. Tests inject a faultfs.Fault.
+	FS faultfs.FS
+	// MaxBatchTx caps committed transactions per Poll. Default 256.
+	MaxBatchTx int
+}
+
+// Tailer consumes committed transactions from a store's WAL with a
+// durable cursor. It is not safe for concurrent use; one consumer owns
+// one tailer.
+type Tailer struct {
+	store    *oltp.Store
+	dir      string
+	fs       faultfs.FS
+	maxBatch int
+
+	cur     oltp.WALCursor
+	pending *oltp.WALCursor // staged by Poll, persisted by Ack
+	notify  chan struct{}
+}
+
+// New opens a tailer over store. If a cursor file exists in opts.Dir it
+// is loaded and resumed=true; otherwise the tailer starts with the zero
+// cursor and the caller decides whether to bootstrap from a snapshot
+// (Reset) or tail full history.
+func New(store *oltp.Store, opts Options) (t *Tailer, resumed bool, err error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
+	maxBatch := opts.MaxBatchTx
+	if maxBatch <= 0 {
+		maxBatch = 256
+	}
+	t = &Tailer{store: store, dir: opts.Dir, fs: fs, maxBatch: maxBatch}
+	if opts.Dir != "" {
+		if err := fs.MkdirAll(opts.Dir); err != nil {
+			return nil, false, fmt.Errorf("cdc: creating cursor dir: %w", err)
+		}
+		cur, ok, err := loadCursor(fs, opts.Dir)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			t.cur = cur
+			resumed = true
+		}
+	}
+	if !t.cur.IsZero() {
+		store.RetainWALFrom(t.cur.Seq)
+	}
+	return t, resumed, nil
+}
+
+// Cursor returns the current acknowledged position.
+func (t *Tailer) Cursor() oltp.WALCursor { return t.cur }
+
+// Reset moves the cursor (typically to a snapshot's LSN after a resync)
+// and persists it immediately.
+func (t *Tailer) Reset(c oltp.WALCursor) error {
+	t.cur = c
+	t.pending = nil
+	if err := t.save(c); err != nil {
+		return err
+	}
+	t.store.RetainWALFrom(c.Seq)
+	return nil
+}
+
+// Poll reads the next batch of committed transactions after the cursor.
+// An empty batch means the consumer is caught up. The advanced cursor is
+// staged; it becomes the resume point only when Ack persists it, so a
+// consumer that crashes mid-apply re-reads the batch.
+func (t *Tailer) Poll() ([]oltp.CommittedTx, error) {
+	txs, next, err := t.store.TailWAL(t.cur, t.maxBatch)
+	if err != nil {
+		if errors.Is(err, oltp.ErrTailGap) {
+			metricGaps.Inc()
+		}
+		return nil, err
+	}
+	t.pending = &next
+	if len(txs) > 0 {
+		metricBatches.Inc()
+		metricTxs.Add(uint64(len(txs)))
+		events := 0
+		for _, tx := range txs {
+			events += len(tx.Changes)
+		}
+		metricEvents.Add(uint64(events))
+	}
+	return txs, nil
+}
+
+// Ack persists the cursor staged by the last Poll and releases the WAL
+// segments below it. Ack after a failed or absent Poll is a no-op.
+func (t *Tailer) Ack() error {
+	if t.pending == nil {
+		return nil
+	}
+	next := *t.pending
+	t.pending = nil
+	if next == t.cur {
+		return nil // nothing advanced; skip the fsync round
+	}
+	if err := t.save(next); err != nil {
+		return err
+	}
+	t.cur = next
+	t.store.RetainWALFrom(next.Seq)
+	return nil
+}
+
+// Wait blocks until the store signals a new commit, the poll interval
+// elapses, or ctx is done (reported as ctx.Err()). It lets a follow loop
+// react to commits promptly without spinning.
+func (t *Tailer) Wait(ctx context.Context, pollEvery time.Duration) error {
+	if t.notify == nil {
+		t.notify = t.store.SubscribeCommits()
+	}
+	if pollEvery <= 0 {
+		pollEvery = time.Second
+	}
+	timer := time.NewTimer(pollEvery)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.notify:
+		return nil
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Close unsubscribes from commit notifications. The cursor file stays.
+func (t *Tailer) Close() {
+	if t.notify != nil {
+		t.store.UnsubscribeCommits(t.notify)
+		t.notify = nil
+	}
+}
+
+// save persists cursor c durably (tmp file, sync, rename, dirsync — the
+// same discipline as WAL checkpoints). With no cursor dir it is a no-op.
+func (t *Tailer) save(c oltp.WALCursor) error {
+	if t.dir == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.WriteString(cursorMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], c.Seq)
+	buf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(c.Off))
+	buf.Write(tmp[:n])
+	sum := crc32.Checksum(buf.Bytes()[len(cursorMagic):], castagnoli)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	buf.Write(crc[:])
+
+	final := filepath.Join(t.dir, cursorFile)
+	tmpPath := final + ".tmp"
+	f, err := t.fs.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("cdc: creating cursor file: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("cdc: writing cursor: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cdc: syncing cursor: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cdc: closing cursor: %w", err)
+	}
+	if err := t.fs.Rename(tmpPath, final); err != nil {
+		return fmt.Errorf("cdc: publishing cursor: %w", err)
+	}
+	if err := t.fs.SyncDir(t.dir); err != nil {
+		return fmt.Errorf("cdc: syncing cursor dir: %w", err)
+	}
+	metricCursorSaves.Inc()
+	return nil
+}
+
+// loadCursor reads a persisted cursor; ok=false when none exists. A
+// torn or corrupt cursor file (interrupted first save) is treated as
+// absent — the consumer rebootstraps rather than resuming from garbage —
+// but only when the corruption is total; a bad checksum with intact
+// framing still errors so bit rot is not silently ignored.
+func loadCursor(fs faultfs.FS, dir string) (oltp.WALCursor, bool, error) {
+	f, err := fs.Open(filepath.Join(dir, cursorFile))
+	if err != nil {
+		return oltp.WALCursor{}, false, nil // absent (or unreadable: rebootstrap)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return oltp.WALCursor{}, false, fmt.Errorf("cdc: reading cursor: %w", err)
+	}
+	if len(data) < len(cursorMagic)+4 || string(data[:len(cursorMagic)]) != cursorMagic {
+		// Rename is atomic, so a malformed file means it was never written
+		// through save; start over.
+		return oltp.WALCursor{}, false, nil
+	}
+	payload := data[len(cursorMagic) : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return oltp.WALCursor{}, false, fmt.Errorf("cdc: cursor checksum mismatch")
+	}
+	br := bytes.NewReader(payload)
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return oltp.WALCursor{}, false, fmt.Errorf("cdc: undecodable cursor: %w", err)
+	}
+	off, err := binary.ReadUvarint(br)
+	if err != nil {
+		return oltp.WALCursor{}, false, fmt.Errorf("cdc: undecodable cursor: %w", err)
+	}
+	if br.Len() != 0 {
+		return oltp.WALCursor{}, false, fmt.Errorf("cdc: %d trailing cursor bytes", br.Len())
+	}
+	return oltp.WALCursor{Seq: seq, Off: int64(off)}, true, nil
+}

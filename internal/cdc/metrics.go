@@ -1,0 +1,24 @@
+package cdc
+
+import "github.com/ddgms/ddgms/internal/obs"
+
+// CDC metric families. Events and batches measure feed volume; gaps
+// count forced resyncs (each one is a full warehouse rebuild, so any
+// nonzero rate under steady state means retention is misconfigured).
+var (
+	metricEvents = obs.Default().Counter(
+		"ddgms_cdc_events_total",
+		"Row change events consumed from the WAL.")
+	metricTxs = obs.Default().Counter(
+		"ddgms_cdc_transactions_total",
+		"Committed transactions consumed from the WAL.")
+	metricBatches = obs.Default().Counter(
+		"ddgms_cdc_batches_total",
+		"Non-empty Poll batches.")
+	metricGaps = obs.Default().Counter(
+		"ddgms_cdc_gaps_total",
+		"Tail gaps hit (cursor behind checkpoint truncation; forces resync).")
+	metricCursorSaves = obs.Default().Counter(
+		"ddgms_cdc_cursor_saves_total",
+		"Durable cursor writes.")
+)

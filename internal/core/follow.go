@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/etl"
+	"github.com/ddgms/ddgms/internal/mdx"
+	"github.com/ddgms/ddgms/internal/obs"
+	"github.com/ddgms/ddgms/internal/refresh"
+	"github.com/ddgms/ddgms/internal/star"
+	"github.com/ddgms/ddgms/internal/storage"
+)
+
+// Follow mode: instead of the batch Transform -> BuildWarehouse phases,
+// the platform stands its warehouse up from a store snapshot and then
+// keeps it fresh by consuming the store's change feed (internal/cdc)
+// through an incremental maintainer (internal/refresh). Queries keep
+// working throughout; they take the maintainer's read lock so they never
+// observe a half-applied batch.
+
+// FollowConfig parameterises StartFollow.
+type FollowConfig struct {
+	// Pipeline and Builder play the same roles as in Transform and
+	// BuildWarehouse; the pipeline must be patient-local (see refresh).
+	Pipeline *etl.Pipeline
+	Builder  *star.Builder
+	// CursorDir persists the CDC cursor; empty keeps it in memory.
+	CursorDir string
+	// MaxBatchTx caps transactions per refresh batch (default 256).
+	MaxBatchTx int
+	// CompactFraction triggers warehouse compaction (default 0.5).
+	CompactFraction float64
+	// Retry paces the follow loop's error backoff.
+	Retry etl.RetryPolicy
+	// PollInterval bounds the follow loop's sleep (default 1s).
+	PollInterval time.Duration
+	// Tracer records one trace per applied batch.
+	Tracer *obs.Tracer
+	// Setup runs after every (re)build — bootstrap, resync, compaction —
+	// to re-register measures and member orders (FinishDiScRiSetup for
+	// the trial wiring). It must not issue queries.
+	Setup func(*Platform) error
+}
+
+// StartFollow bootstraps the warehouse from a store snapshot and readies
+// the incremental maintainer. The store must be durable (DataDir set).
+// Call RunFollow (or Refresh in a loop) to actually consume changes.
+func (p *Platform) StartFollow(fcfg FollowConfig) error {
+	if p.store == nil {
+		return fmt.Errorf("core: no data acquired")
+	}
+	if p.follower != nil {
+		return fmt.Errorf("core: already following")
+	}
+	m, err := refresh.New(p.store, refresh.Config{
+		Pipeline:        fcfg.Pipeline,
+		Builder:         fcfg.Builder,
+		CursorDir:       fcfg.CursorDir,
+		MaxBatchTx:      fcfg.MaxBatchTx,
+		CompactFraction: fcfg.CompactFraction,
+		Retry:           fcfg.Retry,
+		PollInterval:    fcfg.PollInterval,
+		Tracer:          fcfg.Tracer,
+		OnRebuild: func(e *cube.Engine, s *star.Schema, flat *storage.Table) error {
+			p.schema, p.engine, p.flat = s, e, flat
+			p.eval = mdx.NewEvaluator(e, p.cfg.CubeName)
+			p.eval.RegisterMeasure("Attendances", cube.MeasureRef{Agg: storage.CountAgg})
+			if fcfg.Setup != nil {
+				return fcfg.Setup(p)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("core: starting follow mode: %w", err)
+	}
+	p.follower = m
+	return nil
+}
+
+// Follower exposes the incremental maintainer (nil when not following).
+func (p *Platform) Follower() *refresh.Maintainer { return p.follower }
+
+// Refresh applies one pending CDC batch (0 when caught up). It is the
+// single-step form of RunFollow, for tests and simulations that
+// interleave commits and refreshes deterministically.
+func (p *Platform) Refresh() (int, error) {
+	if p.follower == nil {
+		return 0, fmt.Errorf("core: not following")
+	}
+	return p.follower.Refresh()
+}
+
+// RunFollow consumes the change feed until ctx is done.
+func (p *Platform) RunFollow(ctx context.Context) error {
+	if p.follower == nil {
+		return fmt.Errorf("core: not following")
+	}
+	return p.follower.Run(ctx)
+}
+
+// Freshness reports warehouse staleness; ok is false when the platform
+// is not in follow mode.
+func (p *Platform) Freshness() (refresh.Freshness, bool) {
+	if p.follower == nil {
+		return refresh.Freshness{}, false
+	}
+	return p.follower.Freshness(), true
+}
+
+// StopFollow detaches the maintainer (the warehouse stays queryable at
+// its last applied state).
+func (p *Platform) StopFollow() {
+	if p.follower != nil {
+		p.follower.Close()
+		p.follower = nil
+	}
+}

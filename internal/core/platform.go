@@ -20,6 +20,7 @@ import (
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/optimize"
 	"github.com/ddgms/ddgms/internal/predict"
+	"github.com/ddgms/ddgms/internal/refresh"
 	"github.com/ddgms/ddgms/internal/star"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -50,6 +51,10 @@ type Platform struct {
 	engine *cube.Engine
 	eval   *mdx.Evaluator
 	kbase  *kb.Base
+
+	// follower is non-nil in follow mode (see follow.go); it owns the
+	// lock that keeps queries out of half-applied refresh batches.
+	follower *refresh.Maintainer
 }
 
 // New creates an empty platform.
@@ -60,8 +65,10 @@ func New(cfg Config) *Platform {
 	return &Platform{cfg: cfg, kbase: kb.New(cfg.PromotionThreshold)}
 }
 
-// Close releases the OLTP store, if one was opened.
+// Close releases the OLTP store, if one was opened, and detaches any
+// follower.
 func (p *Platform) Close() error {
+	p.StopFollow()
 	if p.store == nil {
 		return nil
 	}
@@ -87,6 +94,21 @@ func (p *Platform) Acquire(raw *storage.Table) error {
 	if err := p.store.LoadTable(raw); err != nil {
 		return fmt.Errorf("core: acquiring: %w", err)
 	}
+	return nil
+}
+
+// OpenStore opens (or creates) the transactional store without loading
+// any rows — the reopen path for follow mode, where the data already
+// lives in the WAL.
+func (p *Platform) OpenStore(schema *storage.Schema) error {
+	if p.store != nil {
+		return nil
+	}
+	s, err := oltp.Open(p.cfg.DataDir, schema)
+	if err != nil {
+		return fmt.Errorf("core: opening store: %w", err)
+	}
+	p.store = s
 	return nil
 }
 
@@ -149,8 +171,14 @@ func (p *Platform) RegisterMeasure(name string, m cube.MeasureRef) error {
 	return nil
 }
 
-// Query executes a cube query (the OLAP reporting feature).
+// Query executes a cube query (the OLAP reporting feature). In follow
+// mode it holds the maintainer's read lock so refresh batches cannot
+// swap the warehouse mid-query.
 func (p *Platform) Query(q cube.Query) (*cube.CellSet, error) {
+	if p.follower != nil {
+		p.follower.RLock()
+		defer p.follower.RUnlock()
+	}
 	if p.engine == nil {
 		return nil, fmt.Errorf("core: warehouse not built")
 	}
@@ -166,6 +194,10 @@ func (p *Platform) QueryMDX(src string) (*cube.CellSet, error) {
 // under sp — the path behind the server's ?trace=1 flag. A nil sp
 // traces nothing.
 func (p *Platform) QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, error) {
+	if p.follower != nil {
+		p.follower.RLock()
+		defer p.follower.RUnlock()
+	}
 	if p.eval == nil {
 		return nil, fmt.Errorf("core: warehouse not built")
 	}
@@ -280,15 +312,23 @@ func (p *Platform) RecordFinding(topic, statement, source string) (string, error
 }
 
 // AddFeedbackDimension grafts clinician feedback onto the warehouse as a
-// new dimension and invalidates the engine caches — the closed-loop step
-// that distinguishes DD-DGMS from a one-way warehouse.
+// new dimension — the closed-loop step that distinguishes DD-DGMS from a
+// one-way warehouse. Invalidation is targeted: only caches touching the
+// (re)added dimension are dropped, so every other dimension's bitmaps,
+// coded columns and lattice entries survive the graft. In follow mode
+// the maintainer's write lock excludes concurrent refresh batches; note
+// a feedback dimension does not survive a resync or compaction rebuild.
 func (p *Platform) AddFeedbackDimension(name string, attrs []storage.Field, classify star.FactClassifier) error {
+	if p.follower != nil {
+		p.follower.Lock()
+		defer p.follower.Unlock()
+	}
 	if p.schema == nil {
 		return fmt.Errorf("core: warehouse not built")
 	}
 	if err := p.schema.AddFeedbackDimension(name, attrs, classify); err != nil {
 		return err
 	}
-	p.engine.InvalidateCaches()
+	p.engine.InvalidateDimension(name)
 	return nil
 }

@@ -1,0 +1,375 @@
+package cube
+
+import (
+	"fmt"
+
+	"github.com/ddgms/ddgms/internal/exec"
+	"github.com/ddgms/ddgms/internal/star"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Incremental cache maintenance. The refresh layer mutates the star
+// schema in two ways only — retiring fact rows and appending new ones —
+// and then calls ApplyDelta, which folds the change into every memoised
+// structure instead of discarding it:
+//
+//   - attribute/coded columns and member bitmaps are extended with the
+//     appended rows (retired rows stay physically present and are masked
+//     by filterBitmap, so those caches need no change for retirement);
+//   - lattice entries have the per-row partial aggregates of retired
+//     rows retracted (exec.AggState.Unmerge) and of appended rows merged
+//     (exec.AggState.Merge). Only additive measures live in the lattice,
+//     so this is exact; anything the delta cannot maintain is dropped
+//     and recomputed by the next query's scan.
+//
+// Targeted invalidation (InvalidateAttr / InvalidateDimension) covers
+// schema-shape mutations — feedback dimensions, SCD member rewrites —
+// dropping exactly the caches that could reference the changed attribute
+// instead of everything; InvalidateCaches remains the blanket fallback.
+
+// Delta describes one warehouse mutation batch applied to the fact
+// table: rows newly tombstoned via Retire (their ordinals) and the count
+// of rows appended at the tail. The caller must apply the fact-table
+// changes first and call ApplyDelta before releasing queries.
+type Delta struct {
+	Retired  []int
+	Appended int
+}
+
+// DeltaStats reports what ApplyDelta did with the lattice, feeding the
+// cuboids-merged-vs-rescanned metrics.
+type DeltaStats struct {
+	EntriesMerged  int // lattice entries maintained in place
+	EntriesDropped int // lattice entries dropped (next query re-scans)
+	ColumnsGrown   int // cached attribute columns extended
+}
+
+// ApplyDelta folds a fact-table delta into the engine's caches. It must
+// be called with queries quiesced (the refresh maintainer holds its
+// write lock across Retire/Append/ApplyDelta); the engine's own mutex
+// only protects the cache maps.
+func (e *Engine) ApplyDelta(d Delta) (DeltaStats, error) {
+	var stats DeltaStats
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	fact := e.schema.Fact()
+	n := fact.Len()
+	oldN := n - d.Appended
+	if oldN < 0 {
+		return stats, fmt.Errorf("cube: delta appends %d rows but fact table has %d", d.Appended, n)
+	}
+	for _, i := range d.Retired {
+		if i < 0 || i >= n {
+			return stats, fmt.Errorf("cube: retired row %d out of range (%d facts)", i, n)
+		}
+	}
+
+	// Appended attribute values per referenced attr, computed once.
+	appended := make(map[AttrRef][]value.Value)
+	appendVals := func(ref AttrRef) ([]value.Value, error) {
+		if vals, ok := appended[ref]; ok {
+			return vals, nil
+		}
+		dim, ok := e.schema.Dimension(ref.Dim)
+		if !ok {
+			return nil, fmt.Errorf("cube: unknown dimension %q", ref.Dim)
+		}
+		keys, err := fact.KeyColumn(ref.Dim)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]value.Value, 0, d.Appended)
+		for i := oldN; i < n; i++ {
+			if keys[i] == star.NoKey {
+				vals = append(vals, value.NA())
+				continue
+			}
+			v, err := dim.Attr(keys[i], ref.Attr)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		appended[ref] = vals
+		return vals, nil
+	}
+
+	if d.Appended > 0 {
+		for ref, col := range e.attrCols {
+			if len(col) != oldN {
+				// Cache inconsistent with the delta (should not happen);
+				// drop rather than corrupt.
+				e.dropAttrLocked(ref)
+				continue
+			}
+			vals, err := appendVals(ref)
+			if err != nil {
+				return stats, err
+			}
+			// Full-slice append: the old column may be held by readers.
+			e.attrCols[ref] = append(col[:len(col):len(col)], vals...)
+			stats.ColumnsGrown++
+		}
+		for ref, cc := range e.codedCols {
+			if cc.Len() != oldN {
+				e.dropAttrLocked(ref)
+				continue
+			}
+			vals, err := appendVals(ref)
+			if err != nil {
+				return stats, err
+			}
+			e.codedCols[ref] = exec.ExtendCoded(cc, vals)
+		}
+		for ref, members := range e.bitmaps {
+			vals, err := appendVals(ref)
+			if err != nil {
+				return stats, err
+			}
+			grown := make(map[value.Value]*Bitmap, len(members)+4)
+			for v, b := range members {
+				nb := NewBitmap(n)
+				copy(nb.words, b.words)
+				grown[v] = nb
+			}
+			for j, v := range vals {
+				b := grown[v]
+				if b == nil {
+					b = NewBitmap(n)
+					grown[v] = b
+				}
+				b.Set(oldN + j)
+			}
+			e.bitmaps[ref] = grown
+		}
+	}
+
+	for base, entries := range e.lattice {
+		kept := entries[:0]
+		for _, entry := range entries {
+			if e.deltaEntryLocked(entry, d, oldN) {
+				kept = append(kept, entry)
+				stats.EntriesMerged++
+			} else {
+				stats.EntriesDropped++
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.lattice, base)
+		} else {
+			e.lattice[base] = kept
+		}
+	}
+	cubeDeltaMerged.Add(uint64(stats.EntriesMerged))
+	cubeDeltaDropped.Add(uint64(stats.EntriesDropped))
+	return stats, nil
+}
+
+// deltaEntryLocked maintains one lattice entry in place, reporting false
+// when the entry cannot be maintained and must be dropped. Caller holds
+// e.mu and has already extended the attribute caches.
+func (e *Engine) deltaEntryLocked(entry *latticeEntry, d Delta, oldN int) bool {
+	if !exec.Mergeable(entry.measure.Agg) {
+		return false
+	}
+	fact := e.schema.Fact()
+
+	// Every referenced column must be cached (they were, when the entry
+	// was stored; targeted invalidation removes entries with their
+	// columns).
+	attrCol := func(ref AttrRef) ([]value.Value, bool) {
+		col, ok := e.attrCols[ref]
+		return col, ok && len(col) == fact.Len()
+	}
+	axisCols := make([][]value.Value, len(entry.attrs))
+	for i, ref := range entry.attrs {
+		col, ok := attrCol(ref)
+		if !ok {
+			return false
+		}
+		axisCols[i] = col
+	}
+	type sliceSet struct {
+		col  []value.Value
+		want map[value.Value]struct{}
+	}
+	slicers := make([]sliceSet, len(entry.slicers))
+	for i, s := range entry.slicers {
+		col, ok := attrCol(s.Ref)
+		if !ok {
+			return false
+		}
+		want := make(map[value.Value]struct{}, len(s.Values))
+		for _, v := range s.Values {
+			want[v] = struct{}{}
+		}
+		slicers[i] = sliceSet{col: col, want: want}
+	}
+	var measureAt func(i int) (value.Value, bool)
+	switch {
+	case entry.measure.Column != "":
+		col, err := fact.Measure(entry.measure.Column)
+		if err != nil {
+			return false
+		}
+		measureAt = func(i int) (value.Value, bool) { return col.Value(i), true }
+	case entry.measure.Attr != nil:
+		col, ok := attrCol(*entry.measure.Attr)
+		if !ok {
+			return false
+		}
+		measureAt = func(i int) (value.Value, bool) { return col[i], true }
+	default:
+		measureAt = func(int) (value.Value, bool) { return value.NA(), false }
+	}
+
+	matches := func(i int) bool {
+		for _, s := range slicers {
+			if _, ok := s.want[s.col[i]]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rowState := func(i int) *exec.AggState {
+		st := exec.NewAggState(entry.measure.Agg)
+		if v, ok := measureAt(i); ok {
+			st.Observe(v)
+		} else {
+			st.ObserveRow()
+		}
+		return st
+	}
+	tupleAt := func(i int) []value.Value {
+		tuple := make([]value.Value, len(axisCols))
+		for a, col := range axisCols {
+			tuple[a] = col[i]
+		}
+		return tuple
+	}
+
+	for _, i := range d.Retired {
+		if !matches(i) {
+			continue
+		}
+		tuple := tupleAt(i)
+		key := exec.EncodeTuple(tuple)
+		grp, ok := entry.groups[key]
+		if !ok {
+			return false // entry disagrees with the fact table; rebuild
+		}
+		grp.state.Unmerge(rowState(i))
+		if grp.state.Rows < 0 {
+			return false
+		}
+		if grp.state.Rows == 0 {
+			delete(entry.groups, key)
+		}
+	}
+	for i := oldN; i < fact.Len(); i++ {
+		if !fact.Alive(i) || !matches(i) {
+			continue
+		}
+		tuple := tupleAt(i)
+		key := exec.EncodeTuple(tuple)
+		if grp, ok := entry.groups[key]; ok {
+			grp.state.Merge(rowState(i))
+			continue
+		}
+		entry.groups[key] = &latticeGroup{tuple: tuple, state: rowState(i)}
+	}
+	return true
+}
+
+// dropAttrLocked removes every per-attribute cache of ref. Caller holds
+// e.mu.
+func (e *Engine) dropAttrLocked(ref AttrRef) {
+	delete(e.attrCols, ref)
+	delete(e.codedCols, ref)
+	delete(e.bitmaps, ref)
+}
+
+// entryReferences reports whether a lattice entry depends on ref.
+func entryReferences(entry *latticeEntry, ref AttrRef) bool {
+	for _, a := range entry.attrs {
+		if a == ref {
+			return true
+		}
+	}
+	for _, s := range entry.slicers {
+		if s.Ref == ref {
+			return true
+		}
+	}
+	return entry.measure.Attr != nil && *entry.measure.Attr == ref
+}
+
+// InvalidateAttr drops exactly the caches that could reference one
+// attribute: its materialised/coded column, its member bitmaps, and
+// every lattice entry whose axes, slicers or measure touch it. Use after
+// mutating one attribute's values (an SCD type-1 rewrite); blanket
+// InvalidateCaches remains the fallback for anything broader.
+func (e *Engine) InvalidateAttr(ref AttrRef) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dropAttrLocked(ref)
+	e.dropLatticeEntriesLocked(func(entry *latticeEntry) bool {
+		return entryReferences(entry, ref)
+	})
+}
+
+// InvalidateDimension drops every cache touching any attribute of the
+// named dimension — the right scope when a dimension is added, removed
+// or re-keyed (feedback dimensions). Caches over other dimensions and
+// their lattice entries survive.
+func (e *Engine) InvalidateDimension(dim string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for ref := range e.attrCols {
+		if ref.Dim == dim {
+			delete(e.attrCols, ref)
+		}
+	}
+	for ref := range e.codedCols {
+		if ref.Dim == dim {
+			delete(e.codedCols, ref)
+		}
+	}
+	for ref := range e.bitmaps {
+		if ref.Dim == dim {
+			delete(e.bitmaps, ref)
+		}
+	}
+	e.dropLatticeEntriesLocked(func(entry *latticeEntry) bool {
+		for _, a := range entry.attrs {
+			if a.Dim == dim {
+				return true
+			}
+		}
+		for _, s := range entry.slicers {
+			if s.Ref.Dim == dim {
+				return true
+			}
+		}
+		return entry.measure.Attr != nil && entry.measure.Attr.Dim == dim
+	})
+}
+
+// dropLatticeEntriesLocked removes lattice entries matching pred. Caller
+// holds e.mu.
+func (e *Engine) dropLatticeEntriesLocked(pred func(*latticeEntry) bool) {
+	for base, entries := range e.lattice {
+		kept := entries[:0]
+		for _, entry := range entries {
+			if !pred(entry) {
+				kept = append(kept, entry)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.lattice, base)
+		} else {
+			e.lattice[base] = kept
+		}
+	}
+}

@@ -201,11 +201,21 @@ func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
 	return m, nil
 }
 
-// filterBitmap evaluates all slicers into one fact-row bitmap.
+// filterBitmap evaluates all slicers into one fact-row bitmap. Retired
+// (tombstoned) fact rows are masked out first, so every scan, aggregate
+// and drill-through sees only live facts.
 func (e *Engine) filterBitmap(slicers []Slicer) (*Bitmap, error) {
-	n := e.schema.Fact().Len()
+	fact := e.schema.Fact()
+	n := fact.Len()
 	out := NewBitmap(n)
 	out.Fill()
+	if fact.RetiredCount() > 0 {
+		for i := 0; i < n; i++ {
+			if !fact.Alive(i) {
+				out.Clear(i)
+			}
+		}
+	}
 	for _, s := range slicers {
 		if len(s.Values) == 0 {
 			return nil, fmt.Errorf("cube: slicer on %s has no values", s.Ref)

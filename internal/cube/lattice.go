@@ -5,37 +5,45 @@ import (
 	"strings"
 
 	"github.com/ddgms/ddgms/internal/exec"
-	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
 )
 
 // The partial aggregate lattice caches the grouped form of every additive
-// query (count/sum) keyed by its slicer set and measure. A later query
-// over the same slicers and measure whose axis attributes are a subset of
-// a cached entry's attributes is answered by rolling the cached groups up
-// — no fact scan. This is the classic data-cube lattice of Harinarayan et
-// al. restricted to materialising what the user has already asked for,
-// which matches the interactive drill-down/roll-up workload of Figs 5–6:
-// after the fine-grained drill-down runs, the coarse roll-up is free.
+// query (count/sum/avg) keyed by its slicer set and measure. A later
+// query over the same slicers and measure whose axis attributes are a
+// subset of a cached entry's attributes is answered by rolling the cached
+// groups up — no fact scan. This is the classic data-cube lattice of
+// Harinarayan et al. restricted to materialising what the user has
+// already asked for, which matches the interactive drill-down/roll-up
+// workload of Figs 5–6: after the fine-grained drill-down runs, the
+// coarse roll-up is free.
+//
+// Entries keep the full exec.AggState per group plus the query's slicers
+// and measure, which is what lets the incremental refresh path (see
+// delta.go) merge or retract per-row partial aggregates instead of
+// dropping the cache on every warehouse append.
 
-// latticeEntry is one cached group-by: the attribute set (sorted) and the
-// grouped tuples in that sorted attribute order with additive aggregate
-// state.
+// latticeEntry is one cached group-by: the attribute set (sorted), the
+// slicers and measure it was computed under, and the grouped tuples in
+// sorted attribute order keyed by their canonical encoding.
 type latticeEntry struct {
-	attrs  []AttrRef
-	groups []latticeGroup
+	attrs   []AttrRef
+	slicers []Slicer
+	measure MeasureRef
+	groups  map[string]*latticeGroup
 }
 
 type latticeGroup struct {
 	tuple []value.Value
-	sum   float64
-	count int64
+	state *exec.AggState
 }
 
-// latticeable reports whether a measure can be cached and rolled up:
-// count and sum are additive; avg/min/max/distinct are not.
+// latticeable reports whether a measure can be cached, rolled up and
+// incrementally maintained: count, sum and avg carry their full state in
+// (Sum, Count); min/max/distinct would need the raw rows, so they always
+// re-scan.
 func latticeable(m MeasureRef) bool {
-	return m.Agg == storage.CountAgg || m.Agg == storage.SumAgg
+	return exec.Mergeable(m.Agg)
 }
 
 // latticeBase canonically encodes the parts of a query that must match a
@@ -104,22 +112,34 @@ func subsetPositions(want, have []AttrRef) ([]int, bool) {
 	return pos, true
 }
 
+// cloneSlicers deep-copies a slicer list so a cached entry is immune to
+// caller mutation.
+func cloneSlicers(slicers []Slicer) []Slicer {
+	out := make([]Slicer, len(slicers))
+	for i, s := range slicers {
+		out[i] = Slicer{Ref: s.Ref, Values: append([]value.Value(nil), s.Values...)}
+	}
+	return out
+}
+
 // latticeStore records the grouped form of an executed additive query.
 // Groups arrive tupled in the query's axis order; they are stored in
-// sorted attribute order so permuted queries share entries.
+// sorted attribute order so permuted queries share entries. The kernel's
+// aggregate states are fresh per invocation and are adopted directly.
 func (e *Engine) latticeStore(q Query, groups []exec.Group) {
 	sorted, perm := sortedAxes(q)
-	entry := &latticeEntry{attrs: sorted, groups: make([]latticeGroup, 0, len(groups))}
+	entry := &latticeEntry{
+		attrs:   sorted,
+		slicers: cloneSlicers(q.Slicers),
+		measure: q.Measure,
+		groups:  make(map[string]*latticeGroup, len(groups)),
+	}
 	for _, g := range groups {
 		tuple := make([]value.Value, len(perm))
 		for p, orig := range perm {
 			tuple[p] = g.Tuple[orig]
 		}
-		entry.groups = append(entry.groups, latticeGroup{
-			tuple: tuple,
-			sum:   g.States[0].Sum,
-			count: g.States[0].Count,
-		})
+		entry.groups[exec.EncodeTuple(tuple)] = &latticeGroup{tuple: tuple, state: g.States[0]}
 	}
 	base := latticeBase(q)
 	e.mu.Lock()
@@ -168,11 +188,11 @@ func (e *Engine) latticeLookup(q Query) (*CellSet, bool) {
 	}
 
 	// Roll up src groups onto the wanted attrs (in sorted order), then map
-	// back to the query's axis order via perm.
+	// back to the query's axis order via perm. Merging the cached states
+	// is exact for every latticeable aggregate.
 	type acc struct {
 		tuple []value.Value
-		sum   float64
-		count int64
+		state *exec.AggState
 	}
 	rolled := make(map[string]*acc)
 	buf := make([]value.Value, len(want))
@@ -183,11 +203,13 @@ func (e *Engine) latticeLookup(q Query) (*CellSet, bool) {
 		k := exec.EncodeTuple(buf)
 		a, ok := rolled[k]
 		if !ok {
-			a = &acc{tuple: append([]value.Value(nil), buf...)}
+			a = &acc{
+				tuple: append([]value.Value(nil), buf...),
+				state: exec.NewAggState(q.Measure.Agg),
+			}
 			rolled[k] = a
 		}
-		a.sum += g.sum
-		a.count += g.count
+		a.state.Merge(g.state)
 	}
 
 	// perm maps sorted position -> original axis position; invert it to
@@ -205,17 +227,7 @@ func (e *Engine) latticeLookup(q Query) (*CellSet, bool) {
 			if !q.IncludeMissing && tupleHasNA(tuple) {
 				continue
 			}
-			var cell value.Value
-			if q.Measure.Agg == storage.SumAgg {
-				if a.count == 0 {
-					cell = value.NA()
-				} else {
-					cell = value.Float(a.sum)
-				}
-			} else {
-				cell = value.Int(a.count)
-			}
-			yield(tuple, cell)
+			yield(tuple, a.state.Result())
 		}
 	})
 	return cs, true

@@ -117,7 +117,8 @@ func TestLatticeRespectsSlicers(t *testing.T) {
 
 func TestLatticeSkipsNonAdditive(t *testing.T) {
 	e := NewEngine(testStar(t))
-	q := Query{Rows: []AttrRef{refGender}, Measure: MeasureRef{Agg: storage.AvgAgg, Column: "FBG"}}
+	// Min/max need the raw rows and must never be cached.
+	q := Query{Rows: []AttrRef{refGender}, Measure: MeasureRef{Agg: storage.MaxAgg, Column: "FBG"}}
 	if _, err := e.Execute(q); err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +132,42 @@ func TestLatticeSkipsNonAdditive(t *testing.T) {
 	}
 	if e.LatticeSize() != 0 {
 		t.Errorf("distinct cached: size = %d", e.LatticeSize())
+	}
+}
+
+func TestLatticeAvgRollUp(t *testing.T) {
+	// Avg carries its full state in (sum, count), so it is cached and
+	// rolled up exactly.
+	e := NewEngine(testStar(t))
+	fine := Query{Rows: []AttrRef{refBand5, refGender}, Measure: MeasureRef{Agg: storage.AvgAgg, Column: "FBG"}}
+	if _, err := e.Execute(fine); err != nil {
+		t.Fatal(err)
+	}
+	if e.LatticeSize() != 1 {
+		t.Fatalf("avg not cached: size = %d", e.LatticeSize())
+	}
+	coarse := Query{Rows: []AttrRef{refGender}, Measure: MeasureRef{Agg: storage.AvgAgg, Column: "FBG"}}
+	cs, err := e.Execute(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LatticeSize() != 1 {
+		t.Errorf("avg roll-up created a scan entry: size = %d", e.LatticeSize())
+	}
+	fresh, err := NewEngine(testStar(t), WithAggregateCache(false)).Execute(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Rows() != fresh.Rows() {
+		t.Fatalf("rolled-up rows = %d, scanned rows = %d", cs.Rows(), fresh.Rows())
+	}
+	for i := 0; i < cs.Rows(); i++ {
+		a, b := cs.Cell(i, 0), fresh.Cell(i, 0)
+		af, aok := a.AsFloat()
+		bf, bok := b.AsFloat()
+		if aok != bok || (aok && !approx(af, bf)) {
+			t.Errorf("row %s: rolled %v vs scanned %v", cs.RowLabel(i), a, b)
+		}
 	}
 }
 

@@ -20,5 +20,12 @@ var (
 	latticeHit  = metricLattice.WithLabelValues("hit")
 	latticeMiss = metricLattice.WithLabelValues("miss")
 
+	metricDelta = obs.Default().CounterVec(
+		"ddgms_cube_delta_entries_total",
+		"Lattice entries incrementally merged vs dropped for re-scan by ApplyDelta.",
+		"outcome")
+	cubeDeltaMerged  = metricDelta.WithLabelValues("merged")
+	cubeDeltaDropped = metricDelta.WithLabelValues("rescanned")
+
 	cubeDictHit, cubeDictMiss = exec.DictLookupCounters("cube")
 )

@@ -180,11 +180,21 @@ func (p *Pipeline) WithRetry(r RetryPolicy) *Pipeline {
 	return p
 }
 
-func (r RetryPolicy) sleep(attempt int) {
+// Delay returns the backoff before retry attempt (0-based): BaseDelay
+// doubled per attempt, capped at MaxDelay when set.
+func (r RetryPolicy) Delay(attempt int) time.Duration {
 	d := r.BaseDelay << uint(attempt)
 	if r.MaxDelay > 0 && d > r.MaxDelay {
 		d = r.MaxDelay
 	}
+	return d
+}
+
+// Backoff sleeps for Delay(attempt) through the policy's Sleep seam
+// (time.Sleep when nil). It is exported so other retry loops — the
+// refresh follower's poll backoff — share one injectable clock.
+func (r RetryPolicy) Backoff(attempt int) {
+	d := r.Delay(attempt)
 	if d <= 0 {
 		return
 	}
@@ -223,7 +233,7 @@ func (p *Pipeline) RunTraced(t *storage.Table, sp *obs.Span) (*storage.Table, er
 			if attempt > 0 {
 				metricRetries.WithLabelValues(s.Name).Inc()
 				stepSp.Annotate("retry", attempt)
-				p.retry.sleep(attempt - 1)
+				p.retry.Backoff(attempt - 1)
 			}
 			in := cur
 			if attempts > 1 {

@@ -100,6 +100,11 @@ type AggState struct {
 	Min, Max float64
 	Seen     map[value.Value]struct{}
 	Any      bool
+	// Rows counts every physical row routed to this group, NA measures
+	// included. Incremental cube maintenance needs it to tell "group whose
+	// observations are all NA" (Rows > 0, Count == 0) apart from "group
+	// with no surviving rows at all" (Rows == 0), which must be dropped.
+	Rows int64
 }
 
 // NewAggState creates an empty accumulator for the given aggregate.
@@ -112,10 +117,12 @@ func NewAggState(kind AggKind) *AggState {
 }
 
 // ObserveRow records one row for a measure-less (row count) aggregate.
-func (st *AggState) ObserveRow() { st.Count++; st.Any = true }
+func (st *AggState) ObserveRow() { st.Rows++; st.Count++; st.Any = true }
 
-// Observe records one measure value. NA is ignored.
+// Observe records one measure value. NA is ignored by the aggregate but
+// still counted as a routed row.
 func (st *AggState) Observe(v value.Value) {
+	st.Rows++
 	if v.IsNA() {
 		return
 	}
@@ -140,6 +147,7 @@ func (st *AggState) Observe(v value.Value) {
 // is the worker-merge step of the parallel kernel; it is exact for every
 // aggregate (distinct merges the seen sets, avg merges sum and count).
 func (st *AggState) Merge(o *AggState) {
+	st.Rows += o.Rows
 	st.Count += o.Count
 	st.Sum += o.Sum
 	if o.Min < st.Min {
@@ -154,6 +162,44 @@ func (st *AggState) Merge(o *AggState) {
 			st.Seen[v] = struct{}{}
 		}
 	}
+}
+
+// Mergeable reports whether the aggregate supports exact retraction via
+// Unmerge, i.e. whether incremental maintenance can subtract a delta
+// instead of re-scanning. Count, sum and avg are additive; min/max would
+// need the retracted value's rank and distinct would need per-value
+// multiplicity, so they re-scan.
+func Mergeable(k AggKind) bool {
+	switch k {
+	case CountAgg, SumAgg, AvgAgg:
+		return true
+	}
+	return false
+}
+
+// Unmerge retracts a previously merged partial accumulator of the same
+// kind from st. It is exact only for Mergeable kinds (count/sum/avg run
+// entirely on Count and Sum); callers must not unmerge min/max/distinct
+// states. Any is recomputed from the surviving count so an emptied group
+// finalises back to NA.
+func (st *AggState) Unmerge(o *AggState) {
+	st.Rows -= o.Rows
+	st.Count -= o.Count
+	st.Sum -= o.Sum
+	st.Any = st.Count > 0
+}
+
+// Clone returns an independent copy of st (the distinct set, when
+// present, is deep-copied).
+func (st *AggState) Clone() *AggState {
+	c := *st
+	if st.Seen != nil {
+		c.Seen = make(map[value.Value]struct{}, len(st.Seen))
+		for v := range st.Seen {
+			c.Seen[v] = struct{}{}
+		}
+	}
+	return &c
 }
 
 // Result finalises the aggregate. Empty groups yield NA for sum/avg/min/

@@ -117,6 +117,33 @@ func EncodeFunc(n int, at func(i int) value.Value) *CodedColumn {
 	return b.col
 }
 
+// ExtendCoded returns a new CodedColumn equal to c with vals appended,
+// reusing (and growing) c's dictionary. The input column is never
+// mutated — CodedColumns are immutable and may be held by concurrent
+// readers — so incremental maintainers extend by swapping in the
+// returned column. The dictionary index is rebuilt from c.Values, which
+// restores the NaN pinning of the original builder.
+func ExtendCoded(c *CodedColumn, vals []value.Value) *CodedColumn {
+	b := &dictBuilder{
+		col: &CodedColumn{
+			Codes:  append(make([]uint32, 0, len(c.Codes)+len(vals)), c.Codes...),
+			Values: append(make([]value.Value, 0, len(c.Values)+1), c.Values...),
+		},
+		index: make(map[value.Value]uint32, len(c.Values)),
+	}
+	for code, v := range c.Values {
+		if v.Kind() == value.FloatKind && math.IsNaN(v.Float()) {
+			b.nanCode = uint32(code)
+			continue
+		}
+		b.index[v] = uint32(code)
+	}
+	for _, v := range vals {
+		b.append(v)
+	}
+	return b.col
+}
+
 // EncodeTuple canonically encodes a tuple of values as a string map key:
 // kind tag, ':', the value's display form, NUL. This is the one shared
 // implementation of the tuple encoding previously duplicated as

@@ -222,13 +222,20 @@ func (s *Store) checkpointLocked() error {
 		return s.failWalLocked(err)
 	}
 	// Best-effort cleanup: everything below the new checkpoint is garbage;
-	// a crash mid-sweep just leaves files the next recovery removes.
+	// a crash mid-sweep just leaves files the next recovery removes. A
+	// registered WAL subscriber (RetainWALFrom) pins its unconsumed
+	// segments so a caught-up tailer survives checkpoints without a gap;
+	// retention is in-memory only, so a restart may still force a resync.
 	lay, err := scanWalDir(s.fs, s.dir)
 	if err != nil {
 		return s.failWalLocked(err)
 	}
+	keep := next.seq
+	if s.retainSeq > 0 && s.retainSeq < keep {
+		keep = s.retainSeq
+	}
 	for _, seq := range lay.segs {
-		if seq < next.seq {
+		if seq < keep {
 			if err := s.fs.Remove(filepath.Join(s.dir, segName(seq))); err != nil {
 				return s.failWalLocked(err)
 			}

@@ -102,8 +102,18 @@ type Store struct {
 	dir          string
 	fs           faultfs.FS
 	opts         Options
+	retainSeq    uint64 // WAL subscriber low-water mark; 0 = no retention
 
 	nextTx uint64
+
+	// Commit feed state for CDC consumers. commits/lastCommitNano are
+	// guarded by s.mu (written inside Commit's critical section); the
+	// subscriber set has its own mutex so notification never interacts
+	// with store locking.
+	commits        uint64
+	lastCommitNano int64
+	subMu          sync.Mutex
+	subs           map[chan struct{}]struct{}
 }
 
 // Open creates or reopens a store in dir with default durability options.
@@ -437,8 +447,65 @@ func (t *Tx) Commit() error {
 	for _, id := range t.order {
 		s.applyLocked(t.writes[id])
 	}
+	s.commits++
+	s.lastCommitNano = time.Now().UnixNano()
 	commitOK.Inc()
+	s.notifyCommit()
 	return nil
+}
+
+// notifyCommit pokes every subscriber channel without blocking: a full
+// channel means that subscriber already has a wake-up pending.
+func (s *Store) notifyCommit() {
+	s.subMu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// SubscribeCommits registers a wake-up channel that receives (capacity 1,
+// coalescing) after every successful commit. It carries no data — it only
+// tells a WAL tailer that polling again is worthwhile.
+func (s *Store) SubscribeCommits() chan struct{} {
+	ch := make(chan struct{}, 1)
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[chan struct{}]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	s.subMu.Unlock()
+	return ch
+}
+
+// UnsubscribeCommits removes a channel registered with SubscribeCommits.
+func (s *Store) UnsubscribeCommits(ch chan struct{}) {
+	s.subMu.Lock()
+	delete(s.subs, ch)
+	s.subMu.Unlock()
+}
+
+// CommitStats reports the number of successful commits since open and the
+// wall-clock time of the latest one (0 if none). Lag in transactions is
+// this commit count minus the count a consumer has applied.
+func (s *Store) CommitStats() (commits uint64, lastCommitUnixNano int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commits, s.lastCommitNano
+}
+
+// RetainWALFrom pins WAL segments at or above seq against checkpoint
+// sweeping, so a tailer that has consumed up to seq can keep reading
+// across checkpoints without hitting a gap. Zero clears the pin.
+// Retention is in-memory: after a restart the next checkpoint may sweep
+// again, and a cursor below the surviving base must resync.
+func (s *Store) RetainWALFrom(seq uint64) {
+	s.walMu.Lock()
+	s.retainSeq = seq
+	s.walMu.Unlock()
 }
 
 // logCommit makes t's write set durable: segment housekeeping (rotation or

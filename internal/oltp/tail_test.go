@@ -1,0 +1,516 @@
+package oltp
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// Tailing (change-data capture) tests. The contract under test: TailWAL
+// surfaces every committed transaction exactly once, in commit order,
+// with correct per-row change sets and resumable cursors; it never
+// surfaces rolled-back or torn transactions; and it fails with
+// ErrTailGap (never garbage) when checkpoints have truncated history
+// past the cursor.
+
+// tailOpts rotates segments aggressively but never checkpoints, so the
+// zero cursor stays valid for full-history tests.
+func tailOpts(fs faultfs.FS) Options {
+	return Options{FS: fs, SegmentBytes: 1 << 10, CheckpointBytes: 1 << 30}
+}
+
+// replayTxs applies tailed change sets to an oracle state.
+func replayTxs(st oracleState, txs []CommittedTx) {
+	for _, tx := range txs {
+		for _, ch := range tx.Changes {
+			switch ch.Op {
+			case ChangeDelete:
+				delete(st, ch.ID)
+			default:
+				st[ch.ID] = ch.Row
+			}
+		}
+	}
+}
+
+// drainTail polls TailWAL(cur, step) until no transactions remain.
+func drainTail(t *testing.T, s *Store, from WALCursor, step int) ([]CommittedTx, WALCursor) {
+	t.Helper()
+	var all []CommittedTx
+	cur := from
+	for {
+		txs, next, err := s.TailWAL(cur, step)
+		if err != nil {
+			t.Fatalf("TailWAL(%s): %v", cur, err)
+		}
+		all = append(all, txs...)
+		if len(txs) == 0 {
+			if next != cur && next.Less(cur) {
+				t.Fatalf("empty poll moved cursor backwards: %s -> %s", cur, next)
+			}
+			return all, next
+		}
+		if !cur.Less(next) {
+			t.Fatalf("cursor did not advance: %s -> %s", cur, next)
+		}
+		cur = next
+	}
+}
+
+// TestTailWALRotationOrderAndChanges commits a workload that crosses
+// many segment rotations and checks the tailed feed transaction by
+// transaction: commit order, exact change sets, advancing End cursors,
+// and that replaying the feed reproduces the store state.
+func TestTailWALRotationOrderAndChanges(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	var wantTxs [][]Change
+	// Updates and deletes only touch rows committed by earlier
+	// transactions; within one transaction the store coalesces writes to
+	// the same row, which would make the oracle's per-op bookkeeping
+	// disagree with the (correct) single WAL record.
+	live := make([]RowID, 0, 128)
+	touched := make(map[RowID]bool)
+	for i := 0; i < 80; i++ {
+		tx := s.Begin()
+		var want []Change
+		var inserted []RowID
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			switch {
+			case len(live) > 4 && rng.Float64() < 0.25:
+				id := live[rng.Intn(len(live))]
+				if touched[id] {
+					continue
+				}
+				touched[id] = true
+				r := row(int64(id), rng.Float64()*10, "M")
+				if err := tx.Update(id, r); err != nil {
+					t.Fatalf("Update: %v", err)
+				}
+				want = append(want, Change{Op: ChangeUpdate, ID: id, Row: r})
+			case len(live) > 8 && rng.Float64() < 0.2:
+				last := len(live) - 1
+				id := live[last]
+				if touched[id] {
+					continue
+				}
+				touched[id] = true
+				live = live[:last]
+				if err := tx.Delete(id); err != nil {
+					t.Fatalf("Delete: %v", err)
+				}
+				want = append(want, Change{Op: ChangeDelete, ID: id})
+			default:
+				r := row(rng.Int63n(1000), rng.Float64()*10, "F")
+				id, err := tx.Insert(r)
+				if err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+				inserted = append(inserted, id)
+				want = append(want, Change{Op: ChangeInsert, ID: id, Row: r})
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		wantTxs = append(wantTxs, want)
+		live = append(live, inserted...)
+		for id := range touched {
+			delete(touched, id)
+		}
+	}
+
+	txs, end, err := s.TailWAL(WALCursor{}, 0)
+	if err != nil {
+		t.Fatalf("TailWAL from zero: %v", err)
+	}
+	if len(txs) != len(wantTxs) {
+		t.Fatalf("tailed %d transactions, committed %d", len(txs), len(wantTxs))
+	}
+	prevEnd := WALCursor{}
+	for i, tx := range txs {
+		if i > 0 && tx.Tx <= txs[i-1].Tx {
+			t.Fatalf("tx ids out of commit order at %d: %d after %d", i, tx.Tx, txs[i-1].Tx)
+		}
+		if !prevEnd.Less(tx.End) {
+			t.Fatalf("End cursor not advancing at tx %d: %s after %s", i, tx.End, prevEnd)
+		}
+		prevEnd = tx.End
+		want := wantTxs[i]
+		if len(tx.Changes) != len(want) {
+			t.Fatalf("tx %d: %d changes, want %d", i, len(tx.Changes), len(want))
+		}
+		for j, ch := range tx.Changes {
+			w := want[j]
+			if ch.Op != w.Op || ch.ID != w.ID {
+				t.Fatalf("tx %d change %d: got %s id %d, want %s id %d", i, j, ch.Op, ch.ID, w.Op, w.ID)
+			}
+			if w.Op == ChangeDelete {
+				if ch.Row != nil {
+					t.Fatalf("tx %d change %d: delete carries a row image", i, j)
+				}
+				continue
+			}
+			if len(ch.Row) != len(w.Row) {
+				t.Fatalf("tx %d change %d: row width %d, want %d", i, j, len(ch.Row), len(w.Row))
+			}
+			for k := range ch.Row {
+				if !ch.Row[k].Equal(w.Row[k]) {
+					t.Fatalf("tx %d change %d col %d: got %v want %v", i, j, k, ch.Row[k], w.Row[k])
+				}
+			}
+		}
+	}
+	if end.Seq < 3 {
+		t.Fatalf("workload only reached segment %d; rotation not exercised", end.Seq)
+	}
+
+	// The feed replayed from nothing must equal the store state.
+	got := make(oracleState)
+	replayTxs(got, txs)
+	if want := dumpState(s); !statesEqual(got, want) {
+		t.Fatalf("replayed feed diverges from store state\n feed:  %s\n store: %s",
+			describeState(got), describeState(want))
+	}
+}
+
+// TestTailWALIncrementalPolling drains the same history one transaction
+// per poll and checks it matches a single unlimited read, that the final
+// cursor is the durable LSN, and that polling at the end re-reads
+// nothing.
+func TestTailWALIncrementalPolling(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 40; i++ {
+		tx := s.Begin()
+		if _, err := tx.Insert(row(int64(i), float64(i), "F")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+
+	all, _, err := s.TailWAL(WALCursor{}, 0)
+	if err != nil {
+		t.Fatalf("TailWAL: %v", err)
+	}
+	stepped, end := drainTail(t, s, WALCursor{}, 1)
+	if len(stepped) != len(all) {
+		t.Fatalf("stepped drain saw %d txs, unlimited read saw %d", len(stepped), len(all))
+	}
+	for i := range stepped {
+		if stepped[i].Tx != all[i].Tx {
+			t.Fatalf("stepped drain diverges at %d: tx %d vs %d", i, stepped[i].Tx, all[i].Tx)
+		}
+	}
+
+	durable, err := s.DurableLSN()
+	if err != nil {
+		t.Fatalf("DurableLSN: %v", err)
+	}
+	if end != durable {
+		t.Fatalf("drained cursor %s != durable LSN %s", end, durable)
+	}
+	again, next, err := s.TailWAL(end, 0)
+	if err != nil {
+		t.Fatalf("TailWAL at end: %v", err)
+	}
+	if len(again) != 0 || next != end {
+		t.Fatalf("poll at durable end re-read %d txs, cursor %s -> %s", len(again), end, next)
+	}
+}
+
+// TestTailWALSkipsRollbacks checks that rolled-back and still-open
+// transactions never appear in the feed.
+func TestTailWALSkipsRollbacks(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	committed := 0
+	for i := 0; i < 20; i++ {
+		tx := s.Begin()
+		if _, err := tx.Insert(row(int64(i), 1, "F")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if i%3 == 0 {
+			tx.Rollback()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		committed++
+	}
+	// An open transaction at tail time must be invisible too.
+	open := s.Begin()
+	if _, err := open.Insert(row(999, 9, "M")); err != nil {
+		t.Fatalf("Insert open: %v", err)
+	}
+	defer open.Rollback()
+
+	txs, _, err := s.TailWAL(WALCursor{}, 0)
+	if err != nil {
+		t.Fatalf("TailWAL: %v", err)
+	}
+	if len(txs) != committed {
+		t.Fatalf("tailed %d transactions, want only the %d committed", len(txs), committed)
+	}
+	for _, tx := range txs {
+		for _, ch := range tx.Changes {
+			if ch.Op == ChangeInsert && ch.Row[0].Int() == 999 {
+				t.Fatal("uncommitted row surfaced in the feed")
+			}
+		}
+	}
+}
+
+// TestTailWALCheckpointGap checks the truncation contract: once a
+// checkpoint sweeps history, stale cursors (including the zero cursor)
+// fail with ErrTailGap, while SnapshotWithLSN hands out a cursor that
+// yields exactly the post-snapshot commits.
+func TestTailWALCheckpointGap(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), crashOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	commit := func(id int64) {
+		t.Helper()
+		tx := s.Begin()
+		if _, err := tx.Insert(row(id, float64(id), "F")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		commit(int64(i))
+	}
+	_, preCkpt, err := s.TailWAL(WALCursor{}, 3)
+	if err != nil {
+		t.Fatalf("TailWAL before checkpoint: %v", err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	if _, _, err := s.TailWAL(WALCursor{}, 0); !errors.Is(err, ErrTailGap) {
+		t.Fatalf("zero cursor after checkpoint: got %v, want ErrTailGap", err)
+	}
+	if _, _, err := s.TailWAL(preCkpt, 0); !errors.Is(err, ErrTailGap) {
+		t.Fatalf("pre-checkpoint cursor %s: got %v, want ErrTailGap", preCkpt, err)
+	}
+
+	snap, err := s.SnapshotWithLSN()
+	if err != nil {
+		t.Fatalf("SnapshotWithLSN: %v", err)
+	}
+	if snap.Table.Len() != 10 {
+		t.Fatalf("snapshot has %d rows, want 10", snap.Table.Len())
+	}
+	for i := 10; i < 13; i++ {
+		commit(int64(i))
+	}
+	txs, _, err := s.TailWAL(snap.LSN, 0)
+	if err != nil {
+		t.Fatalf("TailWAL from snapshot LSN: %v", err)
+	}
+	if len(txs) != 3 {
+		t.Fatalf("tail from snapshot LSN saw %d txs, want exactly the 3 post-snapshot commits", len(txs))
+	}
+}
+
+// TestTailWALRetention checks that RetainWALFrom pins a consumer's
+// unread segments across checkpoints, and that clearing the pin lets
+// the next checkpoint open a gap again.
+func TestTailWALRetention(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	commit := func(id int64) {
+		t.Helper()
+		tx := s.Begin()
+		if _, err := tx.Insert(row(id, float64(id), "M")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		commit(int64(i))
+	}
+	_, cur, err := s.TailWAL(WALCursor{}, 4)
+	if err != nil {
+		t.Fatalf("TailWAL: %v", err)
+	}
+
+	s.RetainWALFrom(cur.Seq)
+	for i := 8; i < 16; i++ {
+		commit(int64(i))
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	txs, cur2, err := s.TailWAL(cur, 0)
+	if err != nil {
+		t.Fatalf("TailWAL from retained cursor after checkpoint: %v", err)
+	}
+	if len(txs) != 12 {
+		t.Fatalf("retained tail saw %d txs, want the 12 unconsumed", len(txs))
+	}
+
+	s.RetainWALFrom(0)
+	commit(99)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, _, err := s.TailWAL(cur, 0); !errors.Is(err, ErrTailGap) {
+		t.Fatalf("unpinned cursor after checkpoint: got %v, want ErrTailGap", err)
+	}
+	_ = cur2
+}
+
+// TestTailWALConcurrentWithCommits races a committer against a polling
+// tailer (the follow-mode shape) and checks the feed converges on the
+// exact committed history with no duplicates or holes.
+func TestTailWALConcurrentWithCommits(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	const commits = 60
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			tx := s.Begin()
+			if _, err := tx.Insert(row(int64(i), float64(i), "F")); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("Commit: %v", err)
+				return
+			}
+		}
+	}()
+
+	var seen []CommittedTx
+	cur := WALCursor{}
+	for len(seen) < commits {
+		txs, next, err := s.TailWAL(cur, 5)
+		if err != nil {
+			t.Fatalf("TailWAL: %v", err)
+		}
+		seen = append(seen, txs...)
+		cur = next
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(seen) != commits {
+		t.Fatalf("tailed %d txs, want %d", len(seen), commits)
+	}
+	got := make(oracleState)
+	replayTxs(got, seen)
+	if want := dumpState(s); !statesEqual(got, want) {
+		t.Fatalf("concurrent feed diverges from store state\n feed:  %s\n store: %s",
+			describeState(got), describeState(want))
+	}
+}
+
+// TestTailWALCrashRecoverySweep crashes the randomized workload at a
+// sweep of filesystem injection points, reopens on the surviving files,
+// and checks the tailing contract post-crash: if full history survives,
+// replaying it from the zero cursor reproduces exactly the recovered
+// state (no torn or phantom transactions); and in every case the
+// snapshot LSN is a valid resume point that yields exactly the commits
+// made after recovery.
+func TestTailWALCrashRecoverySweep(t *testing.T) {
+	const (
+		seed   = 31
+		txns   = 60
+		stride = 7
+	)
+	total := countWorkloadOps(t, seed, txns)
+	fracs := []float64{0, 0.25, 0.5, 1}
+	for i := 1; i <= total; i += stride {
+		fault := faultfs.NewFault(faultfs.OS{}).CrashAt(i, fracs[i%len(fracs)])
+		dir := t.TempDir()
+		runCrashWorkload(dir, fault, seed, txns)
+		if !fault.Crashed() {
+			continue
+		}
+
+		s, err := OpenWith(dir, testSchema(), crashOpts(faultfs.OS{}))
+		if err != nil {
+			t.Fatalf("op %d: reopen after crash: %v", i, err)
+		}
+		recovered := dumpState(s)
+
+		// Full-history replay, when the log still reaches back to genesis,
+		// must land exactly on the recovered state.
+		txs, _, err := s.TailWAL(WALCursor{}, 0)
+		switch {
+		case errors.Is(err, ErrTailGap):
+			// A checkpoint truncated history; zero-cursor refusal is the
+			// contract.
+		case err != nil:
+			t.Fatalf("op %d: TailWAL from zero after crash: %v", i, err)
+		default:
+			replayed := make(oracleState)
+			replayTxs(replayed, txs)
+			if !statesEqual(replayed, recovered) {
+				t.Fatalf("op %d: full-history replay diverges from recovered state\n feed:  %s\n store: %s",
+					i, describeState(replayed), describeState(recovered))
+			}
+		}
+
+		// The snapshot LSN must resume cleanly: only post-snapshot commits.
+		snap, err := s.SnapshotWithLSN()
+		if err != nil {
+			t.Fatalf("op %d: SnapshotWithLSN: %v", i, err)
+		}
+		tx := s.Begin()
+		if _, err := tx.Insert(row(8888, 8, "F")); err != nil {
+			t.Fatalf("op %d: insert after recovery: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("op %d: commit after recovery: %v", i, err)
+		}
+		after, _, err := s.TailWAL(snap.LSN, 0)
+		if err != nil {
+			t.Fatalf("op %d: TailWAL from snapshot LSN: %v", i, err)
+		}
+		if len(after) != 1 || len(after[0].Changes) != 1 || after[0].Changes[0].Op != ChangeInsert {
+			t.Fatalf("op %d: tail from snapshot LSN saw %d txs, want exactly the one post-snapshot commit", i, len(after))
+		}
+		s.Close()
+	}
+}

@@ -106,6 +106,12 @@ type walWriter struct {
 	f    faultfs.File
 	bw   *bufio.Writer
 	size int64 // bytes in the current segment, including buffered
+	// synced is the durable prefix: bytes known to be on disk after a
+	// successful fsync. It only ever lands on a record boundary (syncs
+	// happen after commit markers), which is what lets the CDC tailer
+	// read up to it without ever seeing a committed-but-not-durable or
+	// torn record.
+	synced int64
 
 	scratch bytes.Buffer
 }
@@ -131,7 +137,7 @@ func openSegmentAppend(fs faultfs.FS, dir string, seq uint64, size int64) (*walW
 	if err != nil {
 		return nil, fmt.Errorf("oltp: opening WAL segment %d: %w", seq, err)
 	}
-	return &walWriter{fs: fs, dir: dir, seq: seq, f: f, bw: bufio.NewWriter(f), size: size}, nil
+	return &walWriter{fs: fs, dir: dir, seq: seq, f: f, bw: bufio.NewWriter(f), size: size, synced: size}, nil
 }
 
 // append frames one record into the buffer. The record is not durable
@@ -159,7 +165,11 @@ func (w *walWriter) sync() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = w.size
+	return nil
 }
 
 // close flushes, syncs and closes the segment, reporting the first error
@@ -168,6 +178,9 @@ func (w *walWriter) close() error {
 	err := w.bw.Flush()
 	if serr := w.f.Sync(); err == nil {
 		err = serr
+	}
+	if err == nil {
+		w.synced = w.size
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

@@ -1,0 +1,34 @@
+package refresh
+
+import "github.com/ddgms/ddgms/internal/obs"
+
+// Refresh metric families. Together with ddgms_cdc_* (feed volume) and
+// ddgms_cube_delta_entries_total (cuboids merged vs rescanned) they
+// cover the follow path end to end.
+var (
+	metricBatches = obs.Default().Counter(
+		"ddgms_refresh_batches_total",
+		"CDC batches applied to the warehouse.")
+	metricTxApplied = obs.Default().Counter(
+		"ddgms_refresh_transactions_applied_total",
+		"Committed transactions folded into the warehouse.")
+	metricRowsAppended = obs.Default().Counter(
+		"ddgms_refresh_rows_appended_total",
+		"Fact rows appended by incremental refresh.")
+	metricRowsTombstoned = obs.Default().Counter(
+		"ddgms_refresh_rows_tombstoned_total",
+		"Fact rows tombstoned by incremental refresh.")
+	metricBatchSeconds = obs.Default().Histogram(
+		"ddgms_refresh_batch_seconds",
+		"End-to-end latency per applied refresh batch.",
+		nil)
+	metricLag = obs.Default().Gauge(
+		"ddgms_refresh_lag_transactions",
+		"Committed transactions not yet applied to the warehouse.")
+	metricCompactions = obs.Default().Counter(
+		"ddgms_refresh_compactions_total",
+		"Full rebuilds triggered by tombstone accumulation.")
+	metricResyncs = obs.Default().Counter(
+		"ddgms_refresh_resyncs_total",
+		"Full snapshot resyncs (tail gaps or failed applies).")
+)

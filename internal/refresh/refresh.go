@@ -1,0 +1,542 @@
+// Package refresh maintains the star-schema warehouse incrementally
+// from the OLTP change feed: a Maintainer bootstraps from a consistent
+// store snapshot, then consumes committed-transaction batches from a
+// cdc.Tailer and folds them into the warehouse without a rebuild.
+//
+// The unit of recomputation is the patient. Every ETL step in the
+// DiScRi pipeline is either row-local (range rules, discretisation,
+// derivations) or patient-local (trend abstraction, visit cardinality
+// — both partition by the patient column), so re-running the pipeline
+// over just the mirror rows of the patients touched by a batch yields
+// byte-identical output to a full run restricted to those patients.
+// Each batch therefore: (1) updates an in-memory mirror of committed
+// OLTP rows, (2) re-derives the affected patients' rows through the
+// unchanged etl.Pipeline, (3) tombstones those patients' old facts and
+// appends the re-derived ones, and (4) calls cube.Engine.ApplyDelta so
+// additive lattice entries are merged/retracted in place instead of the
+// caches being dropped.
+//
+// Patient-scoped recomputation is also what makes at-least-once CDC
+// delivery safe: replaying a batch (crash between apply and Ack, or a
+// failed cursor save) retires the patients' current facts and appends
+// the same re-derived rows again, converging to the same state. After a
+// process restart the warehouse is rebuilt from a fresh snapshot and
+// the cursor reset to its LSN, so replay never compounds.
+//
+// When tombstones pass CompactFraction of the fact table the Maintainer
+// rebuilds the warehouse from its mirror (not from a new snapshot — the
+// cursor does not move), reclaiming the dead rows.
+package refresh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/cdc"
+	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/etl"
+	"github.com/ddgms/ddgms/internal/faultfs"
+	"github.com/ddgms/ddgms/internal/obs"
+	"github.com/ddgms/ddgms/internal/oltp"
+	"github.com/ddgms/ddgms/internal/star"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Config parameterises a Maintainer.
+type Config struct {
+	// Pipeline transforms flat OLTP rows into warehouse-ready rows. Its
+	// steps must be patient-local (see the package comment); the stock
+	// DiScRi pipeline is.
+	Pipeline *etl.Pipeline
+	// Builder is the star-schema spec. Build is used at bootstrap and
+	// compaction, Append for delta batches.
+	Builder *star.Builder
+	// PatientCol names the pipeline's partition key; it must exist in
+	// both the store schema and the pipeline output. Default "PatientID".
+	PatientCol string
+	// CursorDir is where the CDC cursor persists; empty keeps the cursor
+	// in memory only.
+	CursorDir string
+	// FS is the filesystem for cursor persistence (tests inject faults).
+	FS faultfs.FS
+	// EngineOptions configure each cube engine the maintainer builds.
+	EngineOptions []cube.Option
+	// MaxBatchTx caps transactions per refresh batch (default 256).
+	MaxBatchTx int
+	// CompactFraction is the tombstone fraction that triggers a rebuild;
+	// 0 means the default 0.5, negative disables compaction.
+	CompactFraction float64
+	// MinCompactRows is the fact-table size below which compaction never
+	// triggers (default 256).
+	MinCompactRows int
+	// Retry paces the follow loop's error backoff through the same
+	// injectable clock as ETL retries.
+	Retry etl.RetryPolicy
+	// PollInterval bounds how long Run waits without a commit signal
+	// before polling anyway (default 1s).
+	PollInterval time.Duration
+	// Tracer, when set, records one trace per applied batch.
+	Tracer *obs.Tracer
+	// OnRebuild is called whenever the maintainer installs a new engine
+	// (bootstrap, resync, compaction) so the serving layer can swap its
+	// pointers and re-register measures and member orders. It runs with
+	// the maintainer's write lock held: it must not call Freshness or
+	// issue queries.
+	OnRebuild func(*cube.Engine, *star.Schema, *storage.Table) error
+}
+
+// Maintainer owns the incrementally maintained warehouse. Query code
+// must hold RLock while using the engine/schema it obtained, so batch
+// application (which mutates both) is excluded.
+type Maintainer struct {
+	store  *oltp.Store
+	cfg    Config
+	tailer *cdc.Tailer
+
+	patientIdx  int
+	compactFrac float64
+	minCompact  int
+
+	mu        sync.RWMutex
+	engine    *cube.Engine
+	schema    *star.Schema
+	flat      *storage.Table
+	byPatient map[value.Value]map[oltp.RowID]oltp.Row
+	patientOf map[oltp.RowID]value.Value
+	facts     map[value.Value][]int // live fact ordinals per patient
+
+	appliedCommits uint64
+	appliedEvents  uint64
+	appliedLSN     oltp.WALCursor
+	lastApplyNano  int64
+	compactions    uint64
+	resyncs        uint64
+}
+
+// Freshness reports how far the warehouse trails the OLTP store. It is
+// the payload of the /freshness endpoint.
+type Freshness struct {
+	AppliedLSN oltp.WALCursor `json:"applied_lsn"`
+	DurableLSN oltp.WALCursor `json:"durable_lsn"`
+	// LagTx is the number of committed transactions not yet applied.
+	LagTx uint64 `json:"lag_tx"`
+	// LagSeconds approximates wall-clock staleness: 0 when caught up,
+	// otherwise seconds since the warehouse last applied a batch.
+	LagSeconds         float64 `json:"lag_seconds"`
+	AppliedCommits     uint64  `json:"applied_commits"`
+	StoreCommits       uint64  `json:"store_commits"`
+	AppliedEvents      uint64  `json:"applied_events"`
+	FactRows           int     `json:"fact_rows"`
+	LiveRows           int     `json:"live_rows"`
+	Compactions        uint64  `json:"compactions"`
+	Resyncs            uint64  `json:"resyncs"`
+	LastApplyUnixNano  int64   `json:"last_apply_unix_nano"`
+	LastCommitUnixNano int64   `json:"last_commit_unix_nano"`
+}
+
+// New builds a Maintainer over a durable store and bootstraps the
+// warehouse from a snapshot. The store must have a WAL (follow mode is
+// meaningless without one).
+func New(store *oltp.Store, cfg Config) (*Maintainer, error) {
+	if cfg.Pipeline == nil || cfg.Builder == nil {
+		return nil, errors.New("refresh: Pipeline and Builder are required")
+	}
+	if cfg.PatientCol == "" {
+		cfg.PatientCol = "PatientID"
+	}
+	idx, ok := store.Schema().Lookup(cfg.PatientCol)
+	if !ok {
+		return nil, fmt.Errorf("refresh: store schema has no column %q", cfg.PatientCol)
+	}
+	m := &Maintainer{store: store, cfg: cfg, patientIdx: idx}
+	m.compactFrac = cfg.CompactFraction
+	if m.compactFrac == 0 {
+		m.compactFrac = 0.5
+	}
+	m.minCompact = cfg.MinCompactRows
+	if m.minCompact <= 0 {
+		m.minCompact = 256
+	}
+	tailer, _, err := cdc.New(store, cdc.Options{Dir: cfg.CursorDir, FS: cfg.FS, MaxBatchTx: cfg.MaxBatchTx})
+	if err != nil {
+		return nil, err
+	}
+	m.tailer = tailer
+	if err := m.resync(); err != nil {
+		m.tailer.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// RLock takes the maintainer's read lock. Query code holds it while
+// executing against the engine/schema so batch application is excluded;
+// release with RUnlock.
+func (m *Maintainer) RLock() { m.mu.RLock() }
+
+// RUnlock releases RLock.
+func (m *Maintainer) RUnlock() { m.mu.RUnlock() }
+
+// Lock takes the write lock for out-of-band warehouse mutations made
+// outside the refresh loop (grafting a feedback dimension). Note such
+// mutations do not survive a resync or compaction rebuild.
+func (m *Maintainer) Lock() { m.mu.Lock() }
+
+// Unlock releases Lock.
+func (m *Maintainer) Unlock() { m.mu.Unlock() }
+
+// Engine returns the current cube engine. Hold RLock across obtaining
+// and using it.
+func (m *Maintainer) Engine() *cube.Engine { return m.engine }
+
+// Schema returns the current star schema. Hold RLock across use.
+func (m *Maintainer) Schema() *star.Schema { return m.schema }
+
+// Close releases the commit subscription. The cursor file stays for the
+// next process.
+func (m *Maintainer) Close() { m.tailer.Close() }
+
+// resync rebuilds the entire warehouse from a fresh store snapshot and
+// resets the CDC cursor to the snapshot's LSN. It is the bootstrap path
+// and the recovery path for tail gaps and apply failures.
+func (m *Maintainer) resync() error {
+	snap, err := m.store.SnapshotWithLSN()
+	if err != nil {
+		return err
+	}
+	if snap.LSN.IsZero() {
+		return oltp.ErrNoWAL
+	}
+	byPatient := make(map[value.Value]map[oltp.RowID]oltp.Row)
+	patientOf := make(map[oltp.RowID]value.Value, len(snap.IDs))
+	for i, id := range snap.IDs {
+		row := snap.Table.Row(i)
+		p := row[m.patientIdx]
+		rows := byPatient[p]
+		if rows == nil {
+			rows = make(map[oltp.RowID]oltp.Row)
+			byPatient[p] = rows
+		}
+		rows[id] = row
+		patientOf[id] = p
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byPatient = byPatient
+	m.patientOf = patientOf
+	if err := m.rebuildLocked(snap.Table); err != nil {
+		return err
+	}
+	m.appliedCommits = snap.Commits
+	m.appliedEvents = 0
+	m.appliedLSN = snap.LSN
+	m.lastApplyNano = time.Now().UnixNano()
+	if err := m.tailer.Reset(snap.LSN); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rebuildLocked runs the full pipeline over flat source rows (a
+// snapshot table, or nil to materialise the mirror), builds a fresh
+// schema and engine, and reindexes facts by patient. Caller holds m.mu.
+func (m *Maintainer) rebuildLocked(src *storage.Table) error {
+	if src == nil {
+		var err error
+		src, err = m.mirrorTable(nil)
+		if err != nil {
+			return err
+		}
+	}
+	flat, err := m.cfg.Pipeline.Run(src)
+	if err != nil {
+		return err
+	}
+	schema, err := m.cfg.Builder.Build(flat)
+	if err != nil {
+		return err
+	}
+	engine := cube.NewEngine(schema, m.cfg.EngineOptions...)
+	facts := make(map[value.Value][]int)
+	for j := 0; j < flat.Len(); j++ {
+		p := flat.MustValue(j, m.cfg.PatientCol)
+		facts[p] = append(facts[p], j)
+	}
+	m.flat, m.schema, m.engine, m.facts = flat, schema, engine, facts
+	if m.cfg.OnRebuild != nil {
+		if err := m.cfg.OnRebuild(engine, schema, flat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mirrorTable materialises mirror rows as a flat table in RowID
+// order — all patients when affected is nil, else just those patients.
+// Only the consumer goroutine touches the mirror maps, so no lock is
+// needed (resync swaps them wholesale under the write lock).
+func (m *Maintainer) mirrorTable(affected map[value.Value]struct{}) (*storage.Table, error) {
+	var ids []oltp.RowID
+	if affected == nil {
+		ids = make([]oltp.RowID, 0, len(m.patientOf))
+		for id := range m.patientOf {
+			ids = append(ids, id)
+		}
+	} else {
+		for p := range affected {
+			for id := range m.byPatient[p] {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	tbl, err := storage.NewTable(m.store.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := tbl.AppendRow(m.byPatient[m.patientOf[id]][id]); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// Refresh consumes and applies one batch of committed transactions,
+// returning how many it applied (0 when caught up). A tail gap or an
+// apply failure heals by full resync; only unrecoverable errors (the
+// store closed, the resync itself failing) surface.
+func (m *Maintainer) Refresh() (int, error) {
+	txs, err := m.tailer.Poll()
+	if err != nil {
+		if errors.Is(err, cdc.ErrGap) {
+			return 0, m.forceResync()
+		}
+		return 0, err
+	}
+	if len(txs) == 0 {
+		// Persist the (possibly advanced) durable-end cursor so restarts
+		// of the cdc layer resume close to the tail.
+		return 0, m.tailer.Ack()
+	}
+
+	start := time.Now()
+	var root *obs.Span
+	if m.cfg.Tracer != nil {
+		tr := m.cfg.Tracer.StartTrace("refresh.batch")
+		defer tr.Finish()
+		root = tr.Root()
+		root.Annotate("transactions", len(txs))
+	}
+	if err := m.apply(txs, root); err != nil {
+		// The mirror may be ahead of the warehouse; resync restores
+		// consistency and resets the cursor, so nothing is lost.
+		if rerr := m.forceResync(); rerr != nil {
+			return 0, errors.Join(err, rerr)
+		}
+		return 0, nil
+	}
+	if err := m.tailer.Ack(); err != nil {
+		// Cursor not persisted: the batch will be re-polled and re-applied;
+		// patient-scoped recompute makes that idempotent.
+		return len(txs), err
+	}
+	metricBatches.Inc()
+	metricTxApplied.Add(uint64(len(txs)))
+	metricBatchSeconds.ObserveSince(start)
+	m.updateLagGauge()
+	return len(txs), nil
+}
+
+func (m *Maintainer) forceResync() error {
+	if err := m.resync(); err != nil {
+		return err
+	}
+	m.resyncs++
+	metricResyncs.Inc()
+	m.updateLagGauge()
+	return nil
+}
+
+// apply folds one batch into the mirror and the warehouse.
+func (m *Maintainer) apply(txs []oltp.CommittedTx, root *obs.Span) error {
+	// 1. Update the mirror and collect the affected patients (old image's
+	// patient and, for inserts/updates, the new image's).
+	affected := make(map[value.Value]struct{})
+	events := 0
+	for _, tx := range txs {
+		for _, ch := range tx.Changes {
+			events++
+			if old, ok := m.patientOf[ch.ID]; ok {
+				affected[old] = struct{}{}
+				delete(m.byPatient[old], ch.ID)
+				if len(m.byPatient[old]) == 0 {
+					delete(m.byPatient, old)
+				}
+				delete(m.patientOf, ch.ID)
+			}
+			if ch.Op == oltp.ChangeDelete {
+				continue
+			}
+			p := ch.Row[m.patientIdx]
+			affected[p] = struct{}{}
+			rows := m.byPatient[p]
+			if rows == nil {
+				rows = make(map[oltp.RowID]oltp.Row)
+				m.byPatient[p] = rows
+			}
+			rows[ch.ID] = ch.Row
+			m.patientOf[ch.ID] = p
+		}
+	}
+
+	// 2. Re-derive the affected patients through the full pipeline.
+	sub, err := m.mirrorTable(affected)
+	if err != nil {
+		return err
+	}
+	etlSp := root.Start("refresh.etl")
+	etlSp.Annotate("patients", len(affected))
+	etlSp.Annotate("rows", sub.Len())
+	delta, err := m.cfg.Pipeline.RunTraced(sub, etlSp)
+	etlSp.End()
+	if err != nil {
+		return err
+	}
+
+	// 3. Swap the patients' facts under the write lock: tombstone old,
+	// append re-derived, fold the delta into the engine's caches.
+	sp := root.Start("refresh.apply")
+	defer sp.End()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fact := m.schema.Fact()
+	var retired []int
+	for p := range affected {
+		retired = append(retired, m.facts[p]...)
+	}
+	sort.Ints(retired)
+	for _, i := range retired {
+		if err := fact.Retire(i); err != nil {
+			return err
+		}
+	}
+	oldLen := fact.Len()
+	if delta.Len() > 0 {
+		if err := m.cfg.Builder.Append(m.schema, delta); err != nil {
+			return err
+		}
+	}
+	for p := range affected {
+		delete(m.facts, p)
+	}
+	for j := 0; j < delta.Len(); j++ {
+		p := delta.MustValue(j, m.cfg.PatientCol)
+		m.facts[p] = append(m.facts[p], oldLen+j)
+	}
+	stats, err := m.engine.ApplyDelta(cube.Delta{Retired: retired, Appended: delta.Len()})
+	if err != nil {
+		return err
+	}
+	sp.Annotate("retired", len(retired))
+	sp.Annotate("appended", delta.Len())
+	sp.Annotate("lattice_merged", stats.EntriesMerged)
+	sp.Annotate("lattice_dropped", stats.EntriesDropped)
+	metricRowsTombstoned.Add(uint64(len(retired)))
+	metricRowsAppended.Add(uint64(delta.Len()))
+
+	m.appliedCommits += uint64(len(txs))
+	m.appliedEvents += uint64(events)
+	m.appliedLSN = txs[len(txs)-1].End
+	m.lastApplyNano = time.Now().UnixNano()
+
+	// 4. Compact when tombstones dominate the fact table.
+	if m.compactFrac > 0 && fact.Len() >= m.minCompact &&
+		float64(fact.RetiredCount()) > m.compactFrac*float64(fact.Len()) {
+		cs := root.Start("refresh.compact")
+		err := m.rebuildLocked(nil)
+		cs.End()
+		if err != nil {
+			return err
+		}
+		m.compactions++
+		metricCompactions.Inc()
+	}
+	return nil
+}
+
+// Run follows the store until ctx is done: apply every available batch,
+// then wait for a commit signal or the poll interval. Errors back off
+// through the config's retry policy and the loop keeps going — a
+// follower should survive transient filesystem trouble.
+func (m *Maintainer) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := m.Refresh()
+		if err != nil {
+			attempt++
+			m.cfg.Retry.Backoff(attempt - 1)
+			continue
+		}
+		attempt = 0
+		if n > 0 {
+			continue // drain before sleeping
+		}
+		if err := m.tailer.Wait(ctx, m.cfg.PollInterval); err != nil {
+			return err
+		}
+	}
+}
+
+// Cursor exposes the acknowledged CDC position (for tests and status).
+func (m *Maintainer) Cursor() oltp.WALCursor { return m.tailer.Cursor() }
+
+// Freshness reports warehouse staleness relative to the store.
+func (m *Maintainer) Freshness() Freshness {
+	commits, lastCommit := m.store.CommitStats()
+	durable, _ := m.store.DurableLSN() // zero cursor if the store closed under us
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f := Freshness{
+		AppliedLSN:         m.appliedLSN,
+		DurableLSN:         durable,
+		AppliedCommits:     m.appliedCommits,
+		StoreCommits:       commits,
+		AppliedEvents:      m.appliedEvents,
+		FactRows:           m.schema.Fact().Len(),
+		LiveRows:           m.schema.Fact().LiveLen(),
+		Compactions:        m.compactions,
+		Resyncs:            m.resyncs,
+		LastApplyUnixNano:  m.lastApplyNano,
+		LastCommitUnixNano: lastCommit,
+	}
+	if commits > m.appliedCommits {
+		f.LagTx = commits - m.appliedCommits
+		if m.lastApplyNano > 0 {
+			f.LagSeconds = time.Since(time.Unix(0, m.lastApplyNano)).Seconds()
+		}
+	}
+	metricLag.Set(float64(f.LagTx))
+	return f
+}
+
+func (m *Maintainer) updateLagGauge() {
+	commits, _ := m.store.CommitStats()
+	m.mu.RLock()
+	applied := m.appliedCommits
+	m.mu.RUnlock()
+	if commits > applied {
+		metricLag.Set(float64(commits - applied))
+	} else {
+		metricLag.Set(0)
+	}
+}

@@ -35,8 +35,8 @@ var (
 // routeLabel collapses a request path onto the served endpoint set.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/schema", "/query", "/findings", "/findings/reinforce",
-		"/metrics", "/debug/traces":
+	case "/healthz", "/schema", "/query", "/freshness", "/findings",
+		"/findings/reinforce", "/metrics", "/debug/traces":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {

@@ -10,6 +10,7 @@
 //	GET  /healthz            liveness; ?deep=1 adds readiness (warehouse built, OLTP store open)
 //	GET  /schema             the star schema: dimensions, attributes, hierarchies, measures
 //	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON; ?trace=1 attaches a span tree
+//	GET  /freshness          follow-mode lag: transactions and wall-clock behind the OLTP store
 //	GET  /findings?q=term    knowledge-base search
 //	POST /findings           {"topic","statement","source"} -> recorded finding id
 //	POST /findings/reinforce {"id"} -> evidence added (promotes at threshold)
@@ -39,6 +40,7 @@ import (
 	"github.com/ddgms/ddgms/internal/kb"
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
+	"github.com/ddgms/ddgms/internal/refresh"
 	"github.com/ddgms/ddgms/internal/star"
 )
 
@@ -51,6 +53,13 @@ type Platform interface {
 	KB() *kb.Base
 	RecordFinding(topic, statement, source string) (string, error)
 	Store() *oltp.Store
+}
+
+// FreshnessReporter is the optional platform surface behind /freshness.
+// *core.Platform satisfies it; ok=false means the platform is not in
+// follow mode (the endpoint answers 404).
+type FreshnessReporter interface {
+	Freshness() (refresh.Freshness, bool)
 }
 
 // TracedQuerier is the optional platform surface behind ?trace=1.
@@ -118,6 +127,7 @@ func New(p Platform, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /freshness", s.handleFreshness)
 	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
 	s.mux.HandleFunc("POST /findings", s.handleFindingsAdd)
 	s.mux.HandleFunc("POST /findings/reinforce", s.handleFindingsReinforce)
@@ -400,6 +410,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, http.StatusOK, doc)
 	}
+}
+
+// handleFreshness reports how far the warehouse trails the OLTP store.
+// 404 (not 5xx) when the platform is not following: a batch-mode server
+// is healthy, it just has no lag to report.
+func (s *Server) handleFreshness(w http.ResponseWriter, r *http.Request) {
+	fr, ok := s.platform.(FreshnessReporter)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "platform does not report freshness")
+		return
+	}
+	f, following := fr.Freshness()
+	if !following {
+		s.writeError(w, http.StatusNotFound, "not in follow mode")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, f)
 }
 
 func (s *Server) handleFindingsSearch(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,12 @@ type FactTable struct {
 	keys     [][]Key
 	measures *storage.Table
 	n        int
+	// Tombstones for incremental maintenance: columnar storage cannot
+	// cheaply delete mid-table, so a superseded fact row (its OLTP source
+	// was updated or deleted) is retired in place and every query path
+	// masks it out. dead is allocated lazily on the first retirement.
+	dead  []bool
+	deadN int
 }
 
 // NewFactTable creates an empty fact table over the named dimensions and
@@ -80,9 +86,42 @@ func (f *FactTable) Append(keys map[string]Key, measures []value.Value) error {
 	for name, i := range f.dimIdx {
 		f.keys[i] = append(f.keys[i], keys[name])
 	}
+	if f.dead != nil {
+		f.dead = append(f.dead, false)
+	}
 	f.n++
 	return nil
 }
+
+// Retire tombstones fact row i: it stays physically present (keys and
+// measures keep their ordinals) but every aggregate and drill-through
+// must skip it. Retiring an already-retired row is a no-op, which makes
+// at-least-once delta application idempotent.
+func (f *FactTable) Retire(i int) error {
+	if i < 0 || i >= f.n {
+		return fmt.Errorf("star: fact row %d out of range", i)
+	}
+	if f.dead == nil {
+		f.dead = make([]bool, f.n)
+	}
+	if !f.dead[i] {
+		f.dead[i] = true
+		f.deadN++
+	}
+	return nil
+}
+
+// Alive reports whether fact row i has not been retired.
+func (f *FactTable) Alive(i int) bool {
+	return f.dead == nil || i < 0 || i >= len(f.dead) || !f.dead[i]
+}
+
+// LiveLen reports the number of non-retired fact rows.
+func (f *FactTable) LiveLen() int { return f.n - f.deadN }
+
+// RetiredCount reports how many fact rows are tombstoned. Zero means no
+// masking is needed anywhere.
+func (f *FactTable) RetiredCount() int { return f.deadN }
 
 // Key returns the surrogate key of fact row i in the named dimension.
 func (f *FactTable) Key(i int, dim string) (Key, error) {

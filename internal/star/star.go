@@ -206,3 +206,89 @@ func (b *Builder) Build(flat *storage.Table) (*Schema, error) {
 	}
 	return s, nil
 }
+
+// Append loads every row of a delta flat table as additional facts into a
+// schema previously produced by Build from the same spec. New dimension
+// members are interned on the fly (AddMember deduplicates, so existing
+// members keep their keys); fact-table dimensions outside the builder
+// spec — feedback dimensions attached after the initial build — get NoKey
+// for appended rows, matching AddFeedbackDimension's default.
+func (b *Builder) Append(s *Schema, flat *storage.Table) error {
+	if b.err != nil {
+		return b.err
+	}
+	for _, d := range b.dims {
+		if _, ok := s.dims[d.Name]; !ok {
+			return fmt.Errorf("star: schema has no dimension %q to append into", d.Name)
+		}
+		for i, c := range d.Columns {
+			j, ok := flat.Schema().Lookup(c)
+			if !ok {
+				return fmt.Errorf("star: dimension %q: source column %q not in delta table", d.Name, c)
+			}
+			if got := flat.Schema().Field(j).Kind; got != d.Attrs[i].Kind {
+				return fmt.Errorf("star: dimension %q attribute %q: source column %q has kind %v, want %v",
+					d.Name, d.Attrs[i].Name, c, got, d.Attrs[i].Kind)
+			}
+		}
+	}
+	for i, c := range b.srcCols {
+		j, ok := flat.Schema().Lookup(c)
+		if !ok {
+			return fmt.Errorf("star: measure %q: source column %q not in delta table", b.measures[i].Name, c)
+		}
+		if got := flat.Schema().Field(j).Kind; got != b.measures[i].Kind {
+			return fmt.Errorf("star: measure %q: source column %q has kind %v, want %v",
+				b.measures[i].Name, c, got, b.measures[i].Kind)
+		}
+	}
+
+	extra := make([]string, 0) // fact dims not covered by the spec
+	spec := make(map[string]bool, len(b.dims))
+	for _, d := range b.dims {
+		spec[d.Name] = true
+	}
+	for _, name := range s.fact.dimNames {
+		if !spec[name] {
+			extra = append(extra, name)
+		}
+	}
+
+	attrBuf := make(map[string][]value.Value, len(b.dims))
+	for _, d := range b.dims {
+		attrBuf[d.Name] = make([]value.Value, len(d.Columns))
+	}
+	measBuf := make([]value.Value, len(b.srcCols))
+	for i := 0; i < flat.Len(); i++ {
+		keys := make(map[string]Key, len(s.fact.dimNames))
+		for _, d := range b.dims {
+			buf := attrBuf[d.Name]
+			allNA := true
+			for a, c := range d.Columns {
+				buf[a] = flat.MustValue(i, c)
+				if !buf[a].IsNA() {
+					allNA = false
+				}
+			}
+			if allNA {
+				keys[d.Name] = NoKey
+				continue
+			}
+			k, err := s.dims[d.Name].AddMember(buf)
+			if err != nil {
+				return fmt.Errorf("star: appending row %d: %w", i, err)
+			}
+			keys[d.Name] = k
+		}
+		for _, name := range extra {
+			keys[name] = NoKey
+		}
+		for m, c := range b.srcCols {
+			measBuf[m] = flat.MustValue(i, c)
+		}
+		if err := s.fact.Append(keys, measBuf); err != nil {
+			return fmt.Errorf("star: appending row %d: %w", i, err)
+		}
+	}
+	return nil
+}

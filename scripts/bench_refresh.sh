@@ -1,0 +1,40 @@
+#!/bin/sh
+# Benchmarks bringing the warehouse current after 100 new attendances
+# land in the OLTP store: the CDC + incremental refresh path (tail the
+# WAL, delta-ETL the affected patients, merge the aggregate lattice)
+# against a full snapshot + ETL + star rebuild. Writes machine-readable
+# results to BENCH_4.json next to this script's repo root and fails if
+# the incremental path is not at least 5x faster.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_4.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkRefresh(Incremental|FullRebuild)100$' \
+  -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ",\n"
+  printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    name, $2, $3, $5, $7
+  ns[name] = $3
+}
+END {
+  print "\n}"
+  inc = ns["BenchmarkRefreshIncremental100"]
+  full = ns["BenchmarkRefreshFullRebuild100"]
+  if (inc == "" || full == "") { print "missing benchmark result" > "/dev/stderr"; exit 1 }
+  ratio = full / inc
+  printf "incremental refresh is %.1fx faster than full rebuild\n", ratio > "/dev/stderr"
+  if (ratio < 5) { print "FAIL: required >= 5x advantage" > "/dev/stderr"; exit 1 }
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -21,4 +21,8 @@ echo "== metrics suite (registry + trace + exposition under race, -count=2)"
 go test -race -count=2 ./internal/obs/
 go test -race -run 'Trace|Metrics|ErrorCounter' ./internal/server/
 
+echo "== refresh-equivalence soak (randomized commit/refresh interleavings, -count=2)"
+go test -race -run 'TestRefresh' -count=2 ./internal/refresh/
+go test -race -run 'TestTailWAL|TestTailer' ./internal/oltp/ ./internal/cdc/
+
 echo "check: OK"
