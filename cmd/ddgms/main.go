@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"github.com/ddgms/ddgms/internal/dgsql"
 	"github.com/ddgms/ddgms/internal/discri"
 	"github.com/ddgms/ddgms/internal/ewing"
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/mining"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/report"
@@ -325,6 +327,10 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8360", "listen address")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-request /query deadline (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	maxConcurrent := fs.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max concurrently evaluating queries (0 disables admission control)")
+	queueDepth := fs.Int("queue", 64, "admission wait-queue depth; beyond it requests shed with 429")
+	queueWait := fs.Duration("queue-wait", time.Second, "max time a query may wait for an admission slot before 503")
+	scanBudget := fs.Int64("scan-budget", 0, "per-query scanned-row budget; exceeding it answers 422 (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	follow := fs.Bool("follow", false, "follow mode: serve from a durable OLTP store and keep the warehouse fresh via CDC")
 	dataDir := fs.String("data", "", "OLTP store directory (required with -follow; seeded with a synthetic cohort when empty)")
@@ -332,9 +338,10 @@ func cmdServe(args []string) error {
 	simulate := fs.Duration("simulate", 0, "with -follow, commit one synthetic follow-up attendance per interval (0 disables)")
 	fs.Parse(args)
 	var p *core.Platform
+	var breaker *govern.Breaker
 	var err error
 	if *follow {
-		p, err = followPlatform(*dataDir, *patients)
+		p, breaker, err = followPlatform(*dataDir, *patients)
 	} else {
 		p, err = platformFromFlat(*in)
 	}
@@ -343,7 +350,21 @@ func cmdServe(args []string) error {
 	}
 	defer p.Close()
 
-	h := server.New(p, server.WithQueryTimeout(*queryTimeout))
+	srvOpts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
+	if *maxConcurrent > 0 {
+		srvOpts = append(srvOpts, server.WithAdmission(
+			govern.NewAdmission(*maxConcurrent, *queueDepth, *queueWait)))
+	}
+	if *scanBudget > 0 {
+		budget := *scanBudget
+		srvOpts = append(srvOpts, server.WithQueryBudget(func() *govern.Budget {
+			return govern.NewBudget(budget, 0, 0)
+		}))
+	}
+	if breaker != nil {
+		srvOpts = append(srvOpts, server.WithBreaker(breaker))
+	}
+	h := server.New(p, srvOpts...)
 	var handler http.Handler = h
 	if *pprofOn {
 		// The profiling endpoints live on an outer mux so they bypass the
@@ -415,40 +436,49 @@ func cmdServe(args []string) error {
 
 // followPlatform stands a platform up in follow mode: open (or create)
 // the durable OLTP store, seed it with the synthetic cohort when empty,
-// and start the CDC-driven incremental warehouse maintainer.
-func followPlatform(dataDir string, patients int) (*core.Platform, error) {
+// and start the CDC-driven incremental warehouse maintainer. The
+// returned breaker watches the store's health (a poisoned WAL fails
+// every commit) and gates both refresh batches and, via the server,
+// query admission — fast 503s instead of timeouts when the store is
+// sick.
+func followPlatform(dataDir string, patients int) (*core.Platform, *govern.Breaker, error) {
 	if dataDir == "" {
-		return nil, fmt.Errorf("-follow requires -data DIR")
+		return nil, nil, fmt.Errorf("-follow requires -data DIR")
 	}
 	cfg := discri.DefaultConfig()
 	cfg.Patients = patients
 	raw, err := discri.Generate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := core.New(core.Config{DataDir: dataDir})
 	if err := p.OpenStore(raw.Schema()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.Store().Len() == 0 {
 		if err := p.Store().LoadTable(raw); err != nil {
 			p.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Printf("seeded empty store with %d attendances\n", raw.Len())
 	} else {
 		fmt.Printf("reopened store with %d attendances\n", p.Store().Len())
 	}
+	breaker := govern.NewBreaker(govern.BreakerConfig{
+		Name:   "oltp",
+		Health: p.Store().Healthy,
+	})
 	if err := p.StartFollow(core.FollowConfig{
 		Pipeline:  core.NewDiScRiPipeline(),
 		Builder:   core.NewDiScRiBuilder(),
 		CursorDir: filepath.Join(dataDir, "cdc"),
 		Setup:     core.FinishDiScRiSetup,
+		Breaker:   breaker,
 	}); err != nil {
 		p.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return p, nil
+	return p, breaker, nil
 }
 
 // simulateVisits commits one synthetic follow-up attendance per tick: a

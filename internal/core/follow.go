@@ -7,6 +7,7 @@ import (
 
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/etl"
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/mdx"
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/refresh"
@@ -43,6 +44,8 @@ type FollowConfig struct {
 	// to re-register measures and member orders (FinishDiScRiSetup for
 	// the trial wiring). It must not issue queries.
 	Setup func(*Platform) error
+	// Breaker, when set, gates each refresh batch (see refresh.Config).
+	Breaker *govern.Breaker
 }
 
 // StartFollow bootstraps the warehouse from a store snapshot and readies
@@ -64,6 +67,7 @@ func (p *Platform) StartFollow(fcfg FollowConfig) error {
 		Retry:           fcfg.Retry,
 		PollInterval:    fcfg.PollInterval,
 		Tracer:          fcfg.Tracer,
+		Breaker:         fcfg.Breaker,
 		OnRebuild: func(e *cube.Engine, s *star.Schema, flat *storage.Table) error {
 			p.schema, p.engine, p.flat = s, e, flat
 			p.eval = mdx.NewEvaluator(e, p.cfg.CubeName)

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ddgms/ddgms/internal/cube"
@@ -175,6 +176,13 @@ func (p *Platform) RegisterMeasure(name string, m cube.MeasureRef) error {
 // mode it holds the maintainer's read lock so refresh batches cannot
 // swap the warehouse mid-query.
 func (p *Platform) Query(q cube.Query) (*cube.CellSet, error) {
+	return p.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a caller context: the kernel scan checks ctx
+// cooperatively and charges any govern.Budget it carries, so cancelled
+// or over-budget queries stop mid-scan and release the follower lock.
+func (p *Platform) QueryCtx(ctx context.Context, q cube.Query) (*cube.CellSet, error) {
 	if p.follower != nil {
 		p.follower.RLock()
 		defer p.follower.RUnlock()
@@ -182,18 +190,28 @@ func (p *Platform) Query(q cube.Query) (*cube.CellSet, error) {
 	if p.engine == nil {
 		return nil, fmt.Errorf("core: warehouse not built")
 	}
-	return p.engine.Execute(q)
+	return p.engine.ExecuteCtx(ctx, q)
 }
 
 // QueryMDX executes an MDX query string.
 func (p *Platform) QueryMDX(src string) (*cube.CellSet, error) {
-	return p.QueryMDXTraced(src, nil)
+	return p.QueryMDXTracedCtx(context.Background(), src, nil)
+}
+
+// QueryMDXCtx is QueryMDX under a caller context (see QueryCtx).
+func (p *Platform) QueryMDXCtx(ctx context.Context, src string) (*cube.CellSet, error) {
+	return p.QueryMDXTracedCtx(ctx, src, nil)
 }
 
 // QueryMDXTraced executes an MDX query string with stage spans hung
 // under sp — the path behind the server's ?trace=1 flag. A nil sp
 // traces nothing.
 func (p *Platform) QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, error) {
+	return p.QueryMDXTracedCtx(context.Background(), src, sp)
+}
+
+// QueryMDXTracedCtx combines QueryMDXCtx and QueryMDXTraced.
+func (p *Platform) QueryMDXTracedCtx(ctx context.Context, src string, sp *obs.Span) (*cube.CellSet, error) {
 	if p.follower != nil {
 		p.follower.RLock()
 		defer p.follower.RUnlock()
@@ -201,7 +219,7 @@ func (p *Platform) QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, erro
 	if p.eval == nil {
 		return nil, fmt.Errorf("core: warehouse not built")
 	}
-	return p.eval.QueryTraced(src, sp)
+	return p.eval.QueryTracedCtx(ctx, src, sp)
 }
 
 // PatientRecord is the OLTP-reporting half of the Reporting feature: a

@@ -1,6 +1,7 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -288,13 +289,25 @@ func (e *Engine) measureColumn(m MeasureRef) ([]value.Value, error) {
 // dictionary-encoded once and cached, groups are keyed on packed integer
 // codes, and the slicer bitmap feeds the kernel as its row filter.
 func (e *Engine) Execute(q Query) (*CellSet, error) {
-	return e.ExecuteTraced(q, nil)
+	return e.ExecuteTracedCtx(context.Background(), q, nil)
+}
+
+// ExecuteCtx is Execute under a caller context: the kernel scan checks
+// ctx cooperatively and charges any govern.Budget it carries, so a
+// cancelled or over-budget query stops mid-scan with no partial result.
+func (e *Engine) ExecuteCtx(ctx context.Context, q Query) (*CellSet, error) {
+	return e.ExecuteTracedCtx(ctx, q, nil)
 }
 
 // ExecuteTraced is Execute with per-stage spans (cube.encode,
 // cube.filter, cube.group, cube.assemble) hung under sp. A nil sp is
 // the untraced fast path — each stage pays one nil check.
 func (e *Engine) ExecuteTraced(q Query, sp *obs.Span) (*CellSet, error) {
+	return e.ExecuteTracedCtx(context.Background(), q, sp)
+}
+
+// ExecuteTracedCtx combines ExecuteCtx and ExecuteTraced.
+func (e *Engine) ExecuteTracedCtx(ctx context.Context, q Query, sp *obs.Span) (*CellSet, error) {
 	metricQueries.Inc()
 	encode := sp.Start("cube.encode")
 	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
@@ -346,10 +359,13 @@ func (e *Engine) ExecuteTraced(q Query, sp *obs.Span) (*CellSet, error) {
 		in.Aggs[0].Measure = exec.ValueSlice(mcol)
 	}
 	groupSp := sp.Start("cube.group")
-	opts := e.execOpts
+	// Full-slice append: never mutate the shared opts backing array.
+	opts := e.execOpts[:len(e.execOpts):len(e.execOpts)]
 	if groupSp != nil {
-		// Full-slice append: never mutate the shared opts backing array.
-		opts = append(opts[:len(opts):len(opts)], exec.WithSpan(groupSp))
+		opts = append(opts, exec.WithSpan(groupSp))
+	}
+	if ctx != nil {
+		opts = append(opts, exec.WithContext(ctx))
 	}
 	groups, err := exec.GroupBy(in, opts...)
 	groupSp.Annotate("groups", len(groups))

@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -24,6 +27,12 @@ type Options struct {
 	// (exec.scan, exec.merge, exec.sort). Nil — the default — costs one
 	// nil check per phase.
 	Span *obs.Span
+	// Ctx, when non-nil, is checked cooperatively every cancelCheckRows
+	// rows by every scan worker (and between merge batches), so a
+	// cancelled query releases its CPU within one check interval instead
+	// of running to completion. The context also carries the optional
+	// per-query resource budget (govern.WithBudget).
+	Ctx context.Context
 }
 
 // Option mutates Options.
@@ -40,6 +49,12 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 // WithSpan hangs the kernel's phase spans (exec.scan, exec.merge,
 // exec.sort) under a parent trace span.
 func WithSpan(sp *obs.Span) Option { return func(o *Options) { o.Span = sp } }
+
+// WithContext threads the caller's context into the kernel for
+// cooperative cancellation and budget enforcement. All scan workers
+// share one check cadence (cancelCheckRows), so cancellation latency is
+// bounded by a few thousand rows of work per worker, not by query size.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
 
 func buildOptions(opts []Option) Options {
 	o := Options{Vectorized: true}
@@ -87,10 +102,125 @@ const maxDenseBits = 16
 // inputs, where goroutine startup would dominate.
 const minRowsPerWorker = 2048
 
+// cancelCheckRows is the cooperative-cancellation cadence: every scan
+// worker re-checks its context (and charges the row budget) once per
+// this many rows, bounding both cancellation latency and the per-row
+// overhead of governance (one atomic load per batch when idle).
+const cancelCheckRows = 4096
+
+// wideEntryBytes approximates the heap cost of one wide-path hash map
+// entry beyond its key bytes: map bucket share, the entry struct, the
+// codes slice header and the states slice. Charged against the byte
+// budget so a pathological high-cardinality wide group-by is stopped
+// before it exhausts memory.
+const wideEntryBytes = 96
+
+// scanCtl coordinates cooperative cancellation and budget charging
+// across the kernel's worker pool. The stop flag is the only state the
+// hot path reads (one atomic load per cancelCheckRows rows); the first
+// failure wins and every other worker drains at its next check.
+type scanCtl struct {
+	ctx    context.Context
+	budget *govern.Budget
+	stop   atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+func newScanCtl(o Options) *scanCtl {
+	c := &scanCtl{ctx: o.Ctx}
+	if o.Ctx != nil {
+		c.budget = govern.BudgetFrom(o.Ctx)
+	}
+	return c
+}
+
+// fail records the first abort cause and stops every worker.
+func (c *scanCtl) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.stop.Store(true)
+}
+
+// aborted returns the recorded abort cause, if any.
+func (c *scanCtl) aborted() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// next gates one chunk of nRows: it reports false when the scan must
+// stop (another worker failed, the context ended, or the row budget is
+// exhausted by this chunk).
+func (c *scanCtl) next(nRows int) bool {
+	if c.stop.Load() {
+		return false
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.fail(err)
+			return false
+		}
+	}
+	if err := c.budget.AddRows(int64(nRows)); err != nil {
+		c.fail(err)
+		return false
+	}
+	return true
+}
+
+// cell charges one newly materialised group against the cell budget.
+func (c *scanCtl) cell() bool {
+	if c.budget == nil {
+		return true
+	}
+	if err := c.budget.AddCells(1); err != nil {
+		c.fail(err)
+		return false
+	}
+	return true
+}
+
+// wideCell charges one wide-path group: a cell plus its estimated hash
+// map bytes.
+func (c *scanCtl) wideCell(keyBytes int) bool {
+	if c.budget == nil {
+		return true
+	}
+	if err := c.budget.AddCells(1); err != nil {
+		c.fail(err)
+		return false
+	}
+	if err := c.budget.AddBytes(int64(keyBytes + wideEntryBytes)); err != nil {
+		c.fail(err)
+		return false
+	}
+	return true
+}
+
+// checkEvery gates long single-threaded loops (merge, assembly) on the
+// same cadence as the scan.
+func (c *scanCtl) checkEvery(i int) bool {
+	if i%cancelCheckRows != 0 {
+		return true
+	}
+	return c.next(0)
+}
+
 // GroupBy groups the input rows by their key codes and computes the
 // requested aggregates per group. Groups are returned sorted ascending by
 // key tuple (value.Compare, lexicographic), which makes the result
 // deterministic regardless of worker count or merge order.
+//
+// When the options carry a context (WithContext), the scan is
+// cooperatively cancellable: workers re-check the context every
+// cancelCheckRows rows and the call returns the context's error with no
+// partial result. A budget attached to that context (govern.WithBudget)
+// is charged as the scan proceeds and aborts the call with an error
+// matching govern.ErrBudgetExceeded when a ceiling is crossed.
 func GroupBy(in GroupInput, opts ...Option) ([]Group, error) {
 	o := buildOptions(opts)
 	for k, key := range in.Keys {
@@ -98,16 +228,27 @@ func GroupBy(in GroupInput, opts ...Option) ([]Group, error) {
 			return nil, fmt.Errorf("exec: key column %d has %d rows, input has %d", k, key.Len(), in.NumRows)
 		}
 	}
+	c := newScanCtl(o)
+	if !c.next(0) { // already-cancelled contexts never start scanning
+		return nil, abortErr(c)
+	}
 	metricRowsScanned.Add(uint64(in.NumRows))
 	var groups []Group
+	var err error
 	if !o.Vectorized {
 		invokeScalar.Inc()
 		scan := o.Span.Start("exec.scan")
 		scan.Annotate("rows", in.NumRows)
-		groups = groupScalar(in)
+		groups, err = groupScalar(in, c)
 		scan.End()
 	} else {
-		groups = groupVectorized(in, o)
+		groups, err = groupVectorized(in, o, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !c.next(0) {
+		return nil, abortErr(c)
 	}
 	sortSp := o.Span.Start("exec.sort")
 	sort.Slice(groups, func(a, b int) bool {
@@ -119,38 +260,65 @@ func GroupBy(in GroupInput, opts ...Option) ([]Group, error) {
 	return groups, nil
 }
 
+// abortErr wraps the controller's recorded cause so callers can match
+// context and budget errors with errors.Is while still seeing the
+// kernel in the message.
+func abortErr(c *scanCtl) error {
+	err := c.aborted()
+	if err == nil {
+		// next() can only fail after recording a cause; this is a
+		// defensive fallback.
+		err = context.Canceled
+	}
+	return fmt.Errorf("exec: group-by aborted: %w", err)
+}
+
 // --- legacy scalar path ----------------------------------------------------
 
 // groupScalar is the pre-vectorization algorithm kept as the ablation
 // baseline: materialise the key tuple of every row, encode it to a string
-// and accumulate in one map on the calling goroutine.
-func groupScalar(in GroupInput) []Group {
+// and accumulate in one map on the calling goroutine. It shares the
+// vectorized paths' cancellation cadence and budget.
+func groupScalar(in GroupInput, c *scanCtl) ([]Group, error) {
 	type entry struct {
 		tuple  []value.Value
 		states []*AggState
 	}
 	groups := make(map[string]*entry)
 	keyBuf := make([]value.Value, len(in.Keys))
-	for i := 0; i < in.NumRows; i++ {
-		if in.Filter != nil && !in.Filter(i) {
-			continue
+	for lo := 0; lo < in.NumRows; {
+		hi := lo + cancelCheckRows
+		if hi > in.NumRows {
+			hi = in.NumRows
 		}
-		for k, key := range in.Keys {
-			keyBuf[k] = key.Value(i)
+		if !c.next(hi - lo) {
+			return nil, abortErr(c)
 		}
-		gk := EncodeTuple(keyBuf)
-		g, ok := groups[gk]
-		if !ok {
-			g = &entry{tuple: append([]value.Value(nil), keyBuf...), states: newStates(in.Aggs)}
-			groups[gk] = g
+		for i := lo; i < hi; i++ {
+			if in.Filter != nil && !in.Filter(i) {
+				continue
+			}
+			for k, key := range in.Keys {
+				keyBuf[k] = key.Value(i)
+			}
+			gk := EncodeTuple(keyBuf)
+			g, ok := groups[gk]
+			if !ok {
+				if !c.cell() {
+					return nil, abortErr(c)
+				}
+				g = &entry{tuple: append([]value.Value(nil), keyBuf...), states: newStates(in.Aggs)}
+				groups[gk] = g
+			}
+			observeRow(g.states, in.Aggs, i)
 		}
-		observeRow(g.states, in.Aggs, i)
+		lo = hi
 	}
 	out := make([]Group, 0, len(groups))
 	for _, g := range groups {
 		out = append(out, Group{Tuple: g.tuple, States: g.states})
 	}
-	return out
+	return out, nil
 }
 
 func newStates(aggs []AggInput) []*AggState {
@@ -234,20 +402,20 @@ func workerCount(numRows int, o Options) int {
 	return p
 }
 
-func groupVectorized(in GroupInput, o Options) []Group {
+func groupVectorized(in GroupInput, o Options, c *scanCtl) ([]Group, error) {
 	layout := layoutFor(in.Keys)
 	workers := workerCount(in.NumRows, o)
 	metricWorkers.Observe(float64(workers))
 	switch {
 	case layout.packable && layout.total <= maxDenseBits:
 		invokeDense.Inc()
-		return groupDense(in, layout, workers, o.Span)
+		return groupDense(in, layout, workers, c, o.Span)
 	case layout.packable:
 		invokeHashed.Inc()
-		return groupHashed(in, layout, workers, o.Span)
+		return groupHashed(in, layout, workers, c, o.Span)
 	default:
 		invokeWide.Inc()
-		return groupWide(in, workers, o.Span)
+		return groupWide(in, workers, c, o.Span)
 	}
 }
 
@@ -300,32 +468,52 @@ func runWorkers(n, workers int, fn func(w, lo, hi int)) {
 // groupDense is the fast path for low-cardinality keys (the clinical
 // norm): per-worker direct-indexed accumulator tables addressed by the
 // packed code, merged slot-by-slot in worker order.
-func groupDense(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []Group {
+func groupDense(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	size := 1 << layout.total
 	partials := make([][][]*AggState, workers)
 	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		dense := make([][]*AggState, size)
-		for i := lo; i < hi; i++ {
-			if in.Filter != nil && !in.Filter(i) {
-				continue
+		for lo < hi {
+			end := lo + cancelCheckRows
+			if end > hi {
+				end = hi
 			}
-			slot := layout.pack(in.Keys, i)
-			states := dense[slot]
-			if states == nil {
-				states = newStates(in.Aggs)
-				dense[slot] = states
+			if !c.next(end - lo) {
+				return
 			}
-			observeRow(states, in.Aggs, i)
+			for i := lo; i < end; i++ {
+				if in.Filter != nil && !in.Filter(i) {
+					continue
+				}
+				slot := layout.pack(in.Keys, i)
+				states := dense[slot]
+				if states == nil {
+					if !c.cell() {
+						return
+					}
+					states = newStates(in.Aggs)
+					dense[slot] = states
+				}
+				observeRow(states, in.Aggs, i)
+			}
+			lo = end
 		}
 		partials[w] = dense
 	})
 	scan.End()
+	if err := c.aborted(); err != nil {
+		return nil, abortErr(c)
+	}
 
 	mergeStart := time.Now()
 	merge := sp.Start("exec.merge")
 	var out []Group
 	for slot := 0; slot < size; slot++ {
+		if !c.checkEvery(slot) {
+			merge.End()
+			return nil, abortErr(c)
+		}
 		var merged []*AggState
 		for w := 0; w < workers; w++ {
 			states := partials[w][slot]
@@ -351,37 +539,59 @@ func groupDense(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []Gr
 	merge.Annotate("groups", len(out))
 	merge.End()
 	metricMergeSeconds.ObserveSince(mergeStart)
-	return out
+	return out, nil
 }
 
 // groupHashed handles packed keys wider than the dense budget: per-worker
 // hash maps keyed by the packed uint64, merged in worker order.
-func groupHashed(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []Group {
+func groupHashed(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	partials := make([]map[uint64][]*AggState, workers)
 	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[uint64][]*AggState)
-		for i := lo; i < hi; i++ {
-			if in.Filter != nil && !in.Filter(i) {
-				continue
+		for lo < hi {
+			end := lo + cancelCheckRows
+			if end > hi {
+				end = hi
 			}
-			packed := layout.pack(in.Keys, i)
-			states, ok := local[packed]
-			if !ok {
-				states = newStates(in.Aggs)
-				local[packed] = states
+			if !c.next(end - lo) {
+				return
 			}
-			observeRow(states, in.Aggs, i)
+			for i := lo; i < end; i++ {
+				if in.Filter != nil && !in.Filter(i) {
+					continue
+				}
+				packed := layout.pack(in.Keys, i)
+				states, ok := local[packed]
+				if !ok {
+					if !c.cell() {
+						return
+					}
+					states = newStates(in.Aggs)
+					local[packed] = states
+				}
+				observeRow(states, in.Aggs, i)
+			}
+			lo = end
 		}
 		partials[w] = local
 	})
 	scan.End()
+	if err := c.aborted(); err != nil {
+		return nil, abortErr(c)
+	}
 
 	mergeStart := time.Now()
 	merge := sp.Start("exec.merge")
 	merged := partials[0]
+	step := 0
 	for w := 1; w < workers; w++ {
 		for packed, states := range partials[w] {
+			if !c.checkEvery(step) {
+				merge.End()
+				return nil, abortErr(c)
+			}
+			step++
 			have, ok := merged[packed]
 			if !ok {
 				merged[packed] = states
@@ -399,12 +609,14 @@ func groupHashed(in GroupInput, layout keyLayout, workers int, sp *obs.Span) []G
 	merge.Annotate("groups", len(out))
 	merge.End()
 	metricMergeSeconds.ObserveSince(mergeStart)
-	return out
+	return out, nil
 }
 
 // groupWide handles key tuples whose packed form exceeds 64 bits: the key
-// is the raw code bytes (still no per-value string formatting).
-func groupWide(in GroupInput, workers int, sp *obs.Span) []Group {
+// is the raw code bytes (still no per-value string formatting). Its hash
+// map entries are the kernel's only unbounded-size accumulators, so new
+// groups are charged against the byte budget as well as the cell budget.
+func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	type entry struct {
 		codes  []uint32
 		states []*AggState
@@ -414,37 +626,59 @@ func groupWide(in GroupInput, workers int, sp *obs.Span) []Group {
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[string]*entry)
 		buf := make([]byte, 4*len(in.Keys))
-		for i := lo; i < hi; i++ {
-			if in.Filter != nil && !in.Filter(i) {
-				continue
+		for lo < hi {
+			end := lo + cancelCheckRows
+			if end > hi {
+				end = hi
 			}
-			for k, key := range in.Keys {
-				code := key.Codes[i]
-				buf[4*k] = byte(code)
-				buf[4*k+1] = byte(code >> 8)
-				buf[4*k+2] = byte(code >> 16)
-				buf[4*k+3] = byte(code >> 24)
+			if !c.next(end - lo) {
+				return
 			}
-			g, ok := local[string(buf)]
-			if !ok {
-				codes := make([]uint32, len(in.Keys))
-				for k, key := range in.Keys {
-					codes[k] = key.Codes[i]
+			for i := lo; i < end; i++ {
+				if in.Filter != nil && !in.Filter(i) {
+					continue
 				}
-				g = &entry{codes: codes, states: newStates(in.Aggs)}
-				local[string(buf)] = g
+				for k, key := range in.Keys {
+					code := key.Codes[i]
+					buf[4*k] = byte(code)
+					buf[4*k+1] = byte(code >> 8)
+					buf[4*k+2] = byte(code >> 16)
+					buf[4*k+3] = byte(code >> 24)
+				}
+				g, ok := local[string(buf)]
+				if !ok {
+					if !c.wideCell(len(buf)) {
+						return
+					}
+					codes := make([]uint32, len(in.Keys))
+					for k, key := range in.Keys {
+						codes[k] = key.Codes[i]
+					}
+					g = &entry{codes: codes, states: newStates(in.Aggs)}
+					local[string(buf)] = g
+				}
+				observeRow(g.states, in.Aggs, i)
 			}
-			observeRow(g.states, in.Aggs, i)
+			lo = end
 		}
 		partials[w] = local
 	})
 	scan.End()
+	if err := c.aborted(); err != nil {
+		return nil, abortErr(c)
+	}
 
 	mergeStart := time.Now()
 	merge := sp.Start("exec.merge")
 	merged := partials[0]
+	step := 0
 	for w := 1; w < workers; w++ {
 		for gk, g := range partials[w] {
+			if !c.checkEvery(step) {
+				merge.End()
+				return nil, abortErr(c)
+			}
+			step++
 			have, ok := merged[gk]
 			if !ok {
 				merged[gk] = g
@@ -466,5 +700,5 @@ func groupWide(in GroupInput, workers int, sp *obs.Span) []Group {
 	merge.Annotate("groups", len(out))
 	merge.End()
 	metricMergeSeconds.ObserveSince(mergeStart)
-	return out
+	return out, nil
 }

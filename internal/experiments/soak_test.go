@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+)
+
+// soakPlatformSmall builds a small cohort for the soak: the artificial
+// QueryDelay dominates evaluation time, so cohort size only affects
+// setup cost.
+func soakPlatformSmall(t *testing.T) *core.Platform {
+	t.Helper()
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 60
+	p, err := core.NewDiScRiPlatform(core.Config{}, dcfg)
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestSoakOverloadSheds is the overload acceptance invariant: with
+// offered load far above capacity, excess requests are shed with
+// 429/503 (carrying Retry-After) and NEVER converted to 504s, admitted
+// queries keep a bounded p99, and the goroutine count returns to
+// baseline when the storm passes.
+func TestSoakOverloadSheds(t *testing.T) {
+	rep, err := RunSoak(soakPlatformSmall(t), SoakConfig{
+		Streams:       16,
+		Requests:      8,
+		QueryDelay:    40 * time.Millisecond,
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+		QueueWait:     30 * time.Millisecond,
+		QueryTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.OK == 0 {
+		t.Error("no queries admitted under overload; admission is over-shedding")
+	}
+	if rep.Shed429+rep.Shed503 == 0 {
+		t.Error("16 streams against 2 slots shed nothing; admission not engaging")
+	}
+	if rep.Timeout != 0 {
+		t.Errorf("%d requests answered 504 under overload; shedding must not degrade to timeouts", rep.Timeout)
+	}
+	if !rep.RetryAfterPresent {
+		t.Error("a shed response was missing Retry-After")
+	}
+	if len(rep.Other) != 0 {
+		t.Errorf("unexpected statuses under overload: %v", rep.Other)
+	}
+	// Admitted wall time is bounded by queue wait + a few service times,
+	// not by the 5s query deadline: overload latency is capped by design.
+	if limit := time.Second; rep.AdmittedP99 > limit {
+		t.Errorf("admitted p99 = %v, want <= %v", rep.AdmittedP99, limit)
+	}
+	if rep.GoroutineSettled > rep.GoroutineBaseline+10 {
+		t.Errorf("goroutines %d -> %d; overload leaked workers",
+			rep.GoroutineBaseline, rep.GoroutineSettled)
+	}
+}
+
+// TestSoakCancelReleasesSlots: client-side cancellations mid-query must
+// release their admission slots — later queries in the same streams
+// still complete — and leave no goroutines behind.
+func TestSoakCancelReleasesSlots(t *testing.T) {
+	rep, err := RunSoak(soakPlatformSmall(t), SoakConfig{
+		Streams:       8,
+		Requests:      6,
+		CancelEvery:   2,
+		CancelAfter:   10 * time.Millisecond,
+		QueryDelay:    50 * time.Millisecond,
+		MaxConcurrent: 2,
+		QueueDepth:    8,
+		QueueWait:     2 * time.Second,
+		QueryTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Cancelled == 0 {
+		t.Fatal("soak produced no client cancellations; config not exercising the path")
+	}
+	if rep.OK == 0 {
+		t.Error("no queries completed after cancellations; slots not being released")
+	}
+	if rep.Timeout != 0 {
+		t.Errorf("%d requests answered 504; cancelled slots must free capacity", rep.Timeout)
+	}
+	if rep.GoroutineSettled > rep.GoroutineBaseline+10 {
+		t.Errorf("goroutines %d -> %d; cancellations leaked workers",
+			rep.GoroutineBaseline, rep.GoroutineSettled)
+	}
+}

@@ -7,6 +7,7 @@
 package flatquery
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ddgms/ddgms/internal/exec"
@@ -46,6 +47,14 @@ type Result struct {
 // grouping column are dropped, matching the cube engine's default. Extra
 // opts (e.g. exec.WithVectorized(false)) select the kernel path.
 func Execute(t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
+	return ExecuteTraced(t, q, nil, opts...)
+}
+
+// ExecuteCtx is Execute under a caller context: the kernel scan checks
+// ctx cooperatively and charges any govern.Budget it carries, so a
+// cancelled or over-budget baseline scan stops mid-flight.
+func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opts ...exec.Option) (*Result, error) {
+	opts = append(opts[:len(opts):len(opts)], exec.WithContext(ctx))
 	return ExecuteTraced(t, q, nil, opts...)
 }
 

@@ -1,0 +1,192 @@
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; a bounded number of probe
+	// requests may pass to test recovery.
+	BreakerHalfOpen
+	// BreakerOpen: traffic is fast-failed without touching the
+	// protected resource.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterises a Breaker.
+type BreakerConfig struct {
+	// Name labels the breaker's metrics (ddgms_govern_breaker_state).
+	Name string
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open. Default 5.
+	FailureThreshold int
+	// OpenFor is the cooldown before an open breaker half-opens and
+	// lets probes through. Default 5s.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive successes in half-open
+	// close the breaker. Default 1.
+	HalfOpenProbes int
+	// Health, when non-nil, is consulted on every Allow: a non-nil
+	// result fast-fails the request regardless of the counter state
+	// (e.g. the OLTP store's sticky WAL error). Health failures do not
+	// move the state machine — the dependency reports its own recovery.
+	Health func() error
+	// now is injectable for deterministic tests; nil means time.Now.
+	now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// probing. All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	probes   int // successes so far in half-open
+	inProbe  int // probes currently outstanding in half-open
+	openedAt time.Time
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	b := &Breaker{cfg: cfg}
+	b.publishState(BreakerClosed)
+	return b
+}
+
+// Allow reports whether a request may proceed. nil means go (and the
+// caller should later call RecordSuccess or RecordFailure); an error
+// satisfying errors.Is(err, ErrBreakerOpen) means fast-fail.
+func (b *Breaker) Allow() error {
+	if h := b.cfg.Health; h != nil {
+		if herr := h(); herr != nil {
+			metricBreakerFastFail.WithLabelValues(b.cfg.Name, "unhealthy").Inc()
+			return fmt.Errorf("%w: dependency unhealthy: %v", ErrBreakerOpen, herr)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			metricBreakerFastFail.WithLabelValues(b.cfg.Name, "open").Inc()
+			return fmt.Errorf("%w: cooling down", ErrBreakerOpen)
+		}
+		b.setState(BreakerHalfOpen)
+		b.probes, b.inProbe = 0, 0
+		fallthrough
+	case BreakerHalfOpen:
+		// Admit only as many outstanding probes as successes still
+		// needed; everyone else keeps fast-failing until the probes
+		// report back.
+		if b.inProbe >= b.cfg.HalfOpenProbes-b.probes {
+			metricBreakerFastFail.WithLabelValues(b.cfg.Name, "half_open").Inc()
+			return fmt.Errorf("%w: probing recovery", ErrBreakerOpen)
+		}
+		b.inProbe++
+		return nil
+	}
+	return nil
+}
+
+// RecordSuccess reports that an allowed request completed cleanly.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		if b.inProbe > 0 {
+			b.inProbe--
+		}
+		b.probes++
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.setState(BreakerClosed)
+			b.fails = 0
+		}
+	}
+}
+
+// RecordFailure reports that an allowed request failed. Enough
+// consecutive failures (or any half-open probe failure) open the
+// breaker.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if b.inProbe > 0 {
+			b.inProbe--
+		}
+		b.trip()
+	case BreakerOpen:
+		// A straggler from before the trip; nothing to do.
+	}
+}
+
+// trip opens the breaker; caller holds b.mu.
+func (b *Breaker) trip() {
+	b.setState(BreakerOpen)
+	b.openedAt = b.cfg.now()
+	metricBreakerTrips.WithLabelValues(b.cfg.Name).Inc()
+}
+
+// setState transitions and publishes the gauge; caller holds b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.publishState(s)
+}
+
+func (b *Breaker) publishState(s BreakerState) {
+	metricBreakerState.WithLabelValues(b.cfg.Name).Set(float64(s))
+}
+
+// State reports the current position (for tests and status pages).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,49 @@
+// Package govern is the resource-governance layer: the mechanisms that
+// keep the warehouse answering under overload instead of falling over.
+// It is deliberately dependency-light (obs for metrics only) so every
+// layer of the query path can consume it:
+//
+//   - Admission: a bounded-concurrency semaphore with a bounded FIFO
+//     wait queue. Requests beyond the queue are shed immediately
+//     (ErrQueueFull -> HTTP 429); queued requests that outwait their
+//     patience are shed late (ErrWaitTimeout -> HTTP 503). Admission is
+//     strictly first-come-first-served, so a burst cannot starve an
+//     early waiter.
+//
+//   - Budget: per-query resource ceilings (rows scanned, group-by
+//     cells, estimated wide-path hash bytes) carried through the query
+//     path in a context.Context and charged cooperatively by the
+//     execution kernel. Exceeding any ceiling aborts the query with a
+//     typed error satisfying errors.Is(err, ErrBudgetExceeded).
+//
+//   - Breaker: a circuit breaker that fast-fails work while a
+//     dependency is unhealthy or the recent failure rate has tripped,
+//     with half-open probing to detect recovery.
+//
+// The intended pipeline for one /query request is
+//
+//	breaker.Allow -> admission.Acquire -> budget-charged evaluation
+//
+// and every stage is individually optional.
+package govern
+
+import "errors"
+
+// Shedding and fast-fail sentinels. Callers map these onto transport
+// codes (429 for ErrQueueFull, 503 for ErrWaitTimeout and
+// ErrBreakerOpen).
+var (
+	// ErrQueueFull means the admission wait queue was already at
+	// capacity: the request was shed immediately, without waiting.
+	ErrQueueFull = errors.New("govern: admission queue full")
+	// ErrWaitTimeout means the request waited its full patience in the
+	// admission queue and never got a slot.
+	ErrWaitTimeout = errors.New("govern: admission wait timed out")
+	// ErrBreakerOpen means the circuit breaker is open and the request
+	// was fast-failed without touching the protected resource.
+	ErrBreakerOpen = errors.New("govern: circuit breaker open")
+	// ErrBudgetExceeded is the class of all budget violations; match it
+	// with errors.Is. The concrete error is a *BudgetError naming the
+	// exhausted dimension.
+	ErrBudgetExceeded = errors.New("govern: query budget exceeded")
+)

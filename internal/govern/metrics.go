@@ -1,0 +1,55 @@
+package govern
+
+import (
+	"github.com/ddgms/ddgms/internal/obs"
+)
+
+// Governance metric families — the ddgms_govern_* exposition the
+// operator's guide documents. Everything is recorded per decision
+// (admit, shed, trip), never per row; the kernel's budget charging is
+// already batched, so governance adds no per-row metric traffic.
+var (
+	metricAdmitted = obs.Default().Counter(
+		"ddgms_govern_admitted_total",
+		"Requests admitted past the concurrency gate (including after queueing).")
+	metricShed = obs.Default().CounterVec(
+		"ddgms_govern_shed_total",
+		"Requests shed by the admission controller, by reason (queue_full, wait_timeout, cancelled).",
+		"reason")
+	metricCancelled = obs.Default().CounterVec(
+		"ddgms_govern_cancelled_total",
+		"Admitted queries stopped before completion, by cause (deadline, client_gone, shutdown).",
+		"cause")
+	metricRunning = obs.Default().Gauge(
+		"ddgms_govern_running",
+		"Admission slots currently held.")
+	metricQueued = obs.Default().Gauge(
+		"ddgms_govern_queued",
+		"Requests currently waiting in the admission queue.")
+	metricWaitSeconds = obs.Default().Histogram(
+		"ddgms_govern_wait_seconds",
+		"Time spent queued before admission (admitted requests only).",
+		nil)
+	metricBudgetExceeded = obs.Default().CounterVec(
+		"ddgms_govern_budget_exceeded_total",
+		"Queries aborted for crossing a resource ceiling, by dimension.",
+		"dim")
+	metricBreakerState = obs.Default().GaugeVec(
+		"ddgms_govern_breaker_state",
+		"Circuit breaker position (0=closed, 1=half-open, 2=open).",
+		"breaker")
+	metricBreakerTrips = obs.Default().CounterVec(
+		"ddgms_govern_breaker_trips_total",
+		"Times a breaker transitioned to open.",
+		"breaker")
+	metricBreakerFastFail = obs.Default().CounterVec(
+		"ddgms_govern_breaker_fastfail_total",
+		"Requests fast-failed by a breaker, by state (open, half_open, unhealthy).",
+		"breaker", "state")
+)
+
+// CountCancelled records one admitted query that was stopped before it
+// finished. cause is "deadline", "client_gone" or "shutdown"; callers
+// (the HTTP layer) own the classification because only they can tell a
+// per-request timeout from a disappearing client.
+func CountCancelled(cause string) { metricCancelled.WithLabelValues(cause).Inc() }

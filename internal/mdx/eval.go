@@ -1,6 +1,7 @@
 package mdx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,19 +39,30 @@ func (ev *Evaluator) RegisterMeasure(name string, m cube.MeasureRef) {
 
 // Query parses and executes an MDX query string.
 func (ev *Evaluator) Query(src string) (*cube.CellSet, error) {
-	return ev.QueryTraced(src, nil)
+	return ev.QueryTracedCtx(context.Background(), src, nil)
+}
+
+// QueryCtx is Query under a caller context: a cancelled or over-budget
+// context stops the cube scan mid-flight with no partial result.
+func (ev *Evaluator) QueryCtx(ctx context.Context, src string) (*cube.CellSet, error) {
+	return ev.QueryTracedCtx(ctx, src, nil)
 }
 
 // QueryTraced is Query with stage spans (mdx.parse, then the cube
 // engine's stages) hung under sp. A nil sp traces nothing.
 func (ev *Evaluator) QueryTraced(src string, sp *obs.Span) (*cube.CellSet, error) {
+	return ev.QueryTracedCtx(context.Background(), src, sp)
+}
+
+// QueryTracedCtx combines QueryCtx and QueryTraced.
+func (ev *Evaluator) QueryTracedCtx(ctx context.Context, src string, sp *obs.Span) (*cube.CellSet, error) {
 	parse := sp.Start("mdx.parse")
 	q, err := Parse(src)
 	parse.End()
 	if err != nil {
 		return nil, err
 	}
-	return ev.ExecuteTraced(q, sp)
+	return ev.ExecuteTracedCtx(ctx, q, sp)
 }
 
 // axisBinding is the cube-level meaning of one axis: attribute refs, the
@@ -70,12 +82,22 @@ type namedMeasure struct {
 
 // Execute runs a parsed query against the engine.
 func (ev *Evaluator) Execute(q *QueryExpr) (*cube.CellSet, error) {
-	return ev.ExecuteTraced(q, nil)
+	return ev.ExecuteTracedCtx(context.Background(), q, nil)
+}
+
+// ExecuteCtx is Execute under a caller context (see QueryCtx).
+func (ev *Evaluator) ExecuteCtx(ctx context.Context, q *QueryExpr) (*cube.CellSet, error) {
+	return ev.ExecuteTracedCtx(ctx, q, nil)
 }
 
 // ExecuteTraced runs a parsed query against the engine, threading sp
 // down to the cube engine and execution kernel.
 func (ev *Evaluator) ExecuteTraced(q *QueryExpr, sp *obs.Span) (*cube.CellSet, error) {
+	return ev.ExecuteTracedCtx(context.Background(), q, sp)
+}
+
+// ExecuteTracedCtx combines ExecuteCtx and ExecuteTraced.
+func (ev *Evaluator) ExecuteTracedCtx(ctx context.Context, q *QueryExpr, sp *obs.Span) (*cube.CellSet, error) {
 	if !strings.EqualFold(q.CubeRef, ev.cubeName) {
 		return nil, fmt.Errorf("mdx: unknown cube %q (have %q)", q.CubeRef, ev.cubeName)
 	}
@@ -122,7 +144,7 @@ func (ev *Evaluator) ExecuteTraced(q *QueryExpr, sp *obs.Span) (*cube.CellSet, e
 	allMeasures := append(append([]namedMeasure{}, colBinding.measures...), rowBinding.measures...)
 	switch {
 	case len(allMeasures) > 1:
-		cs, err = ev.executeMultiMeasure(cq, colBinding, rowBinding, sp)
+		cs, err = ev.executeMultiMeasure(ctx, cq, colBinding, rowBinding, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +152,7 @@ func (ev *Evaluator) ExecuteTraced(q *QueryExpr, sp *obs.Span) (*cube.CellSet, e
 		if len(allMeasures) == 1 {
 			cq.Measure = allMeasures[0].ref
 		}
-		cs, err = ev.engine.ExecuteTraced(cq, sp)
+		cs, err = ev.engine.ExecuteTracedCtx(ctx, cq, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +175,7 @@ func (ev *Evaluator) ExecuteTraced(q *QueryExpr, sp *obs.Span) (*cube.CellSet, e
 // executeMultiMeasure answers a query whose axis lists several measures:
 // the axis carrying the measures must hold nothing else, and becomes one
 // position per measure.
-func (ev *Evaluator) executeMultiMeasure(cq cube.Query, colB, rowB *axisBinding, sp *obs.Span) (*cube.CellSet, error) {
+func (ev *Evaluator) executeMultiMeasure(ctx context.Context, cq cube.Query, colB, rowB *axisBinding, sp *obs.Span) (*cube.CellSet, error) {
 	var measures []namedMeasure
 	var onCols bool
 	switch {
@@ -175,7 +197,7 @@ func (ev *Evaluator) executeMultiMeasure(cq cube.Query, colB, rowB *axisBinding,
 	for _, m := range measures {
 		q := cq
 		q.Measure = m.ref
-		cs, err := ev.engine.ExecuteTraced(q, sp)
+		cs, err := ev.engine.ExecuteTracedCtx(ctx, q, sp)
 		if err != nil {
 			return nil, err
 		}

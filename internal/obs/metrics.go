@@ -281,6 +281,20 @@ func (v *CounterVec) WithLabelValues(vals ...string) *Counter {
 	return v.f.child(vals, func() any { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, gaugeKind, labels, nil)}
+}
+
+// WithLabelValues returns the child gauge for one label-value tuple,
+// creating it on first use. Resolve children once on hot paths.
+func (v *GaugeVec) WithLabelValues(vals ...string) *Gauge {
+	return v.f.child(vals, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a family of histograms distinguished by label values.
 type HistogramVec struct{ f *family }
 

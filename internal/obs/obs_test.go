@@ -270,3 +270,44 @@ func TestUnfinishedSpansClosedByFinish(t *testing.T) {
 		t.Errorf("leaked duration = %d", leaked.DurationUS)
 	}
 }
+
+// TestGovernExpositionGolden pins the governance metric family shapes
+// (ddgms_govern_*) byte-for-byte, including the labeled-gauge vector
+// that backs breaker state — the family set the resource-governance
+// layer exposes and the operator's guide documents.
+func TestGovernExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	admitted := r.Counter("ddgms_govern_admitted_total", "Requests admitted past the concurrency gate.")
+	admitted.Add(7)
+	shed := r.CounterVec("ddgms_govern_shed_total", "Requests shed by the admission controller, by reason.", "reason")
+	shed.WithLabelValues("queue_full").Add(3)
+	shed.WithLabelValues("wait_timeout").Inc()
+	cancelled := r.CounterVec("ddgms_govern_cancelled_total", "Admitted queries stopped before completion, by cause.", "cause")
+	cancelled.WithLabelValues("deadline").Add(2)
+	state := r.GaugeVec("ddgms_govern_breaker_state", "Circuit breaker position (0=closed, 1=half-open, 2=open).", "breaker")
+	state.WithLabelValues("query").Set(2)
+	state.WithLabelValues("refresh").Set(0)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ddgms_govern_admitted_total Requests admitted past the concurrency gate.
+# TYPE ddgms_govern_admitted_total counter
+ddgms_govern_admitted_total 7
+# HELP ddgms_govern_shed_total Requests shed by the admission controller, by reason.
+# TYPE ddgms_govern_shed_total counter
+ddgms_govern_shed_total{reason="queue_full"} 3
+ddgms_govern_shed_total{reason="wait_timeout"} 1
+# HELP ddgms_govern_cancelled_total Admitted queries stopped before completion, by cause.
+# TYPE ddgms_govern_cancelled_total counter
+ddgms_govern_cancelled_total{cause="deadline"} 2
+# HELP ddgms_govern_breaker_state Circuit breaker position (0=closed, 1=half-open, 2=open).
+# TYPE ddgms_govern_breaker_state gauge
+ddgms_govern_breaker_state{breaker="query"} 2
+ddgms_govern_breaker_state{breaker="refresh"} 0
+`
+	if got := sb.String(); got != want {
+		t.Errorf("govern exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -21,6 +21,7 @@
 package oltp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -181,6 +182,30 @@ func (s *Store) Healthy() error {
 		return s.walErr
 	}
 	return nil
+}
+
+// HealthyBounded is Healthy with a bound on how long it will wait for
+// the WAL mutex: a store wedged mid-commit (e.g. a hung fsync) answers
+// ctx's error instead of blocking the caller — the shape health probes
+// need, where "can't even check" must surface as unhealthy, fast.
+func (s *Store) HealthyBounded(ctx context.Context) error {
+	for {
+		if s.walMu.TryLock() {
+			defer s.walMu.Unlock()
+			if s.closed {
+				return ErrClosed
+			}
+			if s.walErr != nil {
+				return s.walErr
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("oltp: health probe: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // walUsableLocked guards WAL use; the caller holds s.walMu.

@@ -40,6 +40,7 @@ import (
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/etl"
 	"github.com/ddgms/ddgms/internal/faultfs"
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/star"
@@ -88,6 +89,13 @@ type Config struct {
 	// the maintainer's write lock held: it must not call Freshness or
 	// issue queries.
 	OnRebuild func(*cube.Engine, *star.Schema, *storage.Table) error
+	// Breaker, when set, gates every Refresh: an open breaker (or its
+	// health probe failing, typically oltp.Healthy reporting a poisoned
+	// WAL) fast-fails the batch without touching the tailer, and batch
+	// outcomes feed the breaker's failure counter. The Run loop's retry
+	// backoff then paces the fast-fails, so a sick store is probed
+	// gently instead of hammered.
+	Breaker *govern.Breaker
 }
 
 // Maintainer owns the incrementally maintained warehouse. Query code
@@ -311,8 +319,27 @@ func (m *Maintainer) mirrorTable(affected map[value.Value]struct{}) (*storage.Ta
 // Refresh consumes and applies one batch of committed transactions,
 // returning how many it applied (0 when caught up). A tail gap or an
 // apply failure heals by full resync; only unrecoverable errors (the
-// store closed, the resync itself failing) surface.
+// store closed, the resync itself failing) surface. With a breaker
+// configured, refreshes fast-fail while the breaker is open or the
+// store is unhealthy, and outcomes feed its failure counter.
 func (m *Maintainer) Refresh() (int, error) {
+	b := m.cfg.Breaker
+	if b == nil {
+		return m.refresh()
+	}
+	if err := b.Allow(); err != nil {
+		return 0, err
+	}
+	n, err := m.refresh()
+	if err != nil {
+		b.RecordFailure()
+	} else {
+		b.RecordSuccess()
+	}
+	return n, err
+}
+
+func (m *Maintainer) refresh() (int, error) {
 	txs, err := m.tailer.Poll()
 	if err != nil {
 		if errors.Is(err, cdc.ErrGap) {

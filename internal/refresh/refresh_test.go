@@ -8,15 +8,18 @@
 package refresh_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"github.com/ddgms/ddgms/internal/core"
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/discri"
 	"github.com/ddgms/ddgms/internal/experiments"
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/refresh"
 	"github.com/ddgms/ddgms/internal/storage"
@@ -461,5 +464,51 @@ func TestRefreshFreshnessLag(t *testing.T) {
 	}
 	if f.AppliedLSN != f.DurableLSN {
 		t.Fatalf("applied LSN %s trails durable %s after drain", f.AppliedLSN, f.DurableLSN)
+	}
+}
+
+// TestRefreshBreakerGates: a breaker watching store health fast-fails
+// refresh batches while the dependency is sick, without consuming the
+// CDC cursor — the deferred batch applies intact once health returns.
+func TestRefreshBreakerGates(t *testing.T) {
+	var mu sync.Mutex
+	var healthErr error
+	b := govern.NewBreaker(govern.BreakerConfig{
+		Name: "refresh-test",
+		Health: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return healthErr
+		},
+	})
+	env := newInterleaveEnv(t, 11, 30, func(cfg *refresh.Config) { cfg.Breaker = b })
+
+	if _, err := env.m.Refresh(); err != nil {
+		t.Fatalf("healthy Refresh: %v", err)
+	}
+	env.commit(t, func(tx *oltp.Tx) error {
+		_, err := tx.Insert(oltp.Row(env.raw.Row(env.next)))
+		env.next++
+		return err
+	})
+	mu.Lock()
+	healthErr = fmt.Errorf("wal poisoned")
+	mu.Unlock()
+	if _, err := env.m.Refresh(); !errors.Is(err, govern.ErrBreakerOpen) {
+		t.Fatalf("sick Refresh error = %v, want ErrBreakerOpen", err)
+	}
+	lag := env.m.Freshness().LagTx
+	if lag != 1 {
+		t.Fatalf("fast-failed refresh moved the cursor: lag_tx = %d, want 1", lag)
+	}
+	mu.Lock()
+	healthErr = nil
+	mu.Unlock()
+	n, err := env.m.Refresh()
+	if err != nil || n == 0 {
+		t.Fatalf("recovered Refresh = (%d, %v), want the deferred batch applied", n, err)
+	}
+	if f := env.m.Freshness(); f.LagTx != 0 {
+		t.Fatalf("lag_tx = %d after recovery, want 0", f.LagTx)
 	}
 }

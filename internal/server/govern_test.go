@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/govern"
+)
+
+// TestTimeoutDoesNotLeakGoroutines is the regression test for the old
+// side-goroutine timeout: 50 queries that all time out must leave the
+// goroutine count at its baseline, because cancellation now stops the
+// evaluation itself instead of abandoning it.
+func TestTimeoutDoesNotLeakGoroutines(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &slowPlatform{Platform: testPlatform(t), delay: 10 * time.Second}
+	ts := serveHandler(t, New(p, WithQueryTimeout(5*time.Millisecond), WithLogger(quiet)))
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusGatewayTimeout {
+			t.Fatalf("query %d status = %d, want 504", i, code)
+		}
+	}
+	// Give the cancelled evaluations a moment to unwind, then require the
+	// goroutine count back at (or below) baseline plus slack for the
+	// httptest keep-alive pool.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after 50 timed-out queries = %d, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAdmissionShedsWith429(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &slowPlatform{Platform: testPlatform(t), delay: 300 * time.Millisecond}
+	srv := New(p,
+		WithQueryTimeout(5*time.Second),
+		WithAdmission(govern.NewAdmission(1, 0, 0)),
+		WithLogger(quiet))
+	ts := serveHandler(t, srv)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(release)
+		postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil)
+	}()
+	<-release
+	time.Sleep(50 * time.Millisecond) // let the slow query hold the slot
+
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"mdx": "SELECT x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	wg.Wait()
+	// With the slot free again, queries are admitted.
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
+		t.Errorf("post-drain status = %d, want 200", code)
+	}
+}
+
+func TestAdmissionWaitTimeoutAnswers503(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &slowPlatform{Platform: testPlatform(t), delay: 500 * time.Millisecond}
+	srv := New(p,
+		WithQueryTimeout(5*time.Second),
+		WithAdmission(govern.NewAdmission(1, 4, 20*time.Millisecond)),
+		WithLogger(quiet))
+	ts := serveHandler(t, srv)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"mdx": "SELECT x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued-timeout status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queued-timeout response missing Retry-After")
+	}
+	wg.Wait()
+}
+
+func TestQueryBudgetAnswers422(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	srv := New(testPlatform(t),
+		WithQueryBudget(func() *govern.Budget { return govern.NewBudget(1, 0, 0) }),
+		WithLogger(quiet))
+	ts := serveHandler(t, srv)
+
+	var errBody errorBody
+	code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, &errBody)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget status = %d, want 422 (%v)", code, errBody)
+	}
+	if !strings.Contains(errBody.Error, "budget") {
+		t.Errorf("error = %q", errBody.Error)
+	}
+}
+
+func TestBreakerFastFails(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	var mu sync.Mutex
+	var healthErr error
+	b := govern.NewBreaker(govern.BreakerConfig{
+		Name: "server-test",
+		Health: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return healthErr
+		},
+	})
+	srv := New(testPlatform(t), WithBreaker(b), WithLogger(quiet))
+	ts := serveHandler(t, srv)
+
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
+		t.Fatalf("healthy status = %d", code)
+	}
+	mu.Lock()
+	healthErr = context.DeadlineExceeded // any non-nil error
+	mu.Unlock()
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"mdx": "SELECT x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("fast-fail response missing Retry-After")
+	}
+	// Recovery is immediate once the dependency heals.
+	mu.Lock()
+	healthErr = nil
+	mu.Unlock()
+	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
+		t.Errorf("recovered status = %d", code)
+	}
+}
+
+// TestShutdownCancelsInflight: when the drain deadline expires, in-flight
+// queries are cancelled (answer 503) instead of running to completion —
+// the process exits within a cancellation interval, not a query duration.
+func TestShutdownCancelsInflight(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	p := &slowPlatform{Platform: testPlatform(t), delay: 10 * time.Second}
+	srv := New(p, WithQueryTimeout(time.Minute), WithLogger(quiet))
+	ts := serveHandler(t, srv)
+
+	codes := make(chan int, 1)
+	go func() {
+		codes <- postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query get admitted
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("Shutdown with a held query and expired context reported a clean drain")
+	}
+	select {
+	case code := <-codes:
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("cancelled in-flight query status = %d, want 503", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight query not cancelled by expired drain")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("shutdown took %v; cancellation should be prompt", elapsed)
+	}
+}

@@ -19,10 +19,14 @@
 //
 // The handler degrades gracefully rather than falling over: every request
 // runs under panic recovery (a handler bug answers 500 JSON, not a dropped
-// connection), POST bodies are size-capped, /query is bounded by a
-// per-request timeout (a wedged or slow cube answers 504 instead of
-// holding the connection forever), and Shutdown drains in-flight queries
-// before the process exits.
+// connection), POST bodies are size-capped (413 when exceeded), /query is
+// cancelled — not merely abandoned — on timeout, client disconnect or
+// shutdown (the context reaches the execution kernel, which stops
+// scanning), and Shutdown drains in-flight queries before the process
+// exits, cancelling them if the drain deadline expires. An optional
+// admission controller sheds excess load with 429/503 + Retry-After, an
+// optional per-query budget stops runaway scans with 422, and an optional
+// circuit breaker fast-fails queries while the OLTP store is unhealthy.
 package server
 
 import (
@@ -37,6 +41,7 @@ import (
 	"time"
 
 	"github.com/ddgms/ddgms/internal/cube"
+	"github.com/ddgms/ddgms/internal/govern"
 	"github.com/ddgms/ddgms/internal/kb"
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
@@ -70,6 +75,21 @@ type TracedQuerier interface {
 	QueryMDXTraced(src string, sp *obs.Span) (*cube.CellSet, error)
 }
 
+// CtxQuerier is the optional context-aware query surface. When the
+// platform implements it (as *core.Platform does), /query evaluates
+// inline under the request context: a timeout, client disconnect or
+// server shutdown cancels the scan inside the execution kernel instead
+// of abandoning a goroutine that keeps burning CPU to completion.
+type CtxQuerier interface {
+	QueryMDXCtx(ctx context.Context, src string) (*cube.CellSet, error)
+}
+
+// TracedCtxQuerier combines CtxQuerier and TracedQuerier for ?trace=1
+// requests.
+type TracedCtxQuerier interface {
+	QueryMDXTracedCtx(ctx context.Context, src string, sp *obs.Span) (*cube.CellSet, error)
+}
+
 // Option customises a Server.
 type Option func(*Server)
 
@@ -96,31 +116,73 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithAdmission bounds /query concurrency with an admission controller:
+// excess queries wait in its FIFO queue and are shed with 429 (queue
+// full) or 503 (wait timed out), both carrying Retry-After. nil (the
+// default) admits everything.
+func WithAdmission(a *govern.Admission) Option {
+	return func(s *Server) { s.admission = a }
+}
+
+// WithBreaker fast-fails /query with 503 while the breaker is open or
+// its health probe (typically the OLTP store) reports unhealthy. nil
+// (the default) never fast-fails.
+func WithBreaker(b *govern.Breaker) Option {
+	return func(s *Server) { s.breaker = b }
+}
+
+// WithQueryBudget attaches a fresh resource budget to every /query; the
+// kernel charges rows, group cells and wide-path bytes against it and a
+// crossed ceiling answers 422. nil budgets from the factory are
+// unlimited.
+func WithQueryBudget(newBudget func() *govern.Budget) Option {
+	return func(s *Server) { s.newBudget = newBudget }
+}
+
+// WithHealthTimeout bounds a deep health probe (/healthz?deep=1); a
+// probe that cannot finish in time answers 503 "probe timed out" rather
+// than hanging the health endpoint on a wedged store. 0 disables the
+// bound. Default 1s.
+func WithHealthTimeout(d time.Duration) Option {
+	return func(s *Server) { s.healthTimeout = d }
+}
+
 // Server wraps a platform with an http.Handler. The platform must have
 // its warehouse built before any /query arrives.
 type Server struct {
-	platform     Platform
-	mux          *http.ServeMux
-	queryTimeout time.Duration
-	maxBody      int64
-	log          *log.Logger
-	tracer       *obs.Tracer
+	platform      Platform
+	mux           *http.ServeMux
+	queryTimeout  time.Duration
+	healthTimeout time.Duration
+	maxBody       int64
+	log           *log.Logger
+	tracer        *obs.Tracer
+	admission     *govern.Admission
+	breaker       *govern.Breaker
+	newBudget     func() *govern.Budget
 
 	inflight sync.WaitGroup
 	drainMu  sync.Mutex
 	draining bool
+
+	// shutdownCtx is cancelled when a drain deadline expires, reaching
+	// every in-flight query context so cooperative kernels unwind.
+	shutdownCtx    context.Context
+	shutdownCancel context.CancelFunc
 }
 
 // New creates a server over a platform.
 func New(p Platform, opts ...Option) *Server {
 	s := &Server{
-		platform:     p,
-		mux:          http.NewServeMux(),
-		queryTimeout: 30 * time.Second,
-		maxBody:      1 << 20,
-		log:          log.Default(),
-		tracer:       obs.NewTracer(128),
+		platform:      p,
+		mux:           http.NewServeMux(),
+		queryTimeout:  30 * time.Second,
+		healthTimeout: time.Second,
+		maxBody:       1 << 20,
+		log:           log.Default(),
+		tracer:        obs.NewTracer(128),
 	}
+	s.shutdownCtx, s.shutdownCancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(s)
 	}
@@ -175,9 +237,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sr, r)
 }
 
+// errShuttingDown is the cancellation cause stamped on in-flight query
+// contexts when a drain deadline expires.
+var errShuttingDown = errors.New("server shutting down")
+
 // Shutdown stops admitting requests and waits for in-flight ones to
-// drain, or for ctx to expire — the context's error is returned in that
-// case so callers know the drain was cut short.
+// drain, or for ctx to expire. An expired drain is not a hang: every
+// in-flight query's context is cancelled (the cancellation reaches the
+// execution kernel, which stops scanning within one check interval) and
+// the context's error is returned so callers know the drain was cut
+// short.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
@@ -190,8 +259,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.shutdownCancel()
 		return nil
 	case <-ctx.Done():
+		// The polite drain expired: cut in-flight queries loose. They
+		// answer 503 and release their admission slots; the caller's
+		// <-done (or process exit) follows within a cancellation check
+		// interval, not a full query duration.
+		s.shutdownCancel()
 		return fmt.Errorf("server: shutdown drain interrupted: %w", ctx.Err())
 	}
 }
@@ -229,26 +304,60 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 
 // handleHealth is liveness; with ?deep=1 it also reports readiness: the
 // warehouse must be built and the OLTP store open and un-poisoned, so ops
-// can tell "process up" from "able to serve".
+// can tell "process up" from "able to serve". The deep probe honours the
+// request context and its own short bound (WithHealthTimeout): a store
+// wedged mid-commit answers 503 "probe timed out" within the bound
+// instead of holding the health endpoint — and the ops dashboards
+// polling it — hostage.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("deep") == "" {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		return
 	}
-	doc := map[string]string{"status": "ok", "warehouse": "ready", "store": "open"}
-	status := http.StatusOK
-	if s.platform.Warehouse() == nil {
-		doc["status"], doc["warehouse"] = "degraded", "not built"
-		status = http.StatusServiceUnavailable
+	ctx := r.Context()
+	if s.healthTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.healthTimeout)
+		defer cancel()
 	}
-	if st := s.platform.Store(); st == nil {
-		doc["status"], doc["store"] = "degraded", "not opened"
-		status = http.StatusServiceUnavailable
-	} else if err := st.Healthy(); err != nil {
-		doc["status"], doc["store"] = "degraded", err.Error()
-		status = http.StatusServiceUnavailable
+	type probe struct {
+		doc    map[string]string
+		status int
 	}
-	s.writeJSON(w, status, doc)
+	ch := make(chan probe, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- probe{map[string]string{"status": "degraded", "probe": fmt.Sprint(rec)}, http.StatusServiceUnavailable}
+			}
+		}()
+		doc := map[string]string{"status": "ok", "warehouse": "ready", "store": "open"}
+		status := http.StatusOK
+		if s.platform.Warehouse() == nil {
+			doc["status"], doc["warehouse"] = "degraded", "not built"
+			status = http.StatusServiceUnavailable
+		}
+		var err error
+		// The bounded check means a wedged WAL mutex cannot pin this
+		// goroutine past the probe deadline.
+		if st := s.platform.Store(); st == nil {
+			err = errors.New("not opened")
+		} else {
+			err = st.HealthyBounded(ctx)
+		}
+		if err != nil {
+			doc["status"], doc["store"] = "degraded", err.Error()
+			status = http.StatusServiceUnavailable
+		}
+		ch <- probe{doc, status}
+	}()
+	select {
+	case p := <-ch:
+		s.writeJSON(w, p.status, p.doc)
+	case <-ctx.Done():
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "degraded", "probe": "timed out"})
+	}
 }
 
 // schemaDoc is the JSON form of the star schema.
@@ -333,18 +442,63 @@ func cellSetToDoc(cs *cube.CellSet) cellSetDoc {
 	return doc
 }
 
-// queryResult carries an MDX evaluation across the timeout boundary.
-type queryResult struct {
-	cs  *cube.CellSet
-	err error
-}
-
 // errQueryPanic marks evaluator panics so they answer 500, not 400.
 var errQueryPanic = fmt.Errorf("query panicked")
 
+// statusClientClosedRequest is nginx's conventional code for "the client
+// went away before the response": the cancelled evaluation is accounted
+// distinctly from timeouts in request metrics, even though nobody reads
+// the body.
+const statusClientClosedRequest = 499
+
+// evalQuery dispatches one MDX evaluation to the richest surface the
+// platform offers. Context-aware surfaces are preferred — they make the
+// query actually cancellable — with graceful fallback for platforms (or
+// test doubles) that only implement the plain interface.
+func (s *Server) evalQuery(ctx context.Context, src string, wantTrace bool, root *obs.Span) (*cube.CellSet, error) {
+	if wantTrace {
+		if tq, ok := s.platform.(TracedCtxQuerier); ok {
+			return tq.QueryMDXTracedCtx(ctx, src, root)
+		}
+		if tq, ok := s.platform.(TracedQuerier); ok {
+			return tq.QueryMDXTraced(src, root)
+		}
+	}
+	if cq, ok := s.platform.(CtxQuerier); ok {
+		return cq.QueryMDXCtx(ctx, src)
+	}
+	return s.platform.QueryMDX(src)
+}
+
+// evalQuerySafe is evalQuery with panic containment: an evaluator bug
+// answers 500 (and counts as a breaker failure) without unwinding the
+// whole request path.
+func (s *Server) evalQuerySafe(ctx context.Context, src string, wantTrace bool, root *obs.Span) (cs *cube.CellSet, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cs, err = nil, fmt.Errorf("%w: %v", errQueryPanic, rec)
+		}
+	}()
+	return s.evalQuery(ctx, src, wantTrace, root)
+}
+
+// handleQuery runs one MDX query under the full governance pipeline:
+// admission (concurrency gate + bounded FIFO queue), circuit breaker,
+// per-query budget, then a cancellable inline evaluation. There is no
+// side goroutine: when the deadline, the client or a shutdown cancels
+// the context, the execution kernel itself stops scanning within one
+// check interval and the admission slot is released immediately — under
+// overload the server sheds (429/503) instead of stacking up zombie
+// evaluations behind 504s.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -353,6 +507,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission first: a shed request must cost nothing downstream, and
+	// the breaker's half-open probe accounting requires that every
+	// successful Allow is matched by a recorded outcome.
+	if s.admission != nil {
+		release, err := s.admission.Acquire(r.Context())
+		if err != nil {
+			switch {
+			case errors.Is(err, govern.ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, "%v", err)
+			case errors.Is(err, govern.ErrWaitTimeout):
+				w.Header().Set("Retry-After", "2")
+				s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			default: // the client gave up while queued
+				s.writeError(w, statusClientClosedRequest, "client closed request while queued")
+			}
+			return
+		}
+		defer release()
+	}
+
+	if s.breaker != nil {
+		if err := s.breaker.Allow(); err != nil {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
+	// The breaker saw this query: exactly one outcome must be recorded,
+	// even if the evaluation below panics. failed stays true only for
+	// server-side faults (panic, timeout); client errors, cancellations
+	// and budget trips do not indict the backend.
+	failed := true
+	defer func() {
+		if s.breaker == nil {
+			return
+		}
+		if failed {
+			s.breaker.RecordFailure()
+		} else {
+			s.breaker.RecordSuccess()
+		}
+	}()
+
 	// Tracing is opt-in per request. The platform's traced surface is
 	// consulted only for traced requests, so test doubles overriding
 	// QueryMDX keep intercepting everything else.
@@ -360,55 +558,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr := s.tracer.StartTrace("query")
 	tr.Root().Annotate("mdx", req.MDX)
 
-	ctx := r.Context()
+	// The query context: the request context (client disconnect), a
+	// shutdown hook (expired drains cancel in-flight work), the query
+	// timeout, and the per-query budget, layered in that order.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stopShutdownHook := context.AfterFunc(s.shutdownCtx, func() { cancel(errShuttingDown) })
+	defer stopShutdownHook()
 	if s.queryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
-		defer cancel()
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancelTimeout()
 	}
-	// The cube engine is a CPU-bound library without context plumbing, so
-	// the bound is enforced at the service layer: evaluate on a side
-	// goroutine and abandon it on timeout. The buffered channel lets an
-	// abandoned evaluation finish and be collected without leaking a
-	// goroutine forever.
-	ch := make(chan queryResult, 1)
-	go func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				ch <- queryResult{err: fmt.Errorf("%w: %v", errQueryPanic, rec)}
-			}
-		}()
-		var res queryResult
-		if tq, ok := s.platform.(TracedQuerier); ok && wantTrace {
-			res.cs, res.err = tq.QueryMDXTraced(req.MDX, tr.Root())
-		} else {
-			res.cs, res.err = s.platform.QueryMDX(req.MDX)
-		}
-		ch <- res
-	}()
+	if s.newBudget != nil {
+		ctx = govern.WithBudget(ctx, s.newBudget())
+	}
 
-	select {
-	case <-ctx.Done():
-		tr.Finish()
-		s.log.Printf("server: /query abandoned: %v", ctx.Err())
-		s.writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.queryTimeout)
-	case res := <-ch:
-		tr.Finish()
-		if errors.Is(res.err, errQueryPanic) {
-			s.log.Printf("server: /query: %v", res.err)
-			s.writeError(w, http.StatusInternalServerError, "%v", res.err)
-			return
-		}
-		if res.err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", res.err)
-			return
-		}
-		doc := cellSetToDoc(res.cs)
+	cs, err := s.evalQuerySafe(ctx, req.MDX, wantTrace, tr.Root())
+	tr.Finish()
+	switch {
+	case err == nil:
+		failed = false
+		doc := cellSetToDoc(cs)
 		if wantTrace && tr != nil {
 			td := tr.Doc()
 			doc.Trace = &td
 		}
 		s.writeJSON(w, http.StatusOK, doc)
+	case errors.Is(err, errQueryPanic):
+		s.log.Printf("server: /query: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	case errors.Is(err, govern.ErrBudgetExceeded):
+		failed = false
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		govern.CountCancelled("deadline")
+		s.log.Printf("server: /query cancelled: %v", err)
+		s.writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.queryTimeout)
+	case errors.Is(err, context.Canceled):
+		failed = false
+		if errors.Is(context.Cause(ctx), errShuttingDown) {
+			govern.CountCancelled("shutdown")
+			s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		govern.CountCancelled("client_gone")
+		s.writeError(w, statusClientClosedRequest, "client closed request")
+	default:
+		failed = false
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 

@@ -46,14 +46,24 @@ func testServer(t *testing.T) *httptest.Server {
 
 // slowPlatform injects latency into the cube: what /query degradation
 // looks like when an expensive or wedged evaluation holds the engine.
+// The injected delay honours the query context, like the real kernel
+// does, so cancellation tests exercise the cooperative path.
 type slowPlatform struct {
 	*core.Platform
 	delay time.Duration
 }
 
+func (p *slowPlatform) QueryMDXCtx(ctx context.Context, src string) (*cube.CellSet, error) {
+	select {
+	case <-time.After(p.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return p.Platform.QueryMDXCtx(ctx, src)
+}
+
 func (p *slowPlatform) QueryMDX(src string) (*cube.CellSet, error) {
-	time.Sleep(p.delay)
-	return p.Platform.QueryMDX(src)
+	return p.QueryMDXCtx(context.Background(), src)
 }
 
 // panicPlatform blows up in the evaluator or in the schema handler.
@@ -63,6 +73,10 @@ type panicPlatform struct {
 }
 
 func (p *panicPlatform) QueryMDX(string) (*cube.CellSet, error) { panic("cube exploded") }
+
+func (p *panicPlatform) QueryMDXCtx(context.Context, string) (*cube.CellSet, error) {
+	panic("cube exploded")
+}
 
 func (p *panicPlatform) Warehouse() *star.Schema {
 	if p.panicWarehouse {
@@ -202,8 +216,8 @@ func TestPostBodyCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
 	}
 	// A normal-sized query still works.
 	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: `

@@ -25,4 +25,9 @@ echo "== refresh-equivalence soak (randomized commit/refresh interleavings, -cou
 go test -race -run 'TestRefresh' -count=2 ./internal/refresh/
 go test -race -run 'TestTailWAL|TestTailer' ./internal/oltp/ ./internal/cdc/
 
+echo "== governance suite (cancellation, admission, budgets, breaker)"
+go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \
+	./internal/exec/ ./internal/govern/ ./internal/server/ ./internal/refresh/
+sh scripts/soak.sh
+
 echo "check: OK"
