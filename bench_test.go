@@ -39,7 +39,7 @@ var (
 	platformsMu sync.Mutex
 )
 
-func platformFor(b *testing.B, patients int) *core.Platform {
+func platformFor(b testing.TB, patients int) *core.Platform {
 	b.Helper()
 	platformsMu.Lock()
 	defer platformsMu.Unlock()
@@ -262,6 +262,52 @@ func BenchmarkGroupByLegacy(b *testing.B) {
 		if _, err := flat.GroupBy(keys, aggs, exec.WithVectorized(false)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGroupByEncoded runs the reference grouping with every key and
+// the distinct measure forced to one physical encoding, straight against
+// the exec kernel so each subbenchmark builds its own coded columns. The
+// custom column-bytes metric is the total resident size of those code
+// vectors — the compression the encoding buys on this dataset.
+func BenchmarkGroupByEncoded(b *testing.B) {
+	flat := platformFor(b, 900).Flat()
+	keyNames, _ := kernelGroupBySpec()
+	materialise := func(name string) []value.Value {
+		vals := make([]value.Value, flat.Len())
+		for i := range vals {
+			vals[i] = flat.MustValue(i, name)
+		}
+		return vals
+	}
+	fbg := materialise("FBG")
+	for _, enc := range []string{"flat", "packed", "rle"} {
+		b.Run(enc, func(b *testing.B) {
+			b.Setenv(exec.ForceEncodingEnv, enc)
+			in := exec.GroupInput{NumRows: flat.Len()}
+			columnBytes := 0
+			for _, name := range keyNames {
+				cc := exec.Encode(materialise(name))
+				in.Keys = append(in.Keys, cc)
+				columnBytes += cc.CodeBytes()
+			}
+			patients := exec.Encode(materialise("PatientID"))
+			columnBytes += patients.CodeBytes()
+			in.Aggs = []exec.AggInput{
+				{Kind: exec.DistinctAgg, Measure: patients},
+				{Kind: exec.AvgAgg, Measure: exec.ValueSlice(fbg)},
+			}
+			if _, err := exec.GroupBy(in); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.GroupBy(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(columnBytes), "column-bytes")
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
@@ -451,7 +452,7 @@ func followPlatform(dataDir string, patients int) (*core.Platform, *govern.Break
 	if err != nil {
 		return nil, nil, err
 	}
-	p := core.New(core.Config{DataDir: dataDir})
+	p := core.New(core.Config{DataDir: dataDir, Log: log.Default()})
 	if err := p.OpenStore(raw.Schema()); err != nil {
 		return nil, nil, err
 	}
@@ -474,6 +475,7 @@ func followPlatform(dataDir string, patients int) (*core.Platform, *govern.Break
 		CursorDir: filepath.Join(dataDir, "cdc"),
 		Setup:     core.FinishDiScRiSetup,
 		Breaker:   breaker,
+		Log:       log.Default(),
 	}); err != nil {
 		p.Close()
 		return nil, nil, err

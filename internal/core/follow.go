@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"github.com/ddgms/ddgms/internal/cube"
@@ -46,6 +47,9 @@ type FollowConfig struct {
 	Setup func(*Platform) error
 	// Breaker, when set, gates each refresh batch (see refresh.Config).
 	Breaker *govern.Breaker
+	// Log, when set, receives resync snapshot-size lines (see
+	// refresh.Config.Log).
+	Log *log.Logger
 }
 
 // StartFollow bootstraps the warehouse from a store snapshot and readies
@@ -68,6 +72,7 @@ func (p *Platform) StartFollow(fcfg FollowConfig) error {
 		PollInterval:    fcfg.PollInterval,
 		Tracer:          fcfg.Tracer,
 		Breaker:         fcfg.Breaker,
+		Log:             fcfg.Log,
 		OnRebuild: func(e *cube.Engine, s *star.Schema, flat *storage.Table) error {
 			p.schema, p.engine, p.flat = s, e, flat
 			p.eval = mdx.NewEvaluator(e, p.cfg.CubeName)

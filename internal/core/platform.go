@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log"
 
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/etl"
@@ -38,6 +39,9 @@ type Config struct {
 	// PromotionThreshold is the knowledge-base promotion evidence count;
 	// 0 means the kb default.
 	PromotionThreshold int
+	// Log, when set, receives store checkpoint and warehouse resync size
+	// lines. Nil disables that logging.
+	Log *log.Logger
 }
 
 // Platform is one DD-DGMS instance. Build one with New, then advance it
@@ -86,7 +90,7 @@ func NewPassthroughPipeline() *etl.Pipeline { return &etl.Pipeline{} }
 // store (creating it on first call). Repeated calls append.
 func (p *Platform) Acquire(raw *storage.Table) error {
 	if p.store == nil {
-		s, err := oltp.Open(p.cfg.DataDir, raw.Schema())
+		s, err := oltp.OpenWith(p.cfg.DataDir, raw.Schema(), oltp.Options{Log: p.cfg.Log})
 		if err != nil {
 			return fmt.Errorf("core: opening store: %w", err)
 		}
@@ -105,7 +109,7 @@ func (p *Platform) OpenStore(schema *storage.Schema) error {
 	if p.store != nil {
 		return nil
 	}
-	s, err := oltp.Open(p.cfg.DataDir, schema)
+	s, err := oltp.OpenWith(p.cfg.DataDir, schema, oltp.Options{Log: p.cfg.Log})
 	if err != nil {
 		return fmt.Errorf("core: opening store: %w", err)
 	}

@@ -49,6 +49,19 @@ func (b *Bitmap) Or(o *Bitmap) {
 	}
 }
 
+// AndNotWords clears every row whose bit is set in words — the
+// word-wise form of masking a tombstone set out of a filter bitmap (64
+// rows per operation instead of a branch per row).
+func (b *Bitmap) AndNotWords(words []uint64) {
+	n := len(words)
+	if n > len(b.words) {
+		n = len(b.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &^= words[i]
+	}
+}
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int {
 	n := 0

@@ -26,7 +26,7 @@ type Engine struct {
 
 	mu          sync.Mutex
 	attrCols    map[AttrRef][]value.Value
-	codedCols   map[AttrRef]*exec.CodedColumn
+	codedCols   map[AttrRef]exec.CodedColumn
 	bitmaps     map[AttrRef]map[value.Value]*Bitmap
 	lattice     map[string][]*latticeEntry
 	memberOrder map[AttrRef]map[value.Value]int
@@ -59,7 +59,7 @@ func NewEngine(schema *star.Schema, opts ...Option) *Engine {
 		useBitmaps:  true,
 		useLattice:  true,
 		attrCols:    make(map[AttrRef][]value.Value),
-		codedCols:   make(map[AttrRef]*exec.CodedColumn),
+		codedCols:   make(map[AttrRef]exec.CodedColumn),
 		bitmaps:     make(map[AttrRef]map[value.Value]*Bitmap),
 		lattice:     make(map[string][]*latticeEntry),
 		memberOrder: make(map[AttrRef]map[value.Value]int),
@@ -93,7 +93,7 @@ func (e *Engine) InvalidateCaches() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.attrCols = make(map[AttrRef][]value.Value)
-	e.codedCols = make(map[AttrRef]*exec.CodedColumn)
+	e.codedCols = make(map[AttrRef]exec.CodedColumn)
 	e.bitmaps = make(map[AttrRef]map[value.Value]*Bitmap)
 	e.lattice = make(map[string][]*latticeEntry)
 }
@@ -145,7 +145,7 @@ func (e *Engine) attrColumn(ref AttrRef) ([]value.Value, error) {
 // attrCoded materialises (and caches) the dictionary-encoded form of an
 // attribute column — the key representation the execution kernel groups
 // on.
-func (e *Engine) attrCoded(ref AttrRef) (*exec.CodedColumn, error) {
+func (e *Engine) attrCoded(ref AttrRef) (exec.CodedColumn, error) {
 	e.mu.Lock()
 	if cc, ok := e.codedCols[ref]; ok {
 		e.mu.Unlock()
@@ -182,7 +182,7 @@ func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
 		return nil, err
 	}
 	perCode := make([]*Bitmap, cc.Card())
-	for i, code := range cc.Codes {
+	for i, code := range exec.MaterializeCodes(cc) {
 		b := perCode[code]
 		if b == nil {
 			b = NewBitmap(cc.Len())
@@ -191,9 +191,10 @@ func (e *Engine) bitmapFor(ref AttrRef) (map[value.Value]*Bitmap, error) {
 		b.Set(i)
 	}
 	m := make(map[value.Value]*Bitmap, len(perCode))
+	values := cc.Values()
 	for code, b := range perCode {
 		if b != nil {
-			m[cc.Values[code]] = b
+			m[values[code]] = b
 		}
 	}
 	e.mu.Lock()
@@ -211,11 +212,7 @@ func (e *Engine) filterBitmap(slicers []Slicer) (*Bitmap, error) {
 	out := NewBitmap(n)
 	out.Fill()
 	if fact.RetiredCount() > 0 {
-		for i := 0; i < n; i++ {
-			if !fact.Alive(i) {
-				out.Clear(i)
-			}
-		}
+		out.AndNotWords(fact.DeadWords())
 	}
 	for _, s := range slicers {
 		if len(s.Values) == 0 {
@@ -311,7 +308,7 @@ func (e *Engine) ExecuteTracedCtx(ctx context.Context, q Query, sp *obs.Span) (*
 	metricQueries.Inc()
 	encode := sp.Start("cube.encode")
 	axes := append(append([]AttrRef{}, q.Rows...), q.Cols...)
-	axisCoded := make([]*exec.CodedColumn, len(axes))
+	axisCoded := make([]exec.CodedColumn, len(axes))
 	for i, ref := range axes {
 		cc, err := e.attrCoded(ref)
 		if err != nil {
@@ -355,7 +352,17 @@ func (e *Engine) ExecuteTracedCtx(ctx context.Context, q Query, sp *obs.Span) (*
 		Aggs:    []exec.AggInput{{Kind: q.Measure.Agg}},
 		Filter:  filter.Get,
 	}
-	if mcol != nil {
+	switch {
+	case q.Measure.Attr != nil && q.Measure.Agg == storage.DistinctAgg:
+		// Distinct attribute measures hand the kernel the coded column so
+		// the dense path can count distinct dictionary codes in bitsets
+		// instead of materialising Seen maps per group.
+		cc, err := e.attrCoded(*q.Measure.Attr)
+		if err != nil {
+			return nil, err
+		}
+		in.Aggs[0].Measure = cc
+	case mcol != nil:
 		in.Aggs[0].Measure = exec.ValueSlice(mcol)
 	}
 	groupSp := sp.Start("cube.group")

@@ -81,6 +81,19 @@ type Measure interface {
 	Value(i int) value.Value
 }
 
+// FloatMeasure is a Measure whose non-NA values are all float-coercible,
+// letting the kernel accumulate sum/min/max without materialising a
+// value.Value per row. AllFloat gates the fast path: implementations
+// whose payload kind is not coercible (time columns) report false and
+// the kernel falls back to Value.
+type FloatMeasure interface {
+	Measure
+	// FloatAt returns row i as a float; ok is false when the row is NA.
+	FloatAt(i int) (f float64, ok bool)
+	// AllFloat reports whether every non-NA row is float-coercible.
+	AllFloat() bool
+}
+
 // ValueSlice adapts a materialised value slice to the Measure accessor.
 type ValueSlice []value.Value
 
@@ -99,6 +112,14 @@ type AggState struct {
 	Sum      float64
 	Min, Max float64
 	Seen     map[value.Value]struct{}
+	// Distinct is the finalised distinct count of a sealed state: the
+	// dense kernel accumulates distinct measures as bitsets over
+	// dictionary codes in its arena and emits only the popcount, never a
+	// Seen map. A sealed state (Kind == DistinctAgg, Seen == nil) can be
+	// finalised and cloned but not merged or unmerged — the lattice never
+	// caches distinct measures (Mergeable excludes them), so no merge
+	// path ever sees one.
+	Distinct int64
 	Any      bool
 	// Rows counts every physical row routed to this group, NA measures
 	// included. Incremental cube maintenance needs it to tell "group whose
@@ -158,6 +179,9 @@ func (st *AggState) Merge(o *AggState) {
 	}
 	st.Any = st.Any || o.Any
 	if st.Kind == DistinctAgg {
+		if st.Seen == nil || o.Seen == nil {
+			panic("exec: Merge on a sealed distinct state (kernel bitset output); distinct states cannot be re-merged")
+		}
 		for v := range o.Seen {
 			st.Seen[v] = struct{}{}
 		}
@@ -209,6 +233,9 @@ func (st *AggState) Result() value.Value {
 	case CountAgg:
 		return value.Int(st.Count)
 	case DistinctAgg:
+		if st.Seen == nil {
+			return value.Int(st.Distinct)
+		}
 		return value.Int(int64(len(st.Seen)))
 	case SumAgg:
 		if !st.Any {

@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"math/bits"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// Encoding identifies the physical layout of a coded column's code
+// vector. The dictionary (code -> value table) is shared by all three;
+// only the per-row code storage differs.
+type Encoding uint8
+
+const (
+	// EncFlat stores one uint32 per row — the historical layout and the
+	// fallback when nothing compresses.
+	EncFlat Encoding = iota
+	// EncPacked stores codes bit-packed at ceil(log2(cardinality)) bits,
+	// 64/width codes per word so no code straddles a word boundary and
+	// decode peels a whole word at a time.
+	EncPacked
+	// EncRLE stores (run end, code) pairs — per-run work instead of
+	// per-row work for sorted or low-churn columns.
+	EncRLE
+)
+
+// String returns the lower-case encoding name used in metrics labels and
+// the DDGMS_FORCE_ENCODING knob.
+func (e Encoding) String() string {
+	switch e {
+	case EncPacked:
+		return "packed"
+	case EncRLE:
+		return "rle"
+	}
+	return "flat"
+}
+
+// ForceEncodingEnv, when set to flat/packed/rle, overrides the
+// stats-driven encoding choice for every column built afterwards. CI uses
+// it to run the refresh-equivalence soak against each layout.
+const ForceEncodingEnv = "DDGMS_FORCE_ENCODING"
+
+func forcedEncoding() (Encoding, bool) {
+	switch strings.ToLower(os.Getenv(ForceEncodingEnv)) {
+	case "flat":
+		return EncFlat, true
+	case "packed":
+		return EncPacked, true
+	case "rle":
+		return EncRLE, true
+	}
+	return EncFlat, false
+}
+
+// packWidth is the bit width a dictionary of the given cardinality packs
+// at: ceil(log2(card)), minimum 1.
+func packWidth(card int) uint {
+	w := uint(bits.Len(uint(card - 1)))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// chooseEncoding picks a layout from one stats pass over the codes: RLE
+// when runs are long enough that the run table is at least 2x smaller
+// than the flat vector (average run length >= 4), else bit-packing when
+// the width saves at least 2x (width <= 16), else flat. Tiny columns
+// always stay flat — the decode plumbing costs more than it saves.
+func chooseEncoding(codes []uint32, card int) Encoding {
+	if forced, ok := forcedEncoding(); ok {
+		return forced
+	}
+	n := len(codes)
+	if n < 64 {
+		return EncFlat
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if codes[i] != codes[i-1] {
+			runs++
+		}
+	}
+	if runs <= n/4 {
+		return EncRLE
+	}
+	if packWidth(card) <= 16 {
+		return EncPacked
+	}
+	return EncFlat
+}
+
+// NewCodedColumn builds a coded column over the given code vector and
+// dictionary, choosing the physical encoding with chooseEncoding. It
+// takes ownership of both slices.
+func NewCodedColumn(codes []uint32, values []value.Value) CodedColumn {
+	switch chooseEncoding(codes, len(values)) {
+	case EncPacked:
+		return PackCodes(codes, values)
+	case EncRLE:
+		return RLECodes(codes, values)
+	}
+	return NewFlatColumn(codes, values)
+}
+
+// --- flat ------------------------------------------------------------------
+
+// FlatColumn is the uncompressed layout: one uint32 code per row.
+type FlatColumn struct {
+	codes  []uint32
+	values []value.Value
+}
+
+// NewFlatColumn wraps a code vector and dictionary without copying.
+func NewFlatColumn(codes []uint32, values []value.Value) *FlatColumn {
+	return &FlatColumn{codes: codes, values: values}
+}
+
+func (c *FlatColumn) Len() int                  { return len(c.codes) }
+func (c *FlatColumn) Card() int                 { return len(c.values) }
+func (c *FlatColumn) Code(i int) uint32         { return c.codes[i] }
+func (c *FlatColumn) Value(i int) value.Value   { return c.values[c.codes[i]] }
+func (c *FlatColumn) IsNA(i int) bool           { return c.codes[i] == NACode }
+func (c *FlatColumn) Values() []value.Value     { return c.values }
+func (c *FlatColumn) Encoding() Encoding        { return EncFlat }
+func (c *FlatColumn) CodeBytes() int            { return 4 * len(c.codes) }
+
+// AppendCodes appends the codes of rows [lo, hi) to dst.
+func (c *FlatColumn) AppendCodes(dst []uint32, lo, hi int) []uint32 {
+	return append(dst, c.codes[lo:hi]...)
+}
+
+// --- bit-packed ------------------------------------------------------------
+
+// PackedColumn stores codes at width bits each, 64/width codes per word
+// (no straddling), so Code is two shifts and decode is word-at-a-time.
+type PackedColumn struct {
+	words  []uint64
+	width  uint
+	perW   int // codes per word
+	n      int
+	values []value.Value
+}
+
+// PackCodes bit-packs a flat code vector at ceil(log2(card)) bits.
+func PackCodes(codes []uint32, values []value.Value) *PackedColumn {
+	width := packWidth(len(values))
+	if width > 32 {
+		width = 32
+	}
+	perW := 64 / int(width)
+	c := &PackedColumn{
+		words:  make([]uint64, (len(codes)+perW-1)/perW),
+		width:  width,
+		perW:   perW,
+		n:      len(codes),
+		values: values,
+	}
+	for i, code := range codes {
+		c.words[i/perW] |= uint64(code) << (uint(i%perW) * width)
+	}
+	return c
+}
+
+func (c *PackedColumn) Len() int  { return c.n }
+func (c *PackedColumn) Card() int { return len(c.values) }
+
+// Width reports the per-code bit width.
+func (c *PackedColumn) Width() uint { return c.width }
+
+func (c *PackedColumn) Code(i int) uint32 {
+	return uint32(c.words[i/c.perW] >> (uint(i%c.perW) * c.width) & (1<<c.width - 1))
+}
+
+func (c *PackedColumn) Value(i int) value.Value { return c.values[c.Code(i)] }
+func (c *PackedColumn) IsNA(i int) bool         { return c.Code(i) == NACode }
+func (c *PackedColumn) Values() []value.Value   { return c.values }
+func (c *PackedColumn) Encoding() Encoding      { return EncPacked }
+func (c *PackedColumn) CodeBytes() int          { return 8 * len(c.words) }
+
+// AppendCodes appends the codes of rows [lo, hi) to dst, extracting a
+// whole word of codes per memory load.
+func (c *PackedColumn) AppendCodes(dst []uint32, lo, hi int) []uint32 {
+	mask := uint64(1)<<c.width - 1
+	for i := lo; i < hi; {
+		j := i % c.perW
+		end := j + (hi - i)
+		if end > c.perW {
+			end = c.perW
+		}
+		w := c.words[i/c.perW] >> (uint(j) * c.width)
+		for ; j < end; j++ {
+			dst = append(dst, uint32(w&mask))
+			w >>= c.width
+		}
+		i += end - i%c.perW
+	}
+	return dst
+}
+
+// --- run-length ------------------------------------------------------------
+
+// RLEColumn stores maximal runs of equal codes as (cumulative end row,
+// code) pairs. Random access binary-searches the run table; scans walk
+// runs directly, which is what the kernel's fused run path exploits.
+type RLEColumn struct {
+	ends   []uint32 // exclusive end row of each run, ascending
+	codes  []uint32 // code of each run
+	values []value.Value
+}
+
+// RLECodes run-length-encodes a flat code vector.
+func RLECodes(codes []uint32, values []value.Value) *RLEColumn {
+	c := &RLEColumn{values: values}
+	for i := 0; i < len(codes); {
+		j := i + 1
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		c.ends = append(c.ends, uint32(j))
+		c.codes = append(c.codes, codes[i])
+		i = j
+	}
+	return c
+}
+
+func (c *RLEColumn) Len() int {
+	if len(c.ends) == 0 {
+		return 0
+	}
+	return int(c.ends[len(c.ends)-1])
+}
+
+func (c *RLEColumn) Card() int { return len(c.values) }
+
+// NumRuns reports the number of runs.
+func (c *RLEColumn) NumRuns() int { return len(c.codes) }
+
+// Run returns run r as [start, end) plus its code.
+func (c *RLEColumn) Run(r int) (start, end int, code uint32) {
+	if r > 0 {
+		start = int(c.ends[r-1])
+	}
+	return start, int(c.ends[r]), c.codes[r]
+}
+
+// RunIndex returns the run containing row i.
+func (c *RLEColumn) RunIndex(i int) int {
+	return sort.Search(len(c.ends), func(r int) bool { return c.ends[r] > uint32(i) })
+}
+
+func (c *RLEColumn) Code(i int) uint32       { return c.codes[c.RunIndex(i)] }
+func (c *RLEColumn) Value(i int) value.Value { return c.values[c.Code(i)] }
+func (c *RLEColumn) IsNA(i int) bool         { return c.Code(i) == NACode }
+func (c *RLEColumn) Values() []value.Value   { return c.values }
+func (c *RLEColumn) Encoding() Encoding      { return EncRLE }
+func (c *RLEColumn) CodeBytes() int          { return 8 * len(c.ends) }
+
+// AppendCodes appends the codes of rows [lo, hi) to dst, expanding runs.
+func (c *RLEColumn) AppendCodes(dst []uint32, lo, hi int) []uint32 {
+	for r := c.RunIndex(lo); lo < hi; r++ {
+		_, end, code := c.Run(r)
+		if end > hi {
+			end = hi
+		}
+		for ; lo < end; lo++ {
+			dst = append(dst, code)
+		}
+	}
+	return dst
+}
+
+// MaterializeCodes returns the full flat code vector of c: the backing
+// slice itself for flat columns (callers must not mutate it), a fresh
+// decode otherwise. Layers that index codes per row (the flat-scan
+// baseline's filter predicates) use this instead of per-row Code calls.
+func MaterializeCodes(c CodedColumn) []uint32 {
+	if f, ok := c.(*FlatColumn); ok {
+		return f.codes
+	}
+	return c.AppendCodes(make([]uint32, 0, c.Len()), 0, c.Len())
+}

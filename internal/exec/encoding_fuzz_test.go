@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/value"
+)
+
+// fuzzCodes derives a bounded code vector and matching dictionary from
+// raw fuzz bytes: cardinality from the first byte, one code per
+// remaining byte. Every code stays < card so PackCodes' width invariant
+// holds by construction.
+func fuzzCodes(data []byte) (codes []uint32, values []value.Value) {
+	card := 1
+	if len(data) > 0 {
+		card = 1 + int(data[0])
+		data = data[1:]
+	}
+	values = make([]value.Value, card)
+	values[0] = value.NA()
+	for c := 1; c < card; c++ {
+		values[c] = value.Int(int64(c))
+	}
+	codes = make([]uint32, len(data))
+	for i, b := range data {
+		codes[i] = uint32(int(b) % card)
+	}
+	return codes, values
+}
+
+// checkCodedRoundTrip asserts a coded column decodes back to the flat
+// code vector it was built from, through every accessor the kernel uses:
+// random access, full materialisation and arbitrary sub-range decodes.
+func checkCodedRoundTrip(t *testing.T, c CodedColumn, codes []uint32) {
+	t.Helper()
+	if c.Len() != len(codes) {
+		t.Fatalf("%v: Len = %d, want %d", c.Encoding(), c.Len(), len(codes))
+	}
+	for i, want := range codes {
+		if got := c.Code(i); got != want {
+			t.Fatalf("%v: Code(%d) = %d, want %d", c.Encoding(), i, got, want)
+		}
+		if got, want := c.IsNA(i), want == NACode; got != want {
+			t.Fatalf("%v: IsNA(%d) = %v, want %v", c.Encoding(), i, got, want)
+		}
+	}
+	got := c.AppendCodes(nil, 0, len(codes))
+	if !equalCodes(got, codes) {
+		t.Fatalf("%v: AppendCodes full = %v, want %v", c.Encoding(), got, codes)
+	}
+	// Sub-ranges at awkward offsets: word boundaries, run interiors.
+	for lo := 0; lo < len(codes); lo += 1 + lo/2 {
+		for _, hi := range []int{lo, lo + 1, (lo + len(codes)) / 2, len(codes)} {
+			if hi < lo || hi > len(codes) {
+				continue
+			}
+			got := c.AppendCodes(nil, lo, hi)
+			if !equalCodes(got, codes[lo:hi]) {
+				t.Fatalf("%v: AppendCodes(%d, %d) = %v, want %v", c.Encoding(), lo, hi, got, codes[lo:hi])
+			}
+		}
+	}
+}
+
+func equalCodes(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPackRoundTrip: bit-packing must be lossless for any code vector
+// whose codes fit the dictionary.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 2, 2, 1, 0})
+	f.Add([]byte{255, 254, 0, 17})
+	f.Add(bytes.Repeat([]byte{5, 4}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codes, values := fuzzCodes(data)
+		checkCodedRoundTrip(t, PackCodes(codes, values), codes)
+	})
+}
+
+// FuzzRLERoundTrip: run-length encoding must be lossless, including
+// pathological inputs with no repetition at all (one run per row).
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 1, 1, 0, 0, 1})
+	f.Add([]byte{255, 9, 8, 7, 6})
+	f.Add(bytes.Repeat([]byte{4, 3, 3, 0}, 50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codes, values := fuzzCodes(data)
+		checkCodedRoundTrip(t, RLECodes(codes, values), codes)
+	})
+}
+
+// FuzzChooseEncoding: whatever layout the stats heuristic picks must
+// round-trip, and the env override must be honoured for all three.
+func FuzzChooseEncoding(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2})
+	f.Add(bytes.Repeat([]byte{2, 1}, 200))
+	f.Add(bytes.Repeat([]byte{7, 6, 6, 6, 6}, 80))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codes, values := fuzzCodes(data)
+		checkCodedRoundTrip(t, NewCodedColumn(codes, values), codes)
+		for _, enc := range []string{"flat", "packed", "rle"} {
+			t.Setenv(ForceEncodingEnv, enc)
+			c := NewCodedColumn(codes, values)
+			if c.Encoding().String() != enc {
+				t.Fatalf("forced %q, got %v", enc, c.Encoding())
+			}
+			checkCodedRoundTrip(t, c, codes)
+		}
+	})
+}

@@ -20,8 +20,8 @@ func TestEncodeRoundTrip(t *testing.T) {
 	if cc.Card() != 4 { // NA + a, b, c
 		t.Fatalf("card %d, want 4", cc.Card())
 	}
-	if !cc.Values[NACode].IsNA() {
-		t.Fatalf("Values[0] = %v, want NA", cc.Values[0])
+	if !cc.Values()[NACode].IsNA() {
+		t.Fatalf("Values[0] = %v, want NA", cc.Values()[0])
 	}
 	for i, v := range vals {
 		if !cc.Value(i).Equal(v) {
@@ -32,18 +32,18 @@ func TestEncodeRoundTrip(t *testing.T) {
 		}
 	}
 	// Repeated values share codes.
-	if cc.Codes[0] != cc.Codes[3] {
-		t.Errorf("codes for repeated value differ: %d vs %d", cc.Codes[0], cc.Codes[3])
+	if cc.Code(0) != cc.Code(3) {
+		t.Errorf("codes for repeated value differ: %d vs %d", cc.Code(0), cc.Code(3))
 	}
 }
 
 func TestEncodeNaNFoldsToOneCode(t *testing.T) {
 	nan := value.Float(math.NaN())
 	cc := Encode([]value.Value{nan, value.Float(1), nan, nan})
-	if cc.Codes[0] != cc.Codes[2] || cc.Codes[0] != cc.Codes[3] {
-		t.Fatalf("NaN rows got distinct codes: %v", cc.Codes)
+	if cc.Code(0) != cc.Code(2) || cc.Code(0) != cc.Code(3) {
+		t.Fatalf("NaN rows got distinct codes: %v", MaterializeCodes(cc))
 	}
-	if cc.Codes[0] == NACode {
+	if cc.Code(0) == NACode {
 		t.Fatal("NaN mapped to the NA code")
 	}
 }
@@ -80,7 +80,7 @@ func buildInput(rows int) GroupInput {
 	}
 	return GroupInput{
 		NumRows: rows,
-		Keys:    []*CodedColumn{Encode(as), Encode(bs)},
+		Keys:    []CodedColumn{Encode(as), Encode(bs)},
 		Aggs: []AggInput{
 			{Kind: CountAgg},
 			{Kind: SumAgg, Measure: ValueSlice(ms)},
@@ -162,7 +162,7 @@ func TestZeroKeysSingleGroup(t *testing.T) {
 }
 
 func TestZeroRowsNoGroups(t *testing.T) {
-	groups, err := GroupBy(GroupInput{NumRows: 0, Keys: []*CodedColumn{Encode(nil)}})
+	groups, err := GroupBy(GroupInput{NumRows: 0, Keys: []CodedColumn{Encode(nil)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestZeroAggsActsAsDistinct(t *testing.T) {
 }
 
 func TestShortKeyColumnRejected(t *testing.T) {
-	_, err := GroupBy(GroupInput{NumRows: 10, Keys: []*CodedColumn{Encode(make([]value.Value, 5))}})
+	_, err := GroupBy(GroupInput{NumRows: 10, Keys: []CodedColumn{Encode(make([]value.Value, 5))}})
 	if err == nil {
 		t.Fatal("expected error for short key column")
 	}
@@ -197,7 +197,7 @@ func TestShortKeyColumnRejected(t *testing.T) {
 
 // highCardColumn builds a column with the requested cardinality so tests
 // can force the hashed and wide key paths.
-func highCardColumn(rows, card int, rng *rand.Rand) *CodedColumn {
+func highCardColumn(rows, card int, rng *rand.Rand) CodedColumn {
 	vals := make([]value.Value, rows)
 	for i := range vals {
 		vals[i] = value.Int(int64(rng.Intn(card)))
@@ -212,7 +212,7 @@ func TestHashedPathMatchesScalar(t *testing.T) {
 	// within uint64.
 	in := GroupInput{
 		NumRows: rows,
-		Keys: []*CodedColumn{
+		Keys: []CodedColumn{
 			highCardColumn(rows, 500, rng),
 			highCardColumn(rows, 400, rng),
 			highCardColumn(rows, 300, rng),
@@ -236,7 +236,7 @@ func TestHashedPathMatchesScalar(t *testing.T) {
 func TestWidePathMatchesScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	rows := 3000
-	keys := make([]*CodedColumn, 6)
+	keys := make([]CodedColumn, 6)
 	for k := range keys {
 		keys[k] = highCardColumn(rows, 20000, rng) // ~12 bits realised each, >64 total
 	}

@@ -76,7 +76,7 @@ type GroupInput struct {
 	NumRows int
 	// Keys are the grouping columns, dictionary-encoded. Each must have at
 	// least NumRows rows.
-	Keys []*CodedColumn
+	Keys []CodedColumn
 	// Aggs are the aggregates computed per group.
 	Aggs []AggInput
 	// Filter, when non-nil, restricts the rows that participate. It must
@@ -94,7 +94,7 @@ type Group struct {
 
 // maxDenseBits bounds the direct-indexed accumulator table: when the
 // packed key fits this many bits each worker addresses groups with a
-// single array index, no hashing at all. 2^16 slots of one pointer each
+// single array index, no hashing at all. 2^16 slots of one int32 each
 // is small enough to allocate per worker.
 const maxDenseBits = 16
 
@@ -105,7 +105,10 @@ const minRowsPerWorker = 2048
 // cancelCheckRows is the cooperative-cancellation cadence: every scan
 // worker re-checks its context (and charges the row budget) once per
 // this many rows, bounding both cancellation latency and the per-row
-// overhead of governance (one atomic load per batch when idle).
+// overhead of governance (one atomic load per batch when idle). It is
+// also the kernel's decode block size: compressed code vectors are
+// expanded into per-worker buffers one block at a time on the same
+// cadence.
 const cancelCheckRows = 4096
 
 // wideEntryBytes approximates the heap cost of one wide-path hash map
@@ -352,7 +355,7 @@ type keyLayout struct {
 	packable bool
 }
 
-func layoutFor(keys []*CodedColumn) keyLayout {
+func layoutFor(keys []CodedColumn) keyLayout {
 	l := keyLayout{shift: make([]uint, len(keys)), width: make([]uint, len(keys)), packable: true}
 	for k, key := range keys {
 		w := uint(bits.Len(uint(key.Card() - 1)))
@@ -369,19 +372,22 @@ func layoutFor(keys []*CodedColumn) keyLayout {
 	return l
 }
 
-func (l keyLayout) pack(keys []*CodedColumn, i int) uint64 {
-	var packed uint64
-	for k, key := range keys {
-		packed |= uint64(key.Codes[i]) << l.shift[k]
+// appendTuple decodes a packed key into dst using the per-key
+// dictionaries, appending one value per key. Output assembly uses it to
+// build every tuple inside one shared backing array.
+func (l keyLayout) appendTuple(dst []value.Value, packed uint64, keyValues [][]value.Value) []value.Value {
+	for k := range keyValues {
+		code := (packed >> l.shift[k]) & (1<<l.width[k] - 1)
+		dst = append(dst, keyValues[k][code])
 	}
-	return packed
+	return dst
 }
 
-func (l keyLayout) unpack(packed uint64, keys []*CodedColumn) []value.Value {
+func (l keyLayout) unpack(packed uint64, keys []CodedColumn) []value.Value {
 	tuple := make([]value.Value, len(keys))
 	for k, key := range keys {
 		code := (packed >> l.shift[k]) & (1<<l.width[k] - 1)
-		tuple[k] = key.Values[code]
+		tuple[k] = key.Values()[code]
 	}
 	return tuple
 }
@@ -465,41 +471,40 @@ func runWorkers(n, workers int, fn func(w, lo, hi int)) {
 	wg.Wait()
 }
 
+// allRLE reports whether every key column is run-length encoded, which
+// enables the fused per-run dense scan.
+func allRLE(keys []CodedColumn) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for _, key := range keys {
+		if _, ok := key.(*RLEColumn); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // groupDense is the fast path for low-cardinality keys (the clinical
-// norm): per-worker direct-indexed accumulator tables addressed by the
-// packed code, merged slot-by-slot in worker order.
+// norm): per-worker arenas addressed directly by the packed code — no
+// hashing, no per-group heap allocation. Key codes are consumed in their
+// compressed form: flat vectors zero-copy, packed words decoded a word
+// at a time, and all-RLE key sets grouped per run intersection instead
+// of per row.
 func groupDense(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	size := 1 << layout.total
-	partials := make([][][]*AggState, workers)
+	plan, distWords := planAggs(in.Aggs, in.NumRows, size)
+	arenas := make([]*denseArena, workers)
 	scan := scanSpan(sp, in.NumRows, workers)
+	fused := allRLE(in.Keys)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
-		dense := make([][]*AggState, size)
-		for lo < hi {
-			end := lo + cancelCheckRows
-			if end > hi {
-				end = hi
-			}
-			if !c.next(end - lo) {
-				return
-			}
-			for i := lo; i < end; i++ {
-				if in.Filter != nil && !in.Filter(i) {
-					continue
-				}
-				slot := layout.pack(in.Keys, i)
-				states := dense[slot]
-				if states == nil {
-					if !c.cell() {
-						return
-					}
-					states = newStates(in.Aggs)
-					dense[slot] = states
-				}
-				observeRow(states, in.Aggs, i)
-			}
-			lo = end
+		a := newDenseArena(size, plan, distWords)
+		arenas[w] = a
+		if fused {
+			scanDenseRuns(in, layout, a, c, lo, hi)
+		} else {
+			scanDenseBlocks(in, layout, a, c, lo, hi)
 		}
-		partials[w] = dense
 	})
 	scan.End()
 	if err := c.aborted(); err != nil {
@@ -508,33 +513,50 @@ func groupDense(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *ob
 
 	mergeStart := time.Now()
 	merge := sp.Start("exec.merge")
-	var out []Group
+	keyValues := make([][]value.Value, len(in.Keys))
+	for k, key := range in.Keys {
+		keyValues[k] = key.Values()
+	}
+	capGroups := 0
+	for _, a := range arenas {
+		capGroups += a.groups
+	}
+	tuples := make([]value.Value, 0, capGroups*len(in.Keys))
+	ptrs := make([]*AggState, 0, capGroups*len(in.Aggs))
+	out := make([]Group, 0, capGroups)
 	for slot := 0; slot < size; slot++ {
 		if !c.checkEvery(slot) {
 			merge.End()
 			return nil, abortErr(c)
 		}
-		var merged []*AggState
-		for w := 0; w < workers; w++ {
-			states := partials[w][slot]
-			if states == nil {
+		var tgt *denseArena
+		tg := -1
+		for _, a := range arenas {
+			gi := a.slots[slot]
+			if gi == 0 {
 				continue
 			}
-			if merged == nil {
-				merged = states
+			if tgt == nil {
+				tgt, tg = a, int(gi)-1
 				continue
 			}
-			for k := range merged {
-				merged[k].Merge(states[k])
-			}
+			tgt.mergeGroup(tg, a, int(gi)-1)
 		}
-		// dense[slot] is non-nil iff some row hit the slot, even for
-		// zero-aggregate group-bys (Distinct), where the states slice is
-		// empty but non-nil.
-		if merged == nil {
+		if tgt == nil {
 			continue
 		}
-		out = append(out, Group{Tuple: layout.unpack(uint64(slot), in.Keys), States: merged})
+		tgt.seal(tg)
+		tupStart := len(tuples)
+		tuples = layout.appendTuple(tuples, uint64(slot), keyValues)
+		ptrStart := len(ptrs)
+		base := tg * tgt.nAggs
+		for k := 0; k < tgt.nAggs; k++ {
+			ptrs = append(ptrs, &tgt.states[base+k])
+		}
+		out = append(out, Group{
+			Tuple:  tuples[tupStart:len(tuples):len(tuples)],
+			States: ptrs[ptrStart:len(ptrs):len(ptrs)],
+		})
 	}
 	merge.Annotate("groups", len(out))
 	merge.End()
@@ -542,13 +564,105 @@ func groupDense(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *ob
 	return out, nil
 }
 
+// scanDenseBlocks is the dense scan over block-decoded key codes: one
+// decode per column per cancelCheckRows block, then a tight packed-slot
+// loop over the block.
+func scanDenseBlocks(in GroupInput, layout keyLayout, a *denseArena, c *scanCtl, lo, hi int) {
+	kr := newBlockReader(in.Keys)
+	mr := newMeasureReader(a.plan)
+	for lo < hi {
+		end := lo + cancelCheckRows
+		if end > hi {
+			end = hi
+		}
+		if !c.next(end - lo) {
+			return
+		}
+		kcodes := kr.read(lo, end)
+		mcodes := mr.read(lo, end)
+		for i := lo; i < end; i++ {
+			if in.Filter != nil && !in.Filter(i) {
+				continue
+			}
+			var slot uint64
+			for k := range kcodes {
+				slot |= uint64(kcodes[k][i-lo]) << layout.shift[k]
+			}
+			g, ok := a.group(slot, c)
+			if !ok {
+				return
+			}
+			a.observe(g, i, i-lo, mcodes)
+		}
+		lo = end
+	}
+}
+
+// scanDenseRuns is the fused filter+aggregate scan for all-RLE key sets:
+// rows are consumed per run intersection — the packed slot is computed
+// and the group resolved once per segment, and only the filter and the
+// measures are evaluated per row. Group creation stays lazy so filtered
+// segments that contribute no rows produce no group, matching the
+// row-at-a-time paths.
+func scanDenseRuns(in GroupInput, layout keyLayout, a *denseArena, c *scanCtl, lo, hi int) {
+	keys := make([]*RLEColumn, len(in.Keys))
+	run := make([]int, len(in.Keys))
+	for k := range in.Keys {
+		keys[k] = in.Keys[k].(*RLEColumn)
+		run[k] = keys[k].RunIndex(lo)
+	}
+	mr := newMeasureReader(a.plan)
+	for lo < hi {
+		bend := lo + cancelCheckRows
+		if bend > hi {
+			bend = hi
+		}
+		if !c.next(bend - lo) {
+			return
+		}
+		mcodes := mr.read(lo, bend)
+		for i := lo; i < bend; {
+			var slot uint64
+			segEnd := bend
+			for k := range keys {
+				_, end, code := keys[k].Run(run[k])
+				slot |= uint64(code) << layout.shift[k]
+				if end < segEnd {
+					segEnd = end
+				}
+			}
+			g := -1
+			for ; i < segEnd; i++ {
+				if in.Filter != nil && !in.Filter(i) {
+					continue
+				}
+				if g < 0 {
+					var ok bool
+					if g, ok = a.group(slot, c); !ok {
+						return
+					}
+				}
+				a.observe(g, i, i-lo, mcodes)
+			}
+			for k := range keys {
+				if _, end, _ := keys[k].Run(run[k]); end == i {
+					run[k]++
+				}
+			}
+		}
+		lo = bend
+	}
+}
+
 // groupHashed handles packed keys wider than the dense budget: per-worker
-// hash maps keyed by the packed uint64, merged in worker order.
+// hash maps keyed by the packed uint64 over block-decoded codes, merged
+// in worker order.
 func groupHashed(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	partials := make([]map[uint64][]*AggState, workers)
 	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[uint64][]*AggState)
+		kr := newBlockReader(in.Keys)
 		for lo < hi {
 			end := lo + cancelCheckRows
 			if end > hi {
@@ -557,11 +671,15 @@ func groupHashed(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *o
 			if !c.next(end - lo) {
 				return
 			}
+			kcodes := kr.read(lo, end)
 			for i := lo; i < end; i++ {
 				if in.Filter != nil && !in.Filter(i) {
 					continue
 				}
-				packed := layout.pack(in.Keys, i)
+				var packed uint64
+				for k := range kcodes {
+					packed |= uint64(kcodes[k][i-lo]) << layout.shift[k]
+				}
 				states, ok := local[packed]
 				if !ok {
 					if !c.cell() {
@@ -613,9 +731,10 @@ func groupHashed(in GroupInput, layout keyLayout, workers int, c *scanCtl, sp *o
 }
 
 // groupWide handles key tuples whose packed form exceeds 64 bits: the key
-// is the raw code bytes (still no per-value string formatting). Its hash
-// map entries are the kernel's only unbounded-size accumulators, so new
-// groups are charged against the byte budget as well as the cell budget.
+// is the raw code bytes (still no per-value string formatting), read from
+// block-decoded code vectors. Its hash map entries are the kernel's only
+// unbounded-size accumulators, so new groups are charged against the byte
+// budget as well as the cell budget.
 func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, error) {
 	type entry struct {
 		codes  []uint32
@@ -625,6 +744,7 @@ func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, e
 	scan := scanSpan(sp, in.NumRows, workers)
 	runWorkers(in.NumRows, workers, func(w, lo, hi int) {
 		local := make(map[string]*entry)
+		kr := newBlockReader(in.Keys)
 		buf := make([]byte, 4*len(in.Keys))
 		for lo < hi {
 			end := lo + cancelCheckRows
@@ -634,12 +754,13 @@ func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, e
 			if !c.next(end - lo) {
 				return
 			}
+			kcodes := kr.read(lo, end)
 			for i := lo; i < end; i++ {
 				if in.Filter != nil && !in.Filter(i) {
 					continue
 				}
-				for k, key := range in.Keys {
-					code := key.Codes[i]
+				for k := range kcodes {
+					code := kcodes[k][i-lo]
 					buf[4*k] = byte(code)
 					buf[4*k+1] = byte(code >> 8)
 					buf[4*k+2] = byte(code >> 16)
@@ -651,8 +772,8 @@ func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, e
 						return
 					}
 					codes := make([]uint32, len(in.Keys))
-					for k, key := range in.Keys {
-						codes[k] = key.Codes[i]
+					for k := range kcodes {
+						codes[k] = kcodes[k][i-lo]
 					}
 					g = &entry{codes: codes, states: newStates(in.Aggs)}
 					local[string(buf)] = g
@@ -693,7 +814,7 @@ func groupWide(in GroupInput, workers int, c *scanCtl, sp *obs.Span) ([]Group, e
 	for _, g := range merged {
 		tuple := make([]value.Value, len(in.Keys))
 		for k, key := range in.Keys {
-			tuple[k] = key.Values[g.codes[k]]
+			tuple[k] = key.Values()[g.codes[k]]
 		}
 		out = append(out, Group{Tuple: tuple, States: g.states})
 	}

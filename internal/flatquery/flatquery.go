@@ -77,7 +77,7 @@ func ExecuteTraced(t *storage.Table, q Query, sp *obs.Span, opts ...exec.Option)
 			return nil, fmt.Errorf("flatquery: unknown filter column %q", f.Column)
 		}
 		allowed := make([]bool, dict.Card())
-		for code, v := range dict.Values {
+		for code, v := range dict.Values() {
 			for _, want := range f.Values {
 				if v.Equal(want) {
 					allowed[code] = true
@@ -85,16 +85,16 @@ func ExecuteTraced(t *storage.Table, q Query, sp *obs.Span, opts ...exec.Option)
 				}
 			}
 		}
-		filters[k] = codeFilter{codes: dict.Codes, allowed: allowed}
+		filters[k] = codeFilter{codes: exec.MaterializeCodes(dict), allowed: allowed}
 	}
 	groupCols := append(append([]string{}, q.Rows...), q.Cols...)
-	groupDicts := make([]*exec.CodedColumn, len(groupCols))
+	groupCodes := make([][]uint32, len(groupCols))
 	for k, c := range groupCols {
 		dict, err := t.Dict(c)
 		if err != nil {
 			return nil, fmt.Errorf("flatquery: unknown group column %q", c)
 		}
-		groupDicts[k] = dict
+		groupCodes[k] = exec.MaterializeCodes(dict)
 	}
 	compile.Annotate("filters", len(filters))
 	compile.End()
@@ -105,8 +105,8 @@ func ExecuteTraced(t *storage.Table, q Query, sp *obs.Span, opts ...exec.Option)
 				return false
 			}
 		}
-		for _, d := range groupDicts {
-			if d.Codes[i] == exec.NACode {
+		for _, codes := range groupCodes {
+			if codes[i] == exec.NACode {
 				return false
 			}
 		}

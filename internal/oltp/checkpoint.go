@@ -22,20 +22,23 @@ import (
 // renamed into place, so recovery only ever sees complete files; a frame
 // error inside one is therefore bit rot and fails loudly with the offset.
 
-// writeCheckpoint snapshots current committed state as checkpoint seq.
-// The caller must guarantee the state is quiescent (holds s.mu or is in
-// recovery before any writer exists).
-func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
+// writeCheckpoint snapshots current committed state as checkpoint seq,
+// returning the checkpoint's size on disk. The caller must guarantee the
+// state is quiescent (holds s.mu or is in recovery before any writer
+// exists).
+func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) (int64, error) {
 	final := filepath.Join(dir, ckptName(seq))
 	tmp := final + ".tmp"
 	f, err := fs.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("oltp: creating checkpoint: %w", err)
+		return 0, fmt.Errorf("oltp: creating checkpoint: %w", err)
 	}
+	var written int64
 	bw := bufio.NewWriter(f)
 	var scratch bytes.Buffer
 
 	frame := func(payload []byte) error {
+		written += frameHeader + int64(len(payload))
 		var hdr [frameHeader]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
@@ -50,6 +53,7 @@ func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
 		if _, err := bw.WriteString(ckptMagic); err != nil {
 			return err
 		}
+		written += int64(len(ckptMagic))
 		scratch.Reset()
 		writeUvarint(&scratch, uint64(s.nextID))
 		writeUvarint(&scratch, s.nextTx)
@@ -84,18 +88,18 @@ func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
 
 	if err := write(); err != nil {
 		f.Close()
-		return fmt.Errorf("oltp: writing checkpoint: %w", err)
+		return 0, fmt.Errorf("oltp: writing checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("oltp: closing checkpoint: %w", err)
+		return 0, fmt.Errorf("oltp: closing checkpoint: %w", err)
 	}
 	if err := fs.Rename(tmp, final); err != nil {
-		return fmt.Errorf("oltp: publishing checkpoint: %w", err)
+		return 0, fmt.Errorf("oltp: publishing checkpoint: %w", err)
 	}
 	if err := fs.SyncDir(dir); err != nil {
-		return fmt.Errorf("oltp: syncing store dir: %w", err)
+		return 0, fmt.Errorf("oltp: syncing store dir: %w", err)
 	}
-	return nil
+	return written, nil
 }
 
 // loadCheckpoint restores committed state from checkpoint seq. Rows are
@@ -218,7 +222,8 @@ func (s *Store) checkpointLocked() error {
 		return s.failWalLocked(err)
 	}
 	s.wal = next
-	if err := s.writeCheckpoint(s.fs, s.dir, next.seq); err != nil {
+	ckptBytes, err := s.writeCheckpoint(s.fs, s.dir, next.seq)
+	if err != nil {
 		return s.failWalLocked(err)
 	}
 	// Best-effort cleanup: everything below the new checkpoint is garbage;
@@ -249,7 +254,14 @@ func (s *Store) checkpointLocked() error {
 		}
 	}
 	s.walSinceCkpt = 0
+	s.ckptCount++
+	s.ckptBytes = ckptBytes
 	metricCheckpoints.Inc()
+	metricCheckpointBytes.Set(float64(ckptBytes))
 	metricCheckpointSeconds.ObserveSince(start)
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("oltp: checkpoint %d written: %d rows, %d bytes in %s",
+			next.seq, len(s.rows), ckptBytes, time.Since(start).Round(time.Millisecond))
+	}
 	return nil
 }

@@ -29,6 +29,9 @@ var (
 		"ddgms_oltp_checkpoint_seconds",
 		"Time writing a checkpoint and sweeping old segments.",
 		nil)
+	metricCheckpointBytes = obs.Default().Gauge(
+		"ddgms_oltp_checkpoint_bytes",
+		"Size on disk of the most recent checkpoint.")
 	metricLockWaitSeconds = obs.Default().Histogram(
 		"ddgms_oltp_lock_wait_seconds",
 		"Time commits waited for the WAL lock.",

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -65,6 +66,9 @@ type Options struct {
 	// CheckpointBytes snapshots committed state and truncates old
 	// segments once the log grows past this size. Default 32 MiB.
 	CheckpointBytes int64
+	// Log, when set, receives one line per checkpoint with the snapshot's
+	// size on disk. Nil disables checkpoint logging.
+	Log *log.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +103,8 @@ type Store struct {
 	wal          *walWriter
 	walErr       error // sticky: a failed WAL write poisons the log
 	walSinceCkpt int64 // bytes appended since the last checkpoint
+	ckptCount    uint64
+	ckptBytes    int64 // size on disk of the last checkpoint written
 	closed       bool
 	dir          string
 	fs           faultfs.FS
@@ -520,6 +526,15 @@ func (s *Store) CommitStats() (commits uint64, lastCommitUnixNano int64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.commits, s.lastCommitNano
+}
+
+// CheckpointStats reports how many checkpoints the store has written and
+// the on-disk size of the newest one (0 before the first). The freshness
+// endpoint surfaces the size so operators can watch snapshot growth.
+func (s *Store) CheckpointStats() (checkpoints uint64, lastBytes int64) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.ckptCount, s.ckptBytes
 }
 
 // RetainWALFrom pins WAL segments at or above seq against checkpoint

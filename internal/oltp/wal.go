@@ -479,7 +479,7 @@ func (s *Store) migrateLegacy(fs faultfs.FS, dir string) error {
 	if err := s.replayLegacy(fs, filepath.Join(dir, legacyWALName)); err != nil {
 		return err
 	}
-	if err := s.writeCheckpoint(fs, dir, 1); err != nil {
+	if _, err := s.writeCheckpoint(fs, dir, 1); err != nil {
 		return fmt.Errorf("oltp: migrating legacy WAL: %w", err)
 	}
 	w, err := createSegment(fs, dir, 1)

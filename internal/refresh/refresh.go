@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -83,6 +84,9 @@ type Config struct {
 	PollInterval time.Duration
 	// Tracer, when set, records one trace per applied batch.
 	Tracer *obs.Tracer
+	// Log, when set, receives one line per resync with the serialised
+	// (dictionary-compressed) snapshot size. Nil disables resync logging.
+	Log *log.Logger
 	// OnRebuild is called whenever the maintainer installs a new engine
 	// (bootstrap, resync, compaction) so the serving layer can swap its
 	// pointers and re-register measures and member orders. It runs with
@@ -124,6 +128,7 @@ type Maintainer struct {
 	lastApplyNano  int64
 	compactions    uint64
 	resyncs        uint64
+	snapshotBytes  int64
 }
 
 // Freshness reports how far the warehouse trails the OLTP store. It is
@@ -145,6 +150,12 @@ type Freshness struct {
 	Resyncs            uint64  `json:"resyncs"`
 	LastApplyUnixNano  int64   `json:"last_apply_unix_nano"`
 	LastCommitUnixNano int64   `json:"last_commit_unix_nano"`
+	// SnapshotBytes is the serialised (binary v2, dictionary-compressed)
+	// size of the snapshot the warehouse last bootstrapped from.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// CheckpointBytes is the on-disk size of the store's most recent
+	// checkpoint, 0 before the first checkpoint.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
 }
 
 // New builds a Maintainer over a durable store and bootstraps the
@@ -220,6 +231,14 @@ func (m *Maintainer) resync() error {
 	if snap.LSN.IsZero() {
 		return oltp.ErrNoWAL
 	}
+	var cw countingWriter
+	if err := snap.Table.WriteBinary(&cw); err != nil {
+		return err
+	}
+	if m.cfg.Log != nil {
+		m.cfg.Log.Printf("refresh: resync snapshot: %d rows, %d bytes serialised at LSN %v",
+			snap.Table.Len(), cw.n, snap.LSN)
+	}
 	byPatient := make(map[value.Value]map[oltp.RowID]oltp.Row)
 	patientOf := make(map[oltp.RowID]value.Value, len(snap.IDs))
 	for i, id := range snap.IDs {
@@ -244,6 +263,7 @@ func (m *Maintainer) resync() error {
 	m.appliedCommits = snap.Commits
 	m.appliedEvents = 0
 	m.appliedLSN = snap.LSN
+	m.snapshotBytes = cw.n
 	m.lastApplyNano = time.Now().UnixNano()
 	if err := m.tailer.Reset(snap.LSN); err != nil {
 		return err
@@ -527,9 +547,19 @@ func (m *Maintainer) Run(ctx context.Context) error {
 // Cursor exposes the acknowledged CDC position (for tests and status).
 func (m *Maintainer) Cursor() oltp.WALCursor { return m.tailer.Cursor() }
 
+// countingWriter discards its input, keeping only the byte count — how
+// resync sizes the serialised snapshot without materialising it.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
 // Freshness reports warehouse staleness relative to the store.
 func (m *Maintainer) Freshness() Freshness {
 	commits, lastCommit := m.store.CommitStats()
+	_, ckptBytes := m.store.CheckpointStats()
 	durable, _ := m.store.DurableLSN() // zero cursor if the store closed under us
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -545,6 +575,8 @@ func (m *Maintainer) Freshness() Freshness {
 		Resyncs:            m.resyncs,
 		LastApplyUnixNano:  m.lastApplyNano,
 		LastCommitUnixNano: lastCommit,
+		SnapshotBytes:      m.snapshotBytes,
+		CheckpointBytes:    ckptBytes,
 	}
 	if commits > m.appliedCommits {
 		f.LagTx = commits - m.appliedCommits

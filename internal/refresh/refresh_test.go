@@ -434,6 +434,28 @@ func TestRefreshGapResync(t *testing.T) {
 	assertCaughtUpEquivalent(t, "after gap resync", env.m, env.store)
 }
 
+// TestRefreshFreshnessBytes checks the snapshot/checkpoint size fields
+// of the /freshness payload: a bootstrap populates snapshot_bytes, and a
+// store checkpoint populates checkpoint_bytes.
+func TestRefreshFreshnessBytes(t *testing.T) {
+	env := newInterleaveEnv(t, 47, 20, nil)
+	env.drain(t)
+	f := env.m.Freshness()
+	if f.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot_bytes = %d after bootstrap, want > 0", f.SnapshotBytes)
+	}
+	if f.CheckpointBytes != 0 {
+		t.Fatalf("checkpoint_bytes = %d before any checkpoint, want 0", f.CheckpointBytes)
+	}
+	if err := env.store.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	f = env.m.Freshness()
+	if f.CheckpointBytes <= 0 {
+		t.Fatalf("checkpoint_bytes = %d after checkpoint, want > 0", f.CheckpointBytes)
+	}
+}
+
 // TestRefreshFreshnessLag checks the /freshness payload arithmetic:
 // unapplied commits surface as transaction lag and draining clears it.
 func TestRefreshFreshnessLag(t *testing.T) {

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"github.com/ddgms/ddgms/internal/obs"
+	"github.com/ddgms/ddgms/internal/storage"
+	"github.com/ddgms/ddgms/internal/value"
 )
 
 const genderMDX = `
@@ -80,12 +82,27 @@ func TestDebugTraces(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint: the exposition must cover the server, exec, oltp
-// and etl families after ordinary traffic.
+// TestMetricsEndpoint: the exposition must cover the server, exec, oltp,
+// etl and storage families after ordinary traffic.
 func TestMetricsEndpoint(t *testing.T) {
 	ts := testServer(t)
 	if code := postJSON(t, ts.URL+"/query", queryRequest{MDX: genderMDX}, nil); code != http.StatusOK {
 		t.Fatalf("query status = %d", code)
+	}
+	// Build one dictionary so the column-encoding gauge families have a
+	// labeled sample, not just their TYPE headers.
+	sch, err := storage.NewSchema(storage.Field{Name: "G", Kind: value.StringKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.MustTable(sch)
+	for i := 0; i < 4; i++ {
+		if err := tbl.AppendRow([]value.Value{value.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.Dict("G"); err != nil {
+		t.Fatal(err)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -112,6 +129,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"ddgms_oltp_wal_fsyncs_total",
 		"# TYPE ddgms_etl_step_seconds histogram",
 		"ddgms_cube_queries_total",
+		"# TYPE ddgms_storage_column_encoding gauge",
+		"# TYPE ddgms_storage_column_bytes gauge",
+		`ddgms_storage_column_encoding{encoding=`,
+		`ddgms_storage_column_bytes{encoding=`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

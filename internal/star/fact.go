@@ -19,8 +19,10 @@ type FactTable struct {
 	// Tombstones for incremental maintenance: columnar storage cannot
 	// cheaply delete mid-table, so a superseded fact row (its OLTP source
 	// was updated or deleted) is retired in place and every query path
-	// masks it out. dead is allocated lazily on the first retirement.
-	dead  []bool
+	// masks it out. The live-mask is a word bitmap (bit set = retired) so
+	// query filters mask 64 rows per AND-NOT instead of one per branch;
+	// it is allocated lazily on the first retirement.
+	dead  []uint64
 	deadN int
 }
 
@@ -86,8 +88,8 @@ func (f *FactTable) Append(keys map[string]Key, measures []value.Value) error {
 	for name, i := range f.dimIdx {
 		f.keys[i] = append(f.keys[i], keys[name])
 	}
-	if f.dead != nil {
-		f.dead = append(f.dead, false)
+	if f.dead != nil && f.n>>6 >= len(f.dead) {
+		f.dead = append(f.dead, 0)
 	}
 	f.n++
 	return nil
@@ -102,10 +104,10 @@ func (f *FactTable) Retire(i int) error {
 		return fmt.Errorf("star: fact row %d out of range", i)
 	}
 	if f.dead == nil {
-		f.dead = make([]bool, f.n)
+		f.dead = make([]uint64, (f.n+63)/64)
 	}
-	if !f.dead[i] {
-		f.dead[i] = true
+	if f.dead[i>>6]&(1<<(uint(i)&63)) == 0 {
+		f.dead[i>>6] |= 1 << (uint(i) & 63)
 		f.deadN++
 	}
 	return nil
@@ -113,8 +115,15 @@ func (f *FactTable) Retire(i int) error {
 
 // Alive reports whether fact row i has not been retired.
 func (f *FactTable) Alive(i int) bool {
-	return f.dead == nil || i < 0 || i >= len(f.dead) || !f.dead[i]
+	return f.dead == nil || i < 0 || i>>6 >= len(f.dead) ||
+		f.dead[i>>6]&(1<<(uint(i)&63)) == 0
 }
+
+// DeadWords exposes the tombstone bitmap words (bit set = retired, 64
+// rows per word), nil when no row has ever been retired. Query layers
+// use it to mask out retired facts word-wise; callers must not mutate
+// it.
+func (f *FactTable) DeadWords() []uint64 { return f.dead }
 
 // LiveLen reports the number of non-retired fact rows.
 func (f *FactTable) LiveLen() int { return f.n - f.deadN }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 
 	"github.com/ddgms/ddgms/internal/value"
 )
@@ -13,7 +14,7 @@ import (
 // Binary persistence format, little-endian with varint lengths:
 //
 //	magic   "DDGT" (4 bytes)
-//	version uvarint (currently 1)
+//	version uvarint (currently 2; version 1 is still readable)
 //	nfields uvarint
 //	fields  nfields × { name: uvarint len + bytes, kind: 1 byte }
 //	nrows   uvarint
@@ -25,10 +26,17 @@ import (
 //	values, valid rows only, by kind:
 //	  int/bool/time: zig-zag varint
 //	  float:         8-byte IEEE-754 bits
-//	  string:        uvarint len + bytes
+//	  string (v1):   uvarint len + bytes
+//	  string (v2):   dictionary-compressed — snapshots carry the same
+//	    dictionary + packed-code shape the execution kernels operate on:
+//	      ndict   uvarint   distinct strings, first-appearance order
+//	      dict    ndict × { uvarint len + bytes }
+//	      width   1 byte    bits per code, ceil(log2(ndict)); 0 when ndict <= 1
+//	      codes   ceil(nvalid*width/8) bytes, LSB-first continuous bitstream
 const (
-	binaryMagic   = "DDGT"
-	binaryVersion = 1
+	binaryMagic    = "DDGT"
+	binaryVersion  = 2
+	binaryVersion1 = 1
 )
 
 // WriteBinary serialises the table to the compact binary format.
@@ -66,6 +74,9 @@ func writeColumn(bw *bufio.Writer, c Column, n int) error {
 	if _, err := bw.Write(bitmap); err != nil {
 		return err
 	}
+	if c.Kind() == value.StringKind {
+		return writePackedStrings(bw, c, n)
+	}
 	for i := 0; i < n; i++ {
 		if c.IsNA(i) {
 			continue
@@ -88,13 +99,67 @@ func writeColumn(bw *bufio.Writer, c Column, n int) error {
 			if _, err := bw.Write(buf[:]); err != nil {
 				return err
 			}
-		case value.StringKind:
-			writeString(bw, v.Str())
 		default:
 			return fmt.Errorf("unsupported kind %v", c.Kind())
 		}
 	}
 	return nil
+}
+
+// writePackedStrings emits the v2 string payload: the dictionary once, in
+// first-appearance order, then the valid rows as a bit-packed code stream
+// at ceil(log2(ndict)) bits per code.
+func writePackedStrings(bw *bufio.Writer, c Column, n int) error {
+	index := make(map[string]uint32)
+	var dict []string
+	codes := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		if c.IsNA(i) {
+			continue
+		}
+		s := c.Value(i).Str()
+		code, ok := index[s]
+		if !ok {
+			code = uint32(len(dict))
+			dict = append(dict, s)
+			index[s] = code
+		}
+		codes = append(codes, code)
+	}
+	writeUvarint(bw, uint64(len(dict)))
+	for _, s := range dict {
+		writeString(bw, s)
+	}
+	width := packedStringWidth(len(dict))
+	if err := bw.WriteByte(byte(width)); err != nil {
+		return err
+	}
+	var acc uint64
+	var nb uint
+	for _, code := range codes {
+		acc |= uint64(code) << nb
+		nb += width
+		for nb >= 8 {
+			if err := bw.WriteByte(byte(acc)); err != nil {
+				return err
+			}
+			acc >>= 8
+			nb -= 8
+		}
+	}
+	if nb > 0 {
+		return bw.WriteByte(byte(acc))
+	}
+	return nil
+}
+
+// packedStringWidth is the bit width of a v2 string code: enough bits to
+// address the dictionary, zero when one entry (or none) makes every code 0.
+func packedStringWidth(ndict int) uint {
+	if ndict <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(ndict - 1)))
 }
 
 // ReadBinary deserialises a table previously written with WriteBinary.
@@ -111,7 +176,7 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading version: %w", err)
 	}
-	if ver != binaryVersion {
+	if ver != binaryVersion && ver != binaryVersion1 {
 		return nil, fmt.Errorf("storage: unsupported version %d", ver)
 	}
 	nf, err := binary.ReadUvarint(br)
@@ -141,7 +206,7 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	t := MustTable(schema)
 	cols := make([][]value.Value, nf)
 	for j := range cols {
-		col, err := readColumn(br, fields[j].Kind, int(nrows))
+		col, err := readColumn(br, fields[j].Kind, int(nrows), ver)
 		if err != nil {
 			return nil, fmt.Errorf("storage: reading column %q: %w", fields[j].Name, err)
 		}
@@ -159,10 +224,13 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-func readColumn(br *bufio.Reader, k value.Kind, n int) ([]value.Value, error) {
+func readColumn(br *bufio.Reader, k value.Kind, n int, ver uint64) ([]value.Value, error) {
 	bitmap := make([]byte, (n+7)/8)
 	if _, err := io.ReadFull(br, bitmap); err != nil {
 		return nil, fmt.Errorf("reading validity bitmap: %w", err)
+	}
+	if k == value.StringKind && ver >= 2 {
+		return readPackedStrings(br, bitmap, n)
 	}
 	out := make([]value.Value, n)
 	for i := 0; i < n; i++ {
@@ -204,6 +272,71 @@ func readColumn(br *bufio.Reader, k value.Kind, n int) ([]value.Value, error) {
 		default:
 			return nil, fmt.Errorf("unsupported kind %v", k)
 		}
+	}
+	return out, nil
+}
+
+// readPackedStrings decodes the v2 string payload back to per-row values.
+// The validity bitmap fixes how many codes the packed stream holds.
+func readPackedStrings(br *bufio.Reader, bitmap []byte, n int) ([]value.Value, error) {
+	ndict, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading string dictionary size: %w", err)
+	}
+	if ndict > uint64(n) {
+		return nil, fmt.Errorf("string dictionary size %d exceeds row count %d", ndict, n)
+	}
+	dict := make([]value.Value, ndict)
+	for c := range dict {
+		s, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading string dictionary entry %d: %w", c, err)
+		}
+		dict[c] = value.Str(s)
+	}
+	wb, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("reading string code width: %w", err)
+	}
+	width := uint(wb)
+	if width != packedStringWidth(int(ndict)) {
+		return nil, fmt.Errorf("string code width %d does not match dictionary size %d", width, ndict)
+	}
+	nvalid := 0
+	for i := 0; i < n; i++ {
+		if bitmap[i>>3]&(1<<(uint(i)&7)) != 0 {
+			nvalid++
+		}
+	}
+	if nvalid > 0 && ndict == 0 {
+		return nil, fmt.Errorf("%d valid rows but empty string dictionary", nvalid)
+	}
+	packed := make([]byte, (nvalid*int(width)+7)/8)
+	if _, err := io.ReadFull(br, packed); err != nil {
+		return nil, fmt.Errorf("reading packed string codes: %w", err)
+	}
+	out := make([]value.Value, n)
+	var acc uint64
+	var nb uint
+	next := 0
+	mask := uint64(1)<<width - 1
+	for i := 0; i < n; i++ {
+		if bitmap[i>>3]&(1<<(uint(i)&7)) == 0 {
+			out[i] = value.NA()
+			continue
+		}
+		for nb < width {
+			acc |= uint64(packed[next]) << nb
+			next++
+			nb += 8
+		}
+		code := acc & mask
+		acc >>= width
+		nb -= width
+		if code >= ndict {
+			return nil, fmt.Errorf("string code %d out of range (dictionary size %d)", code, ndict)
+		}
+		out[i] = dict[code]
 	}
 	return out, nil
 }

@@ -26,12 +26,13 @@ type Column interface {
 	// Set replaces row i. NA is always accepted; otherwise kinds must
 	// match.
 	Set(i int, v value.Value) error
-	// Dict returns the dictionary-encoded view of the column: one code
-	// per row plus the code -> value reverse table, with NA pinned to
-	// code 0. The view is built lazily, cached, and invalidated by
-	// Append/Set; the returned snapshot is immutable, so concurrent
-	// readers may hold it across later mutations.
-	Dict() *exec.CodedColumn
+	// Dict returns the dictionary-encoded view of the column: a per-row
+	// code vector (flat, bit-packed or RLE, chosen by column stats) plus
+	// the code -> value reverse table, with NA pinned to code 0. The view
+	// is built lazily, cached, and invalidated by Append/Set; the
+	// returned snapshot is immutable, so concurrent readers may hold it
+	// across later mutations.
+	Dict() exec.CodedColumn
 }
 
 // dictCache memoises a column's coded view. The mutex makes concurrent
@@ -40,18 +41,19 @@ type Column interface {
 // single-goroutine, so invalidate simply clears the pointer.
 type dictCache struct {
 	mu   sync.Mutex
-	dict *exec.CodedColumn
+	dict exec.CodedColumn
 }
 
 // dictHit / dictMiss are resolved once; each lookup pays one atomic.
 var dictHit, dictMiss = exec.DictLookupCounters("storage")
 
-func (d *dictCache) get(build func() *exec.CodedColumn) *exec.CodedColumn {
+func (d *dictCache) get(build func() exec.CodedColumn) exec.CodedColumn {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dict == nil {
 		dictMiss.Inc()
 		d.dict = build()
+		noteDictBuilt(d.dict.Encoding().String(), d.dict.CodeBytes())
 	} else {
 		dictHit.Inc()
 	}
@@ -60,7 +62,10 @@ func (d *dictCache) get(build func() *exec.CodedColumn) *exec.CodedColumn {
 
 func (d *dictCache) invalidate() {
 	d.mu.Lock()
-	d.dict = nil
+	if d.dict != nil {
+		noteDictDropped(d.dict.Encoding().String(), d.dict.CodeBytes())
+		d.dict = nil
+	}
 	d.mu.Unlock()
 }
 
@@ -148,9 +153,22 @@ func (c *intColumn) Append(v value.Value) error {
 	return nil
 }
 
-func (c *intColumn) Dict() *exec.CodedColumn {
-	return c.dc.get(func() *exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
+func (c *intColumn) Dict() exec.CodedColumn {
+	return c.dc.get(func() exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
 }
+
+// FloatAt reads row i as a float without materialising a value.Value.
+// Only meaningful when AllFloat reports true.
+func (c *intColumn) FloatAt(i int) (float64, bool) {
+	if !c.nulls.valid(i) {
+		return 0, false
+	}
+	return float64(c.data[i]), true
+}
+
+// AllFloat reports whether the payload is float-coercible: ints and
+// bools are (bool stores 0/1), times are not.
+func (c *intColumn) AllFloat() bool { return c.kind != value.TimeKind }
 
 func (c *intColumn) Set(i int, v value.Value) error {
 	c.dc.invalidate()
@@ -202,9 +220,20 @@ func (c *floatColumn) Value(i int) value.Value {
 	return value.Float(c.data[i])
 }
 
-func (c *floatColumn) Dict() *exec.CodedColumn {
-	return c.dc.get(func() *exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
+func (c *floatColumn) Dict() exec.CodedColumn {
+	return c.dc.get(func() exec.CodedColumn { return exec.EncodeFunc(c.Len(), c.Value) })
 }
+
+// FloatAt reads row i as a float without materialising a value.Value.
+func (c *floatColumn) FloatAt(i int) (float64, bool) {
+	if !c.nulls.valid(i) {
+		return 0, false
+	}
+	return c.data[i], true
+}
+
+// AllFloat reports that every non-NA row is a float.
+func (c *floatColumn) AllFloat() bool { return true }
 
 func (c *floatColumn) Append(v value.Value) error {
 	c.dc.invalidate()
@@ -276,22 +305,20 @@ func (c *stringColumn) code(s string) uint32 {
 // Dict shifts the column's existing string dictionary by one to make
 // room for the pinned NA code — no per-row hashing, unlike the generic
 // encode path.
-func (c *stringColumn) Dict() *exec.CodedColumn {
-	return c.dc.get(func() *exec.CodedColumn {
-		cc := &exec.CodedColumn{
-			Codes:  make([]uint32, len(c.codes)),
-			Values: make([]value.Value, len(c.dict)+1),
-		}
-		cc.Values[exec.NACode] = value.NA()
+func (c *stringColumn) Dict() exec.CodedColumn {
+	return c.dc.get(func() exec.CodedColumn {
+		codes := make([]uint32, len(c.codes))
+		values := make([]value.Value, len(c.dict)+1)
+		values[exec.NACode] = value.NA()
 		for code, s := range c.dict {
-			cc.Values[code+1] = value.Str(s)
+			values[code+1] = value.Str(s)
 		}
 		for i, code := range c.codes {
 			if c.nulls.valid(i) {
-				cc.Codes[i] = code + 1
+				codes[i] = code + 1
 			}
 		}
-		return cc
+		return exec.NewCodedColumn(codes, values)
 	})
 }
 

@@ -33,8 +33,8 @@ func TestDictRoundTripAllKinds(t *testing.T) {
 		if dict.Len() != tbl.Len() {
 			t.Fatalf("%s: dict len %d, want %d", name, dict.Len(), tbl.Len())
 		}
-		if !dict.Values[exec.NACode].IsNA() {
-			t.Fatalf("%s: code 0 decodes to %v, want NA", name, dict.Values[0])
+		if !dict.Values()[exec.NACode].IsNA() {
+			t.Fatalf("%s: code 0 decodes to %v, want NA", name, dict.Values()[0])
 		}
 		for i := range rows {
 			if !dict.Value(i).Equal(rows[i][j]) {
@@ -42,11 +42,11 @@ func TestDictRoundTripAllKinds(t *testing.T) {
 			}
 		}
 		// Rows 0 and 3 hold equal values, so they must share a code.
-		if dict.Codes[0] != dict.Codes[3] {
-			t.Errorf("%s: equal values got codes %d and %d", name, dict.Codes[0], dict.Codes[3])
+		if dict.Code(0) != dict.Code(3) {
+			t.Errorf("%s: equal values got codes %d and %d", name, dict.Code(0), dict.Code(3))
 		}
-		if dict.Codes[1] != exec.NACode {
-			t.Errorf("%s: NA row coded %d, want %d", name, dict.Codes[1], exec.NACode)
+		if dict.Code(1) != exec.NACode {
+			t.Errorf("%s: NA row coded %d, want %d", name, dict.Code(1), exec.NACode)
 		}
 	}
 }
@@ -87,7 +87,7 @@ func TestDictCachedAndInvalidated(t *testing.T) {
 	if d4 == d3 {
 		t.Fatal("Set did not invalidate the dictionary cache")
 	}
-	if d4.Codes[0] != exec.NACode {
-		t.Fatalf("row 0 coded %d after Set(NA), want %d", d4.Codes[0], exec.NACode)
+	if d4.Code(0) != exec.NACode {
+		t.Fatalf("row 0 coded %d after Set(NA), want %d", d4.Code(0), exec.NACode)
 	}
 }

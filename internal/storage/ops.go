@@ -167,7 +167,7 @@ func (t *Table) GroupByFiltered(keys []string, aggs []AggSpec, pred RowPredicate
 	}
 	in := exec.GroupInput{
 		NumRows: t.n,
-		Keys:    make([]*exec.CodedColumn, len(keys)),
+		Keys:    make([]exec.CodedColumn, len(keys)),
 		Aggs:    make([]exec.AggInput, len(aggs)),
 	}
 	for k, j := range keyIdx {
@@ -184,6 +184,13 @@ func (t *Table) GroupByFiltered(keys []string, aggs []AggSpec, pred RowPredicate
 		j, ok := t.schema.Lookup(a.Column)
 		if !ok {
 			return nil, fmt.Errorf("storage: unknown aggregate column %q", a.Column)
+		}
+		if a.Kind == DistinctAgg {
+			// Distinct aggregates read the coded view, so the dense
+			// kernel can count distinct dictionary codes in bitsets
+			// instead of materialising per-group Seen maps.
+			in.Aggs[k].Measure = t.cols[j].Dict()
+			continue
 		}
 		in.Aggs[k].Measure = t.cols[j]
 	}

@@ -132,7 +132,7 @@ func (t *Table) ColumnAt(j int) Column { return t.cols[j] }
 
 // Dict returns the cached dictionary-encoded view of the named column
 // (see Column.Dict).
-func (t *Table) Dict(name string) (*exec.CodedColumn, error) {
+func (t *Table) Dict(name string) (exec.CodedColumn, error) {
 	c, err := t.Column(name)
 	if err != nil {
 		return nil, err

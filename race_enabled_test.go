@@ -1,0 +1,7 @@
+//go:build race
+
+package ddgms_test
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// accounting is not stable under it.
+const raceEnabled = true

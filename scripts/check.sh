@@ -25,6 +25,18 @@ echo "== refresh-equivalence soak (randomized commit/refresh interleavings, -cou
 go test -race -run 'TestRefresh' -count=2 ./internal/refresh/
 go test -race -run 'TestTailWAL|TestTailer' ./internal/oltp/ ./internal/cdc/
 
+echo "== refresh-equivalence soak per column encoding (flat/packed/rle forced)"
+for enc in flat packed rle; do
+	echo "   -- DDGMS_FORCE_ENCODING=$enc"
+	DDGMS_FORCE_ENCODING=$enc go test -race -run 'TestRefresh' ./internal/refresh/
+done
+
+echo "== encoding equivalence battery (coded kernels vs scalar oracle)"
+go test -race -run 'TestEncodingEquivalence|Fuzz' ./internal/exec/
+
+echo "== allocation regression gate (arena kernel, no race detector)"
+go test -run 'TestGroupByCodedAllocBudget|TestEncodedColumnBytesReduction' .
+
 echo "== governance suite (cancellation, admission, budgets, breaker)"
 go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \
 	./internal/exec/ ./internal/govern/ ./internal/server/ ./internal/refresh/
