@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -337,19 +338,50 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data", "", "OLTP store directory (required with -follow; seeded with a synthetic cohort when empty)")
 	patients := fs.Int("patients", 900, "cohort size used to seed an empty -follow store")
 	simulate := fs.Duration("simulate", 0, "with -follow, commit one synthetic follow-up attendance per interval (0 disables)")
+	replListen := fs.String("replicate-listen", "", "with -follow, also ship the WAL to followers on this address")
+	replFrom := fs.String("replicate-from", "", "run as a read replica of the primary's -replicate-listen address (implies follow mode; requires -data)")
+	replicaID := fs.String("replica-id", "", "stable follower identity at the primary (required with -replicate-from)")
+	replMaxLag := fs.Uint64("repl-max-lag-segments", 0, "with -replicate-listen, evict followers lagging more than this many WAL segments (0 = default)")
 	fs.Parse(args)
+	if *replFrom != "" && *follow {
+		return fmt.Errorf("-replicate-from implies follow mode; drop -follow")
+	}
+	if *replFrom != "" && *simulate > 0 {
+		return fmt.Errorf("-simulate needs local writes, which a replica refuses")
+	}
+	if *replListen != "" && !*follow {
+		return fmt.Errorf("-replicate-listen requires -follow (the WAL to ship lives in the durable store)")
+	}
+	following := *follow || *replFrom != ""
 	var p *core.Platform
 	var breaker *govern.Breaker
 	var err error
-	if *follow {
+	switch {
+	case *replFrom != "":
+		p, breaker, err = replicaPlatform(*dataDir, *replFrom, *replicaID)
+	case *follow:
 		p, breaker, err = followPlatform(*dataDir, *patients)
-	} else {
+	default:
 		p, err = platformFromFlat(*in)
 	}
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+	if *replListen != "" {
+		ln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			return fmt.Errorf("replication listener: %w", err)
+		}
+		if err := p.AttachPrimary(core.ReplicateListenConfig{
+			Listener:       ln,
+			MaxLagSegments: *replMaxLag,
+		}); err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Printf("shipping WAL to followers on %s\n", ln.Addr())
+	}
 
 	srvOpts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
 	if *maxConcurrent > 0 {
@@ -389,7 +421,7 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *follow {
+	if following {
 		go func() {
 			if err := p.RunFollow(ctx); err != nil && !errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "follow loop: %v\n", err)
@@ -403,8 +435,11 @@ func cmdServe(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	endpoints := "/healthz /schema /query /findings /metrics /debug/traces"
-	if *follow {
+	if following {
 		endpoints += " /freshness"
+	}
+	if *replListen != "" || *replFrom != "" {
+		endpoints += " /replication"
 	}
 	if *pprofOn {
 		endpoints += " /debug/pprof/"
@@ -465,6 +500,60 @@ func followPlatform(dataDir string, patients int) (*core.Platform, *govern.Break
 	} else {
 		fmt.Printf("reopened store with %d attendances\n", p.Store().Len())
 	}
+	breaker := govern.NewBreaker(govern.BreakerConfig{
+		Name:   "oltp",
+		Health: p.Store().Healthy,
+	})
+	if err := p.StartFollow(core.FollowConfig{
+		Pipeline:  core.NewDiScRiPipeline(),
+		Builder:   core.NewDiScRiBuilder(),
+		CursorDir: filepath.Join(dataDir, "cdc"),
+		Setup:     core.FinishDiScRiSetup,
+		Breaker:   breaker,
+		Log:       log.Default(),
+	}); err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	return p, breaker, nil
+}
+
+// replicaPlatform stands a platform up as a read replica: open the
+// durable store (created empty on first run — the primary's stream
+// fills it), connect the WAL-shipping follower, wait for the initial
+// sync so the warehouse does not bootstrap over an empty store, then
+// start the same CDC-driven maintainer follow mode uses. Local writes
+// are refused for the process lifetime; the replica serves reads only.
+func replicaPlatform(dataDir, primaryAddr, replicaID string) (*core.Platform, *govern.Breaker, error) {
+	if dataDir == "" {
+		return nil, nil, fmt.Errorf("-replicate-from requires -data DIR")
+	}
+	if replicaID == "" {
+		return nil, nil, fmt.Errorf("-replicate-from requires -replica-id (a stable name; it keys WAL retention at the primary)")
+	}
+	// The store needs the cohort schema up front; the rows come from the
+	// primary.
+	cfg := discri.DefaultConfig()
+	cfg.Patients = 1
+	raw, err := discri.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.New(core.Config{DataDir: dataDir, Log: log.Default()})
+	if err := p.OpenStore(raw.Schema()); err != nil {
+		return nil, nil, err
+	}
+	if err := p.AttachReplica(core.ReplicateFromConfig{
+		PrimaryAddr: primaryAddr,
+		ID:          replicaID,
+		CursorDir:   filepath.Join(dataDir, "repl"),
+	}); err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	fmt.Printf("replica %q syncing from %s...\n", replicaID, primaryAddr)
+	<-p.ReplicaReady()
+	fmt.Printf("synced: %d attendances\n", p.Store().Len())
 	breaker := govern.NewBreaker(govern.BreakerConfig{
 		Name:   "oltp",
 		Health: p.Store().Healthy,

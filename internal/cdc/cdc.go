@@ -114,6 +114,18 @@ func New(store *oltp.Store, opts Options) (t *Tailer, resumed bool, err error) {
 // Cursor returns the current acknowledged position.
 func (t *Tailer) Cursor() oltp.WALCursor { return t.cur }
 
+// PinAtDurable pins the tailer's WAL retention at the store's current
+// durable LSN, atomically under the WAL lock, and returns that cursor.
+// A consumer about to cut a resync snapshot calls this FIRST: reading
+// the durable LSN and pinning it as two separate steps leaves a window
+// where a checkpoint sweeps the snapshot's position before the pin
+// lands, sending the very resync that was meant to heal a gap straight
+// into the next gap. The snapshot's LSN can only be at or above the
+// pinned cursor, so after the snapshot Reset simply moves the pin up.
+func (t *Tailer) PinAtDurable() (oltp.WALCursor, error) {
+	return t.store.PinWALAtDurable(oltp.TailerPin)
+}
+
 // Reset moves the cursor (typically to a snapshot's LSN after a resync)
 // and persists it immediately.
 func (t *Tailer) Reset(c oltp.WALCursor) error {

@@ -364,3 +364,122 @@ func TestTailerCursorCrashSweep(t *testing.T) {
 		}
 	}
 }
+
+// countFS wraps a faultfs.FS and counts Create calls — every cursor
+// save starts with Create on the tmp file, so the count exposes
+// whether Ack rewrote the cursor.
+type countFS struct {
+	faultfs.FS
+	creates int
+}
+
+func (c *countFS) Create(path string) (faultfs.File, error) {
+	c.creates++
+	return c.FS.Create(path)
+}
+
+// TestAckAfterResetIsNoOp is the regression test for the Reset
+// protocol: after Reset moved the cursor (persisting it once), an Ack
+// with no intervening Poll — or with a Poll that found nothing new —
+// must not touch the cursor file. A rewrite here would both waste an
+// fsync round per idle loop and, worse, could clobber a concurrent
+// resync's cursor with a stale staged one.
+func TestAckAfterResetIsNoOp(t *testing.T) {
+	store := openStore(t, t.TempDir())
+	commitN(t, store, 0, 12)
+
+	cfs := &countFS{FS: faultfs.OS{}}
+	tailer, _, err := New(store, Options{Dir: t.TempDir(), FS: cfs, MaxBatchTx: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tailer.Close()
+
+	// Stage a batch, then Reset to the durable end (simulating a resync
+	// that superseded the staged batch).
+	if _, err := tailer.Poll(); err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	end, err := store.DurableLSN()
+	if err != nil {
+		t.Fatalf("DurableLSN: %v", err)
+	}
+	if err := tailer.Reset(end); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	base := cfs.creates
+
+	// Ack of the pre-Reset staged batch: must be a no-op.
+	if err := tailer.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if tailer.Cursor() != end {
+		t.Fatalf("Ack moved cursor off the reset point: %s != %s", tailer.Cursor(), end)
+	}
+	if cfs.creates != base {
+		t.Fatalf("Ack after Reset rewrote the cursor file (%d new writes)", cfs.creates-base)
+	}
+
+	// Poll with nothing new stages an unmoved cursor; Ack must still
+	// skip the save.
+	txs, err := tailer.Poll()
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if len(txs) != 0 {
+		t.Fatalf("expected caught-up Poll, got %d txs", len(txs))
+	}
+	if err := tailer.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if cfs.creates != base {
+		t.Fatalf("Ack with unmoved cursor rewrote the cursor file (%d new writes)", cfs.creates-base)
+	}
+
+	// Control: a real advance does save exactly once.
+	commitN(t, store, 100, 3)
+	if _, err := tailer.Poll(); err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if err := tailer.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if cfs.creates != base+1 {
+		t.Fatalf("advancing Ack wrote %d times, want 1", cfs.creates-base)
+	}
+}
+
+// TestResyncPinCloseRace drives the PinAtDurable discipline: pinning at
+// the durable LSN and snapshotting afterwards must yield a tailable
+// position even while a committer forces checkpoint truncations.
+func TestResyncPinClosesSnapshotRace(t *testing.T) {
+	store := openStore(t, t.TempDir())
+	commitN(t, store, 0, 8)
+	tailer, _, err := New(store, Options{Dir: t.TempDir(), MaxBatchTx: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tailer.Close()
+
+	for i := 0; i < 40; i++ {
+		if _, err := tailer.PinAtDurable(); err != nil {
+			t.Fatalf("PinAtDurable: %v", err)
+		}
+		snap, err := store.SnapshotWithLSN()
+		if err != nil {
+			t.Fatalf("SnapshotWithLSN: %v", err)
+		}
+		// Force checkpoint pressure between pin and reset.
+		commitN(t, store, 1000+i*10, 5)
+		if err := store.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		if err := tailer.Reset(snap.LSN); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		if _, err := tailer.Poll(); err != nil {
+			t.Fatalf("Poll after pinned resync hit a gap: %v", err)
+		}
+		tailer.Ack()
+	}
+}

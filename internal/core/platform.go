@@ -23,6 +23,7 @@ import (
 	"github.com/ddgms/ddgms/internal/optimize"
 	"github.com/ddgms/ddgms/internal/predict"
 	"github.com/ddgms/ddgms/internal/refresh"
+	"github.com/ddgms/ddgms/internal/repl"
 	"github.com/ddgms/ddgms/internal/star"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -60,6 +61,12 @@ type Platform struct {
 	// follower is non-nil in follow mode (see follow.go); it owns the
 	// lock that keeps queries out of half-applied refresh batches.
 	follower *refresh.Maintainer
+
+	// Exactly one of these is non-nil when replication is attached
+	// (see replicate.go): primaries ship their WAL, replicas apply a
+	// primary's stream into the local store.
+	replPrimary  *repl.Primary
+	replFollower *repl.Follower
 }
 
 // New creates an empty platform.
@@ -71,9 +78,10 @@ func New(cfg Config) *Platform {
 }
 
 // Close releases the OLTP store, if one was opened, and detaches any
-// follower.
+// follower and replication role.
 func (p *Platform) Close() error {
 	p.StopFollow()
+	p.StopReplication()
 	if p.store == nil {
 		return nil
 	}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/repl"
+)
+
+// Replication roles on top of follow mode. A primary platform serves
+// queries AND ships its WAL to followers; a replica platform applies
+// the shipped stream into its own local store, which follow mode then
+// consumes exactly as if the writes were local — the replica answers
+// /query at full speed from its own warehouse while refusing local
+// writes.
+
+// ReplicateListenConfig parameterises AttachPrimary.
+type ReplicateListenConfig struct {
+	// Listener accepts follower connections; required.
+	Listener net.Listener
+	// MaxLagSegments evicts followers beyond this WAL-segment lag
+	// (repl.PrimaryConfig). 0 means the repl default.
+	MaxLagSegments uint64
+	// HeartbeatEvery overrides the heartbeat cadence; 0 means default.
+	HeartbeatEvery time.Duration
+}
+
+// AttachPrimary starts shipping this platform's WAL to followers. The
+// store must be durable.
+func (p *Platform) AttachPrimary(cfg ReplicateListenConfig) error {
+	if p.store == nil {
+		return fmt.Errorf("core: no store to replicate")
+	}
+	if p.replPrimary != nil || p.replFollower != nil {
+		return fmt.Errorf("core: replication already attached")
+	}
+	pr, err := repl.StartPrimary(repl.PrimaryConfig{
+		Store:          p.store,
+		Listener:       cfg.Listener,
+		MaxLagSegments: cfg.MaxLagSegments,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		Log:            p.cfg.Log,
+	})
+	if err != nil {
+		return fmt.Errorf("core: starting replication primary: %w", err)
+	}
+	p.replPrimary = pr
+	return nil
+}
+
+// ReplicateFromConfig parameterises AttachReplica.
+type ReplicateFromConfig struct {
+	// PrimaryAddr is the primary's replication listener; required.
+	PrimaryAddr string
+	// ID is this replica's stable identity at the primary; required.
+	ID string
+	// CursorDir persists the replication cursor; empty keeps it in
+	// memory (every restart re-bootstraps).
+	CursorDir string
+	// HeartbeatTimeout overrides the staleness teardown; 0 means the
+	// repl default.
+	HeartbeatTimeout time.Duration
+}
+
+// AttachReplica connects this platform's store to a primary and applies
+// the shipped stream. The store is switched into replica mode: local
+// commits are refused for the follower's lifetime. Callers typically
+// wait on ReplicaReady before StartFollow so the warehouse does not
+// bootstrap from an empty store.
+func (p *Platform) AttachReplica(cfg ReplicateFromConfig) error {
+	if p.store == nil {
+		return fmt.Errorf("core: no store to replicate into")
+	}
+	if p.replPrimary != nil || p.replFollower != nil {
+		return fmt.Errorf("core: replication already attached")
+	}
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Store:            p.store,
+		Dir:              cfg.CursorDir,
+		PrimaryAddr:      cfg.PrimaryAddr,
+		ID:               cfg.ID,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Log:              p.cfg.Log,
+	})
+	if err != nil {
+		return fmt.Errorf("core: starting replication follower: %w", err)
+	}
+	p.replFollower = f
+	return nil
+}
+
+// ReplicaReady exposes the follower's caught-up signal (nil when not a
+// replica): closed once the local store first reflects the primary as
+// of some recent LSN.
+func (p *Platform) ReplicaReady() <-chan struct{} {
+	if p.replFollower == nil {
+		return nil
+	}
+	return p.replFollower.Ready()
+}
+
+// Replication reports replication health for the /replication
+// endpoint; ok is false when neither role is attached.
+func (p *Platform) Replication() (repl.Status, bool) {
+	switch {
+	case p.replPrimary != nil:
+		return p.replPrimary.Status(), true
+	case p.replFollower != nil:
+		return p.replFollower.Status(), true
+	default:
+		return repl.Status{}, false
+	}
+}
+
+// StopReplication detaches either role. Safe to call when none is
+// attached.
+func (p *Platform) StopReplication() {
+	if p.replPrimary != nil {
+		p.replPrimary.Close()
+		p.replPrimary = nil
+	}
+	if p.replFollower != nil {
+		p.replFollower.Close()
+		p.replFollower = nil
+	}
+}

@@ -1,0 +1,230 @@
+// Package faultnet is faultfs for the network: an injectable net.Conn
+// wrapper for deterministic fault testing of wire protocols. Every Read
+// and Write through a wrapped connection is numbered in execution order
+// across all connections sharing a Fault, and the fault can be armed to
+// fire at exactly the N-th such operation:
+//
+//   - Drop closes the connection mid-protocol, as if the peer vanished;
+//     later operations on that conn fail with the usual closed-conn
+//     errors, while a freshly dialed conn works again (a reconnecting
+//     receiver must recover).
+//   - Partial lets a prefix of the failing write (or read) through and
+//     then closes, simulating a torn frame on the wire.
+//   - Corrupt flips one bit in the payload of the N-th operation and
+//     otherwise proceeds — the bytes arrive, but wrong. One-shot.
+//   - Stall blocks the N-th operation for a configured duration before
+//     letting it through, long enough to trip heartbeat timeouts.
+//
+// The receiver-side replication protocol must turn every one of these
+// into a clean teardown-and-reconnect, never corruption or a hang; the
+// repl fault sweep drives one scripted fault per injection point exactly
+// like the oltp crash sweep drives faultfs.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is returned by operations at and after a Drop or Partial
+// injection point.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Mode selects what the armed operation does.
+type Mode int
+
+const (
+	// Drop closes the connection instead of performing the operation.
+	Drop Mode = 1 + iota
+	// Partial performs a prefix of the operation, then closes.
+	Partial
+	// Corrupt flips one bit in the operation's payload and proceeds.
+	Corrupt
+	// Stall sleeps before performing the operation normally.
+	Stall
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Drop:
+		return "drop"
+	case Partial:
+		return "partial"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	default:
+		return "none"
+	}
+}
+
+// Fault numbers I/O operations across the connections it wraps and
+// injects at most one scripted fault. The zero value injects nothing.
+type Fault struct {
+	mu    sync.Mutex
+	ops   uint64
+	armAt uint64
+	mode  Mode
+	fired bool
+	frac  float64
+	stall time.Duration
+}
+
+// New returns an unarmed Fault with a 0.5 partial-write fraction and a
+// 150ms stall.
+func New() *Fault {
+	return &Fault{frac: 0.5, stall: 150 * time.Millisecond}
+}
+
+// ArmAt schedules mode to fire at the n-th (1-based) Read or Write
+// performed through connections wrapped by this fault.
+func (f *Fault) ArmAt(n uint64, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armAt, f.mode = n, mode
+}
+
+// SetFrac sets the fraction of a Partial operation that gets through.
+func (f *Fault) SetFrac(frac float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frac = frac
+}
+
+// SetStall sets how long a Stall operation blocks.
+func (f *Fault) SetStall(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stall = d
+}
+
+// Ops reports how many operations have executed so far; a test runs the
+// protocol once fault-free to learn the sweep range.
+func (f *Fault) Ops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports whether the armed fault has gone off.
+func (f *Fault) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step numbers one operation and decides its fate. Faults are one-shot:
+// the receiver under test must recover on a fresh connection, so only
+// the armed operation itself is sabotaged (a dropped conn keeps failing
+// afterwards simply because it is closed).
+func (f *Fault) step() (inject bool, mode Mode, frac float64, stall time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.armAt != 0 && f.ops == f.armAt {
+		f.armAt = 0
+		f.fired = true
+		return true, f.mode, f.frac, f.stall
+	}
+	return false, 0, 0, 0
+}
+
+// Conn wraps c so its Reads and Writes pass through the fault.
+// Deadlines and addresses pass through untouched.
+func (f *Fault) Conn(c net.Conn) net.Conn {
+	return &conn{Conn: c, f: f}
+}
+
+// Listener wraps l so every accepted connection passes through the
+// fault.
+func (f *Fault) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, f: f}
+}
+
+type listener struct {
+	net.Listener
+	f *Fault
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.Conn(c), nil
+}
+
+type conn struct {
+	net.Conn
+	f *Fault
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	inject, mode, frac, stall := c.f.step()
+	if !inject {
+		return c.Conn.Write(p)
+	}
+	switch mode {
+	case Partial:
+		n := int(float64(len(p)) * frac)
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			n, _ = c.Conn.Write(p[:n])
+		}
+		c.Conn.Close()
+		return n, ErrInjected
+	case Corrupt:
+		q := append([]byte(nil), p...)
+		if len(q) > 0 {
+			q[len(q)/2] ^= 0x40
+		}
+		return c.Conn.Write(q)
+	case Stall:
+		time.Sleep(stall)
+		return c.Conn.Write(p)
+	default: // Drop, or sticky aftermath
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	inject, mode, frac, stall := c.f.step()
+	if !inject {
+		return c.Conn.Read(p)
+	}
+	switch mode {
+	case Partial:
+		m := int(float64(len(p)) * frac)
+		if m <= 0 && len(p) > 0 {
+			m = 1
+		}
+		var n int
+		if m > 0 {
+			n, _ = c.Conn.Read(p[:m])
+		}
+		c.Conn.Close()
+		if n > 0 {
+			// Deliver the torn prefix; the conn is dead for the next read.
+			return n, nil
+		}
+		return 0, ErrInjected
+	case Corrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			p[n/2] ^= 0x40
+		}
+		return n, err
+	case Stall:
+		time.Sleep(stall)
+		return c.Conn.Read(p)
+	default:
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+}

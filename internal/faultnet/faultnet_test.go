@@ -1,0 +1,177 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client side and a raw server side.
+func pipePair(f *Fault) (net.Conn, net.Conn) {
+	c, s := net.Pipe()
+	return f.Conn(c), s
+}
+
+func TestUnarmedPassesThrough(t *testing.T) {
+	f := New()
+	c, s := pipePair(f)
+	defer c.Close()
+	defer s.Close()
+	go func() { c.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+	if f.Fired() {
+		t.Fatalf("unarmed fault fired")
+	}
+	if f.Ops() == 0 {
+		t.Fatalf("operations not counted")
+	}
+}
+
+func TestDropClosesConnOnce(t *testing.T) {
+	f := New()
+	f.ArmAt(2, Drop)
+	c, s := pipePair(f)
+	defer s.Close()
+	go io.Copy(io.Discard, s)
+	if _, err := c.Write([]byte("one")); err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := c.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2: want ErrInjected, got %v", err)
+	}
+	if !f.Fired() {
+		t.Fatalf("fault did not report firing")
+	}
+	// The dropped conn stays dead (it was closed)...
+	if _, err := c.Write([]byte("three")); err == nil {
+		t.Fatalf("post-drop write on dropped conn succeeded")
+	}
+	// ...but a fresh conn through the same fault works: the fault is
+	// one-shot, so a reconnecting client can recover.
+	c2, s2 := pipePair(f)
+	defer c2.Close()
+	defer s2.Close()
+	go io.Copy(io.Discard, s2)
+	if _, err := c2.Write([]byte("four")); err != nil {
+		t.Fatalf("fresh conn after drop: %v", err)
+	}
+}
+
+func TestPartialWriteTearsFrame(t *testing.T) {
+	f := New()
+	f.SetFrac(0.5)
+	f.ArmAt(1, Partial)
+	c, s := pipePair(f)
+	defer s.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := s.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write([]byte("12345678"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("want 4 bytes through, got %d", n)
+	}
+	if b := <-got; !bytes.Equal(b, []byte("1234")) {
+		t.Fatalf("peer saw %q", b)
+	}
+}
+
+func TestCorruptFlipsOneBitOnce(t *testing.T) {
+	f := New()
+	f.ArmAt(1, Corrupt)
+	c, s := pipePair(f)
+	defer c.Close()
+	defer s.Close()
+	go func() {
+		c.Write([]byte("abcd"))
+		c.Write([]byte("abcd"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if bytes.Equal(buf, []byte("abcd")) {
+		t.Fatalf("payload not corrupted")
+	}
+	diff := 0
+	for i, b := range buf {
+		if b != "abcd"[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 corrupted byte, got %d", diff)
+	}
+	// One-shot: the next write is clean.
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("abcd")) {
+		t.Fatalf("second write corrupted too: %q", buf)
+	}
+}
+
+func TestStallDelaysThenDelivers(t *testing.T) {
+	f := New()
+	f.SetStall(30 * time.Millisecond)
+	f.ArmAt(1, Stall)
+	c, s := pipePair(f)
+	defer c.Close()
+	defer s.Close()
+	start := time.Now()
+	go c.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall too short: %v", d)
+	}
+	if buf[0] != 'x' {
+		t.Fatalf("payload mangled: %q", buf)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	f := New()
+	f.ArmAt(1, Drop)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	l := f.Listener(raw)
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Write([]byte("x"))
+		done <- err
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn not faulted: %v", err)
+	}
+}

@@ -236,8 +236,8 @@ func (s *Store) checkpointLocked() error {
 		return s.failWalLocked(err)
 	}
 	keep := next.seq
-	if s.retainSeq > 0 && s.retainSeq < keep {
-		keep = s.retainSeq
+	if floor := s.retainFloorLocked(); floor > 0 && floor < keep {
+		keep = floor
 	}
 	for _, seq := range lay.segs {
 		if seq < keep {

@@ -1,0 +1,376 @@
+package oltp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// Replica-mode and replicated-apply tests: a store fed by
+// ApplyReplicated must be durably identical to the primary it mirrors,
+// replay must be idempotent, and local writes must be refused while the
+// store is a replica.
+
+// stateOf captures committed rows keyed by id for equality checks.
+func stateOf(t *testing.T, s *Store) map[RowID]Row {
+	t.Helper()
+	out := make(map[RowID]Row)
+	tx := s.Begin()
+	defer tx.Rollback()
+	tx.Scan(func(id RowID, row Row) bool {
+		out[id] = row
+		return true
+	})
+	return out
+}
+
+func sameState(t *testing.T, want, got map[RowID]Row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row count mismatch: want %d, got %d", len(want), len(got))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("row %d missing from replica", id)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("row %d width mismatch", id)
+		}
+		for i := range w {
+			if !w[i].Equal(g[i]) {
+				t.Fatalf("row %d col %d: want %v, got %v", id, i, w[i], g[i])
+			}
+		}
+	}
+}
+
+// primaryWorkload commits a mixed insert/update/delete history and
+// returns the tailed transactions plus the final cursor.
+func primaryWorkload(t *testing.T, s *Store, n int) []CommittedTx {
+	t.Helper()
+	var live []RowID
+	for i := 0; i < n; i++ {
+		tx := s.Begin()
+		switch {
+		case len(live) > 6 && i%5 == 0:
+			id := live[0]
+			live = live[1:]
+			if err := tx.Delete(id); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+		case len(live) > 3 && i%3 == 0:
+			if err := tx.Update(live[len(live)-1], row(int64(i), float64(i)+0.5, "M")); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		default:
+			id, err := tx.Insert(row(int64(i), float64(i)*1.5, "F"))
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			live = append(live, id)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	txs, _ := drainTail(t, s, WALCursor{}, 16)
+	return txs
+}
+
+func TestApplyReplicatedMirrorsPrimaryAndSurvivesReopen(t *testing.T) {
+	primary, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith primary: %v", err)
+	}
+	defer primary.Close()
+	txs := primaryWorkload(t, primary, 60)
+
+	dir := t.TempDir()
+	replica, err := OpenWith(dir, testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith replica: %v", err)
+	}
+	replica.SetReplica(true)
+	if err := replica.ApplyReplicated(txs); err != nil {
+		t.Fatalf("ApplyReplicated: %v", err)
+	}
+	sameState(t, stateOf(t, primary), stateOf(t, replica))
+
+	// Replicated writes go through the local WAL: the replica's own
+	// change feed must surface them (this is what lets cdc/refresh run
+	// unchanged on a follower) and they must survive crash+reopen.
+	localTxs, _ := drainTail(t, replica, WALCursor{}, 16)
+	if len(localTxs) != len(txs) {
+		t.Fatalf("replica local feed has %d txs, primary shipped %d", len(localTxs), len(txs))
+	}
+	if err := replica.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reopened, err := OpenWith(dir, testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("reopen replica: %v", err)
+	}
+	defer reopened.Close()
+	sameState(t, stateOf(t, primary), stateOf(t, reopened))
+}
+
+func TestApplyReplicatedIdempotentReplay(t *testing.T) {
+	primary, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith primary: %v", err)
+	}
+	defer primary.Close()
+	txs := primaryWorkload(t, primary, 40)
+
+	replica, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith replica: %v", err)
+	}
+	defer replica.Close()
+	if err := replica.ApplyReplicated(txs); err != nil {
+		t.Fatalf("first apply: %v", err)
+	}
+	// At-least-once delivery: a crash between apply and cursor save makes
+	// the follower replay a suffix. Replaying everything must converge to
+	// the same state (inserts overwrite, deletes of absent rows no-op).
+	if err := replica.ApplyReplicated(txs); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := replica.ApplyReplicated(txs[len(txs)/2:]); err != nil {
+		t.Fatalf("suffix replay: %v", err)
+	}
+	sameState(t, stateOf(t, primary), stateOf(t, replica))
+}
+
+func TestReplicaModeRefusesLocalWrites(t *testing.T) {
+	s := mustOpen(t, "")
+	s.SetReplica(true)
+	tx := s.Begin()
+	if _, err := tx.Insert(row(1, 2.5, "F")); err != nil {
+		t.Fatalf("Insert staging: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrReplica) {
+		t.Fatalf("Commit on replica: want ErrReplica, got %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("refused commit mutated state: %d rows", s.Len())
+	}
+	// Read-only transactions and replicated applies still work.
+	if err := s.ApplyReplicated([]CommittedTx{{Tx: 1, Changes: []Change{
+		{Op: ChangeInsert, ID: 7, Row: row(7, 1.0, "M")},
+	}}}); err != nil {
+		t.Fatalf("ApplyReplicated on replica: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("replicated apply did not land: %d rows", s.Len())
+	}
+	s.SetReplica(false)
+	tx = s.Begin()
+	if _, err := tx.Insert(row(2, 3.5, "M")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit after demotion: %v", err)
+	}
+}
+
+func TestTxPayloadRoundTrip(t *testing.T) {
+	primary, err := OpenWith(t.TempDir(), testSchema(), tailOpts(faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer primary.Close()
+	txs := primaryWorkload(t, primary, 30)
+	for _, tx := range txs {
+		p, err := EncodeTxPayload(tx)
+		if err != nil {
+			t.Fatalf("EncodeTxPayload: %v", err)
+		}
+		got, err := DecodeTxPayload(p)
+		if err != nil {
+			t.Fatalf("DecodeTxPayload: %v", err)
+		}
+		if got.Tx != tx.Tx || len(got.Changes) != len(tx.Changes) {
+			t.Fatalf("round trip mismatch: want tx %d/%d changes, got %d/%d",
+				tx.Tx, len(tx.Changes), got.Tx, len(got.Changes))
+		}
+		for i, ch := range tx.Changes {
+			g := got.Changes[i]
+			if g.Op != ch.Op || g.ID != ch.ID || len(g.Row) != len(ch.Row) {
+				t.Fatalf("change %d mismatch: want %+v, got %+v", i, ch, g)
+			}
+			for j := range ch.Row {
+				if !ch.Row[j].Equal(g.Row[j]) {
+					t.Fatalf("change %d col %d: want %v, got %v", i, j, ch.Row[j], g.Row[j])
+				}
+			}
+		}
+		// Re-encoding the decoded form must be byte-identical: the wire
+		// codec is canonical, which the equivalence soak relies on.
+		p2, err := EncodeTxPayload(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(p, p2) {
+			t.Fatalf("re-encode not canonical")
+		}
+	}
+}
+
+func TestDecodeTxPayloadRejectsMalformed(t *testing.T) {
+	good, err := EncodeTxPayload(CommittedTx{Tx: 9, Changes: []Change{
+		{Op: ChangeInsert, ID: 3, Row: row(3, 4.5, "F")},
+		{Op: ChangeDelete, ID: 2},
+	}})
+	if err != nil {
+		t.Fatalf("EncodeTxPayload: %v", err)
+	}
+	// Every strict prefix must fail (truncation), and so must trailing
+	// garbage and a corrupted op byte — without panicking.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeTxPayload(good[:i]); err == nil {
+			t.Fatalf("truncated payload (%d/%d bytes) decoded", i, len(good))
+		}
+	}
+	if _, err := DecodeTxPayload(append(append([]byte{}, good...), 0xEE)); err == nil {
+		t.Fatalf("trailing garbage accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[2] = 0xFF // first change's op byte
+	if _, err := DecodeTxPayload(bad); err == nil {
+		t.Fatalf("bad op byte accepted")
+	}
+}
+
+// TestPinWALAtDurableVsRotation is the satellite -race test: one
+// goroutine commits continuously, forcing frequent segment rotations
+// and checkpoints, while others repeatedly pin at the durable LSN and
+// then tail from their pin. A correctly closed race window means no
+// pinned tail ever observes ErrTailGap.
+func TestPinWALAtDurableVsRotation(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), Options{
+		FS:              faultfs.OS{},
+		SegmentBytes:    1 << 9, // rotate every few commits
+		CheckpointBytes: 1 << 11,
+	})
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var committer sync.WaitGroup
+	committer.Add(1)
+	go func() {
+		defer committer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := s.Begin()
+			if _, err := tx.Insert(row(int64(i), float64(i), "F")); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("Commit: %v", err)
+				return
+			}
+		}
+	}()
+
+	const pinners = 4
+	var wg sync.WaitGroup
+	for p := 0; p < pinners; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			name := fmt.Sprintf("pin-%d", p)
+			defer s.UnpinWAL(name)
+			for i := 0; i < 120; i++ {
+				cur, err := s.PinWALAtDurable(name)
+				if err != nil {
+					t.Errorf("PinWALAtDurable: %v", err)
+					return
+				}
+				if _, _, err := s.TailWAL(cur, 4); err != nil {
+					// ErrTailGap here means a checkpoint swept a segment
+					// we had pinned — the exact race this test exists for.
+					t.Errorf("TailWAL from pinned cursor %s: %v", cur, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	committer.Wait()
+}
+
+// TestRetentionFloorIsMinOfPins pins two consumers and checks the
+// checkpoint sweep keeps segments down to the older pin, then releases
+// it and checks the floor moves up to the younger one.
+func TestRetentionFloorIsMinOfPins(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), testSchema(), Options{
+		FS:              faultfs.OS{},
+		SegmentBytes:    1 << 9,
+		CheckpointBytes: 1 << 30, // manual checkpoints only
+	})
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	defer s.Close()
+
+	commit := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			tx := s.Begin()
+			if _, err := tx.Insert(row(int64(i), 1.0, "M")); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		}
+	}
+
+	commit(20)
+	slow, err := s.PinWALAtDurable("slow")
+	if err != nil {
+		t.Fatalf("PinWALAtDurable: %v", err)
+	}
+	commit(20)
+	fast, err := s.PinWALAtDurable("fast")
+	if err != nil {
+		t.Fatalf("PinWALAtDurable: %v", err)
+	}
+	commit(20)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, _, err := s.TailWAL(slow, 1); err != nil {
+		t.Fatalf("slow pin not honoured: %v", err)
+	}
+	if _, _, err := s.TailWAL(fast, 1); err != nil {
+		t.Fatalf("fast pin not honoured: %v", err)
+	}
+
+	s.UnpinWAL("slow")
+	commit(20)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, _, err := s.TailWAL(fast, 1); err != nil {
+		t.Fatalf("fast pin lost after slow unpin: %v", err)
+	}
+	if _, _, err := s.TailWAL(slow, 1); !errors.Is(err, ErrTailGap) {
+		t.Fatalf("released pin still readable: want ErrTailGap, got %v", err)
+	}
+}

@@ -109,7 +109,8 @@ type Store struct {
 	dir          string
 	fs           faultfs.FS
 	opts         Options
-	retainSeq    uint64 // WAL subscriber low-water mark; 0 = no retention
+	pins         map[string]uint64 // named WAL retention pins; min wins
+	replica      bool              // read-only replica: local commits refused
 
 	nextTx uint64
 
@@ -443,6 +444,10 @@ func (t *Tx) Commit() error {
 	s := t.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.replica {
+		commitError.Inc()
+		return ErrReplica
+	}
 
 	// Validation: every row we read must still be at the observed version,
 	// and every row we update/delete must still exist.
@@ -537,15 +542,78 @@ func (s *Store) CheckpointStats() (checkpoints uint64, lastBytes int64) {
 	return s.ckptCount, s.ckptBytes
 }
 
+// TailerPin is the retention pin name RetainWALFrom writes: the one the
+// store's local CDC tailer owns.
+const TailerPin = "tailer"
+
 // RetainWALFrom pins WAL segments at or above seq against checkpoint
 // sweeping, so a tailer that has consumed up to seq can keep reading
 // across checkpoints without hitting a gap. Zero clears the pin.
 // Retention is in-memory: after a restart the next checkpoint may sweep
 // again, and a cursor below the surviving base must resync.
+//
+// RetainWALFrom owns the single "tailer" pin; consumers that must
+// coexist with it (replication followers, each with their own progress)
+// use PinWAL under their own names, and the checkpoint sweeper keeps
+// everything at or above the minimum pinned sequence.
 func (s *Store) RetainWALFrom(seq uint64) {
+	s.PinWAL(TailerPin, seq)
+}
+
+// PinWAL sets the named retention pin to seq: checkpoints will not sweep
+// segments at or above the minimum across all pins. Zero removes the
+// pin. Pins are in-memory only and vanish on restart.
+func (s *Store) PinWAL(name string, seq uint64) {
 	s.walMu.Lock()
-	s.retainSeq = seq
-	s.walMu.Unlock()
+	defer s.walMu.Unlock()
+	s.pinLocked(name, seq)
+}
+
+// pinLocked needs s.walMu held.
+func (s *Store) pinLocked(name string, seq uint64) {
+	if seq == 0 {
+		delete(s.pins, name)
+		return
+	}
+	if s.pins == nil {
+		s.pins = make(map[string]uint64)
+	}
+	s.pins[name] = seq
+}
+
+// UnpinWAL removes the named retention pin.
+func (s *Store) UnpinWAL(name string) { s.PinWAL(name, 0) }
+
+// PinWALAtDurable atomically reads the durable end of the log and pins
+// the named retention at its segment, under the same lock — so no
+// checkpoint can truncate the returned cursor's segment between the
+// read and the pin. It is the race-free way to anchor a new consumer:
+// pin first, then snapshot (the snapshot's LSN can only be at or above
+// the pinned cursor).
+func (s *Store) PinWALAtDurable(name string) (WALCursor, error) {
+	if s.dir == "" {
+		return WALCursor{}, ErrNoWAL
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed || s.wal == nil {
+		return WALCursor{}, ErrClosed
+	}
+	cur := s.durableLSNLocked()
+	s.pinLocked(name, cur.Seq)
+	return cur, nil
+}
+
+// retainFloorLocked reports the lowest pinned segment sequence, or 0
+// when nothing is pinned. The caller holds s.walMu.
+func (s *Store) retainFloorLocked() uint64 {
+	var floor uint64
+	for _, seq := range s.pins {
+		if floor == 0 || seq < floor {
+			floor = seq
+		}
+	}
+	return floor
 }
 
 // logCommit makes t's write set durable: segment housekeeping (rotation or

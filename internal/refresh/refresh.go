@@ -224,6 +224,13 @@ func (m *Maintainer) Close() { m.tailer.Close() }
 // resets the CDC cursor to the snapshot's LSN. It is the bootstrap path
 // and the recovery path for tail gaps and apply failures.
 func (m *Maintainer) resync() error {
+	// Pin retention at the durable LSN before cutting the snapshot, so a
+	// concurrent checkpoint cannot truncate the snapshot's tail position
+	// out from under the Reset below. Stores without a WAL fail the
+	// snapshot-LSN check right after, so ErrNoWAL is not an error here.
+	if _, err := m.tailer.PinAtDurable(); err != nil && !errors.Is(err, oltp.ErrNoWAL) {
+		return err
+	}
 	snap, err := m.store.SnapshotWithLSN()
 	if err != nil {
 		return err

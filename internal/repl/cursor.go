@@ -1,0 +1,98 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+	"github.com/ddgms/ddgms/internal/oltp"
+)
+
+// The follower's replication cursor is the primary's WAL position it
+// has durably applied up to. It lives in its own file — it is a cursor
+// into the *primary's* log, distinct from the local cdc cursor into the
+// follower's own log — with the same magic+uvarint+CRC32-C layout and
+// tmp+sync+rename+dirsync save discipline as the cdc cursor, so a crash
+// mid-save never corrupts it.
+const (
+	cursorMagic = "DDGRCUR1"
+	cursorFile  = "repl.cursor"
+)
+
+// saveCursor persists c durably under dir.
+func saveCursor(fs faultfs.FS, dir string, c oltp.WALCursor) error {
+	var buf bytes.Buffer
+	buf.WriteString(cursorMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], c.Seq)
+	buf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(c.Off))
+	buf.Write(tmp[:n])
+	sum := crc32.Checksum(buf.Bytes()[len(cursorMagic):], castagnoli)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	buf.Write(crc[:])
+
+	final := filepath.Join(dir, cursorFile)
+	tmpPath := final + ".tmp"
+	f, err := fs.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("repl: creating cursor file: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: writing cursor: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: syncing cursor: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repl: closing cursor: %w", err)
+	}
+	if err := fs.Rename(tmpPath, final); err != nil {
+		return fmt.Errorf("repl: publishing cursor: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("repl: syncing cursor dir: %w", err)
+	}
+	metricCursorSaves.Inc()
+	return nil
+}
+
+// loadCursor reads the persisted cursor; ok=false when none exists or
+// the file is torn (an interrupted first save) — the follower then
+// bootstraps from a snapshot instead of resuming from garbage.
+func loadCursor(fs faultfs.FS, dir string) (oltp.WALCursor, bool, error) {
+	f, err := fs.Open(filepath.Join(dir, cursorFile))
+	if err != nil {
+		return oltp.WALCursor{}, false, nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return oltp.WALCursor{}, false, fmt.Errorf("repl: reading cursor: %w", err)
+	}
+	if len(data) < len(cursorMagic)+4 || string(data[:len(cursorMagic)]) != cursorMagic {
+		return oltp.WALCursor{}, false, nil // torn first save: bootstrap
+	}
+	body := data[len(cursorMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return oltp.WALCursor{}, false, fmt.Errorf("repl: cursor checksum mismatch")
+	}
+	br := bytes.NewReader(body)
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return oltp.WALCursor{}, false, fmt.Errorf("repl: bad cursor payload")
+	}
+	off, err := binary.ReadUvarint(br)
+	if err != nil || br.Len() != 0 {
+		return oltp.WALCursor{}, false, fmt.Errorf("repl: bad cursor payload")
+	}
+	return oltp.WALCursor{Seq: seq, Off: int64(off)}, true, nil
+}

@@ -1,0 +1,50 @@
+package repl
+
+import "github.com/ddgms/ddgms/internal/obs"
+
+// Replication metric families. Faults and resyncs are the health
+// signals: a nonzero fault rate under steady state means the network or
+// a peer is unhealthy, and every resync is a full snapshot ship, so a
+// steady resync rate means retention (or MaxLagSegments) is too tight.
+var (
+	metricFramesSent = obs.Default().Counter(
+		"ddgms_repl_frames_sent_total",
+		"Replication frames written to the wire.")
+	metricFramesRecv = obs.Default().Counter(
+		"ddgms_repl_frames_received_total",
+		"Replication frames read and verified from the wire.")
+	metricBytes = obs.Default().Counter(
+		"ddgms_repl_bytes_total",
+		"Replication bytes moved (sent plus received, framed).")
+	metricTxShipped = obs.Default().Counter(
+		"ddgms_repl_transactions_shipped_total",
+		"Committed transactions streamed to followers.")
+	metricTxApplied = obs.Default().Counter(
+		"ddgms_repl_transactions_applied_total",
+		"Replicated transactions applied to the local store.")
+	metricFaults = obs.Default().CounterVec(
+		"ddgms_repl_faults_total",
+		"Replication faults by kind; every one forces a reconnect.",
+		"kind")
+	metricReconnects = obs.Default().Counter(
+		"ddgms_repl_reconnects_total",
+		"Follower reconnect attempts.")
+	metricResyncs = obs.Default().Counter(
+		"ddgms_repl_resyncs_total",
+		"Snapshot bootstraps (follower cursor truncated past; full ship).")
+	metricEvictions = obs.Default().Counter(
+		"ddgms_repl_evictions_total",
+		"Follower retention pins evicted for exceeding MaxLagSegments.")
+	metricFollowers = obs.Default().Gauge(
+		"ddgms_repl_followers_connected",
+		"Currently connected followers (primary side).")
+	metricCursorSaves = obs.Default().Counter(
+		"ddgms_repl_cursor_saves_total",
+		"Durable replication cursor writes (follower side).")
+
+	faultConn     = metricFaults.WithLabelValues("conn")
+	faultFrame    = metricFaults.WithLabelValues("frame")
+	faultTimeout  = metricFaults.WithLabelValues("timeout")
+	faultProtocol = metricFaults.WithLabelValues("protocol")
+	faultApply    = metricFaults.WithLabelValues("apply")
+)

@@ -1,0 +1,51 @@
+package repl
+
+import (
+	"sort"
+
+	"github.com/ddgms/ddgms/internal/oltp"
+)
+
+// FollowerInfo is one follower's health as seen by the primary.
+type FollowerInfo struct {
+	ID        string `json:"id"`
+	Connected bool   `json:"connected"`
+	// State is streaming, snapshotting, disconnected or evicted.
+	State       string         `json:"state"`
+	AckedLSN    oltp.WALCursor `json:"acked_lsn"`
+	StreamedLSN oltp.WALCursor `json:"streamed_lsn"`
+	// LagSegments is how many WAL segments the follower's applied
+	// position trails the primary's durable tail.
+	LagSegments     uint64  `json:"lag_segments"`
+	SecondsSinceAck float64 `json:"seconds_since_ack,omitempty"`
+	Resyncs         uint64  `json:"resyncs"`
+	Evicted         bool    `json:"evicted"`
+}
+
+// Status is the /replication endpoint's body for either role.
+type Status struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+
+	// Primary-side fields.
+	Addr       string          `json:"addr,omitempty"`
+	DurableLSN *oltp.WALCursor `json:"durable_lsn,omitempty"`
+	Followers  []FollowerInfo  `json:"followers,omitempty"`
+
+	// Follower-side fields.
+	Primary string `json:"primary,omitempty"`
+	ID      string `json:"id,omitempty"`
+	// State is connecting, snapshotting, streaming or backoff.
+	State     string          `json:"state,omitempty"`
+	Connected bool            `json:"connected,omitempty"`
+	Cursor    *oltp.WALCursor `json:"cursor,omitempty"`
+	// SecondsSinceFrame is the staleness signal: time since the last
+	// verified frame arrived.
+	SecondsSinceFrame float64 `json:"seconds_since_frame,omitempty"`
+	Resyncs           uint64  `json:"resyncs,omitempty"`
+	Reconnects        uint64  `json:"reconnects,omitempty"`
+}
+
+func sortFollowers(fs []FollowerInfo) {
+	sort.Slice(fs, func(a, b int) bool { return fs[a].ID < fs[b].ID })
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/repl"
+)
+
+// TestReplicationEndpoint stands up a primary platform shipping its WAL
+// and a replica platform applying it, and checks that /replication on
+// each side reports its role, the follower roster, and the replica's
+// cursor.
+func TestReplicationEndpoint(t *testing.T) {
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 40
+	raw, err := discri.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	primary := core.New(core.Config{DataDir: filepath.Join(dir, "primary")})
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Store().LoadTable(raw); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AttachPrimary(core.ReplicateListenConfig{
+		Listener:       ln,
+		HeartbeatEvery: 25 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := core.New(core.Config{DataDir: filepath.Join(dir, "replica")})
+	t.Cleanup(func() { replica.Close() })
+	if err := replica.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.AttachReplica(core.ReplicateFromConfig{
+		PrimaryAddr: ln.Addr().String(),
+		ID:          "reader-1",
+		CursorDir:   filepath.Join(dir, "replcur"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-replica.ReplicaReady():
+	case <-time.After(10 * time.Second):
+		t.Fatal("replica never caught up")
+	}
+
+	pts := serveHandler(t, New(primary))
+	rts := serveHandler(t, New(replica))
+
+	var pst repl.Status
+	if code := getJSON(t, pts.URL+"/replication", &pst); code != http.StatusOK {
+		t.Fatalf("GET /replication on primary = %d, want 200", code)
+	}
+	if pst.Role != "primary" {
+		t.Fatalf("primary role = %q", pst.Role)
+	}
+	if len(pst.Followers) != 1 || pst.Followers[0].ID != "reader-1" {
+		t.Fatalf("primary follower roster = %+v", pst.Followers)
+	}
+	if !pst.Followers[0].Connected {
+		t.Fatalf("follower not reported connected: %+v", pst.Followers[0])
+	}
+	if pst.DurableLSN == nil || pst.DurableLSN.IsZero() {
+		t.Fatalf("primary reports no durable LSN: %+v", pst)
+	}
+
+	var rst repl.Status
+	if code := getJSON(t, rts.URL+"/replication", &rst); code != http.StatusOK {
+		t.Fatalf("GET /replication on replica = %d, want 200", code)
+	}
+	if rst.Role != "follower" || rst.ID != "reader-1" {
+		t.Fatalf("replica status = %+v", rst)
+	}
+	if !rst.Connected || rst.Cursor.IsZero() {
+		t.Fatalf("replica not streaming: %+v", rst)
+	}
+
+	// The replica's store mirrors the primary's row count.
+	if got, want := replica.Store().Len(), primary.Store().Len(); got != want {
+		t.Fatalf("replica has %d live rows, primary %d", got, want)
+	}
+}
+
+func TestReplicationNotAttached(t *testing.T) {
+	ts := testServer(t) // standalone platform: healthy, nothing to report
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/replication", &body); code != http.StatusNotFound {
+		t.Fatalf("GET /replication without replication = %d, want 404", code)
+	}
+	if body["error"] == "" {
+		t.Fatal("404 body carries no error message")
+	}
+}

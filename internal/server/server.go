@@ -11,6 +11,7 @@
 //	GET  /schema             the star schema: dimensions, attributes, hierarchies, measures
 //	POST /query              {"mdx": "SELECT ..."} -> cell set as JSON; ?trace=1 attaches a span tree
 //	GET  /freshness          follow-mode lag: transactions and wall-clock behind the OLTP store
+//	GET  /replication        WAL-shipping health: per-follower lag on a primary, cursor/connection on a replica
 //	GET  /findings?q=term    knowledge-base search
 //	POST /findings           {"topic","statement","source"} -> recorded finding id
 //	POST /findings/reinforce {"id"} -> evidence added (promotes at threshold)
@@ -46,6 +47,7 @@ import (
 	"github.com/ddgms/ddgms/internal/obs"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/refresh"
+	"github.com/ddgms/ddgms/internal/repl"
 	"github.com/ddgms/ddgms/internal/star"
 )
 
@@ -65,6 +67,13 @@ type Platform interface {
 // follow mode (the endpoint answers 404).
 type FreshnessReporter interface {
 	Freshness() (refresh.Freshness, bool)
+}
+
+// ReplicationReporter is the optional platform surface behind
+// /replication. *core.Platform satisfies it; ok=false means no
+// replication role is attached (the endpoint answers 404).
+type ReplicationReporter interface {
+	Replication() (repl.Status, bool)
 }
 
 // TracedQuerier is the optional platform surface behind ?trace=1.
@@ -190,6 +199,7 @@ func New(p Platform, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /freshness", s.handleFreshness)
+	s.mux.HandleFunc("GET /replication", s.handleReplication)
 	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
 	s.mux.HandleFunc("POST /findings", s.handleFindingsAdd)
 	s.mux.HandleFunc("POST /findings/reinforce", s.handleFindingsReinforce)
@@ -625,6 +635,24 @@ func (s *Server) handleFreshness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, f)
+}
+
+// handleReplication reports WAL-shipping health: the primary's
+// per-follower lag, or a replica's connection state and cursor. 404
+// (not 5xx) when no replication role is attached — a standalone server
+// is healthy, it just has nothing to report.
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	rr, ok := s.platform.(ReplicationReporter)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "platform does not report replication")
+		return
+	}
+	st, attached := rr.Replication()
+	if !attached {
+		s.writeError(w, http.StatusNotFound, "replication not attached")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleFindingsSearch(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Benchmarks WAL-shipping replication: follower catch-up throughput
+# (commit a backlog with no follower attached, then time a follower
+# resuming from its durable cursor until it has applied everything) and
+# steady-state replication lag (commit-to-visible latency with a
+# continuously connected follower, p99 over all iterations). Writes
+# machine-readable results to BENCH_7.json at the repo root and fails
+# if catch-up drops below 2 MB/s or the steady-state p99 exceeds 250ms.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_7.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkRepl(CatchUp|SteadyLag)$' \
+  -benchtime 20x -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; mbs = ""; p99 = ""
+  for (i = 3; i <= NF; i++) {
+    if ($i == "ns/op") ns = $(i - 1)
+    if ($i == "MB/s") mbs = $(i - 1)
+    if ($i == "lag-p99-ms") p99 = $(i - 1)
+  }
+  if (n++) printf ",\n"
+  printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+  if (mbs != "") printf ", \"catch_up_mb_per_s\": %s", mbs
+  if (p99 != "") printf ", \"steady_lag_p99_ms\": %s", p99
+  printf "}"
+  if (name == "BenchmarkReplCatchUp") catchup = mbs
+  if (name == "BenchmarkReplSteadyLag") lag = p99
+}
+END {
+  print "\n}"
+  if (catchup == "" || lag == "") { print "missing benchmark result" > "/dev/stderr"; exit 1 }
+  printf "follower catch-up %.2f MB/s, steady-state lag p99 %.2f ms\n", catchup, lag > "/dev/stderr"
+  if (catchup + 0 < 2) { print "FAIL: catch-up below 2 MB/s" > "/dev/stderr"; exit 1 }
+  if (lag + 0 > 250) { print "FAIL: steady-state lag p99 above 250ms" > "/dev/stderr"; exit 1 }
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -37,6 +37,12 @@ go test -race -run 'TestEncodingEquivalence|Fuzz' ./internal/exec/
 echo "== allocation regression gate (arena kernel, no race detector)"
 go test -run 'TestGroupByCodedAllocBudget|TestEncodedColumnBytesReduction' .
 
+echo "== replication partition soak (fault sweep, kill/restart, figure equivalence)"
+go test -race -run 'TestFaultSweep|TestFollowerRestart|TestPrimaryDiskBounded|TestSnapshotBootstrap' -count=2 ./internal/repl/
+go test -race -count=1 ./internal/faultnet/
+go test -race -run 'TestReplicaFiguresMatchPrimary' -count=1 ./internal/core/
+go test -race -run 'TestApplyReplicated|TestPinWALAtDurable|TestRetentionFloor' -count=1 ./internal/oltp/
+
 echo "== governance suite (cancellation, admission, budgets, breaker)"
 go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \
 	./internal/exec/ ./internal/govern/ ./internal/server/ ./internal/refresh/
