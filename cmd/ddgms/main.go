@@ -434,7 +434,7 @@ func cmdServe(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	endpoints := "/healthz /schema /query /findings /metrics /debug/traces"
+	endpoints := "/healthz /schema /query /sql /flatquery /findings /metrics /debug/traces"
 	if following {
 		endpoints += " /freshness"
 	}

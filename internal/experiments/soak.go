@@ -22,13 +22,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/ddgms/ddgms/internal/core"
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/govern"
+	"github.com/ddgms/ddgms/internal/loadgen"
 	"github.com/ddgms/ddgms/internal/server"
 )
 
@@ -186,10 +186,7 @@ func RunSoak(p *core.Platform, cfg SoakConfig) (*SoakReport, error) {
 	}
 	wg.Wait()
 
-	if n := len(latencies); n > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		rep.AdmittedP99 = latencies[min(n-1, (n*99)/100)]
-	}
+	rep.AdmittedP99 = loadgen.PercentileDuration(latencies, 99)
 
 	// Let cancelled evaluations and keep-alive conns unwind, then take
 	// the settled goroutine count (the best value seen, so scheduling

@@ -1,0 +1,91 @@
+package govern
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Stats must mirror the dispositions exactly: every Acquire lands in
+// precisely one counter.
+func TestAdmissionStats(t *testing.T) {
+	a := NewAdmission(1, 0, 0)
+
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot is held and the queue is zero-depth: the next caller sheds
+	// immediately as queue-full.
+	if _, err := a.Acquire(context.Background()); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	release()
+
+	// Slot free again: this one admits.
+	release, err = a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	st := a.Stats()
+	if st.Admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", st.Admitted)
+	}
+	if st.ShedQueueFull != 1 {
+		t.Fatalf("shed_queue_full = %d, want 1", st.ShedQueueFull)
+	}
+	if st.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", st.Shed())
+	}
+}
+
+func TestAdmissionStatsWaitTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 20*time.Millisecond)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); err != ErrWaitTimeout {
+		t.Fatalf("want ErrWaitTimeout, got %v", err)
+	}
+	release()
+
+	st := a.Stats()
+	if st.ShedWaitTimeout != 1 {
+		t.Fatalf("shed_wait_timeout = %d, want 1", st.ShedWaitTimeout)
+	}
+	if st.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1", st.Admitted)
+	}
+}
+
+func TestAdmissionStatsCancelled(t *testing.T) {
+	a := NewAdmission(1, 4, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter enqueue
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	release()
+
+	st := a.Stats()
+	if st.ShedCancelled != 1 {
+		t.Fatalf("shed_cancelled = %d, want 1", st.ShedCancelled)
+	}
+	// Cancellations do not indict capacity: Shed() excludes them.
+	if st.Shed() != 0 {
+		t.Fatalf("Shed() = %d, want 0", st.Shed())
+	}
+}

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// maxArrivals bounds one run's schedule so a typoed rate (or a ramp to
+// an absurd ceiling) fails fast instead of allocating gigabytes and
+// spawning a goroutine flood.
+const maxArrivals = 2_000_000
+
+// Schedule materialises the arrival process as offsets from the run
+// start, strictly increasing, covering [0, d). The schedule is fully
+// determined by (arrival, d, seed): constant and ramp are deterministic
+// spacings, poisson draws its exponential inter-arrival gaps from a
+// rand.Rand seeded with seed. Materialising up front is what makes the
+// generator open-loop — the server's response times cannot influence
+// when the next request fires.
+func (a Arrival) Schedule(d time.Duration, seed int64) ([]time.Duration, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule duration must be positive, got %v", d)
+	}
+	if a.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rps must be positive, got %v", a.RPS)
+	}
+	horizon := d.Seconds()
+	var offsets []time.Duration
+	push := func(t float64) error {
+		if len(offsets) >= maxArrivals {
+			return fmt.Errorf("loadgen: schedule exceeds %d arrivals (rate %v over %v); lower the rate or duration",
+				maxArrivals, a.RPS, d)
+		}
+		offsets = append(offsets, time.Duration(t*float64(time.Second)))
+		return nil
+	}
+	switch a.Process {
+	case ArrivalConstant:
+		// Index-multiplied rather than accumulated: summing 1/rps drifts
+		// (100 gaps of 0.01 sum to 0.0999…), which both mis-spaces late
+		// arrivals and can fit a spurious extra one inside the horizon.
+		gap := 1.0 / a.RPS
+		n := int(horizon*a.RPS + 1e-9)
+		for i := 0; i < n; i++ {
+			if err := push(float64(i) * gap); err != nil {
+				return nil, err
+			}
+		}
+	case ArrivalPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		// First arrival is itself exponentially displaced from 0, as in
+		// a true Poisson process observed from an arbitrary instant.
+		for t := rng.ExpFloat64() / a.RPS; t < horizon; t += rng.ExpFloat64() / a.RPS {
+			if err := push(t); err != nil {
+				return nil, err
+			}
+		}
+	case ArrivalRamp:
+		if a.EndRPS <= 0 {
+			return nil, fmt.Errorf("loadgen: ramp needs a positive end_rps")
+		}
+		// Deterministic spacing at the instantaneous rate: the gap after
+		// an arrival at time t is 1/rate(t), with rate interpolated
+		// linearly from RPS at t=0 to EndRPS at t=d.
+		for t := 0.0; t < horizon; {
+			if err := push(t); err != nil {
+				return nil, err
+			}
+			rate := a.RPS + (a.EndRPS-a.RPS)*(t/horizon)
+			if rate <= 0 {
+				return nil, fmt.Errorf("loadgen: ramp rate reaches %v at t=%.2fs", rate, t)
+			}
+			t += 1.0 / rate
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q", a.Process)
+	}
+	return offsets, nil
+}
+
+// OfferedRPS is the average rate the schedule offers over duration d.
+func OfferedRPS(offsets []time.Duration, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(offsets)) / d.Seconds()
+}
+
+// withRate returns a copy of the arrival re-rated to rps. For ramps the
+// start and end rates are scaled proportionally, preserving the shape;
+// for constant and poisson the rate is replaced.
+func (a Arrival) withRate(rps float64) Arrival {
+	out := a
+	if a.Process == ArrivalRamp && a.RPS > 0 {
+		scale := rps / a.RPS
+		out.RPS = a.RPS * scale
+		out.EndRPS = a.EndRPS * scale
+	} else {
+		out.RPS = rps
+	}
+	return out
+}

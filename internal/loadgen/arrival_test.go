@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConstantScheduleEvenSpacing(t *testing.T) {
+	a := Arrival{Process: ArrivalConstant, RPS: 100}
+	sched, err := a.Schedule(100*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 10 {
+		t.Fatalf("want 10 arrivals at 100 rps over 100ms, got %d", len(sched))
+	}
+	for i, off := range sched {
+		want := time.Duration(i) * 10 * time.Millisecond
+		if off != want {
+			t.Fatalf("arrival %d at %v, want %v", i, off, want)
+		}
+	}
+}
+
+// The Poisson schedule must be a pure function of (seed, rate,
+// duration): two draws with the same seed are identical, a different
+// seed diverges. That is what makes a BENCH run reproducible.
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := Arrival{Process: ArrivalPoisson, RPS: 200}
+	s1, err := a.Schedule(time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := a.Schedule(time.Second, 42)
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	s3, _ := a.Schedule(time.Second, 43)
+	same := len(s1) == len(s3)
+	if same {
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPoissonScheduleMeanRate(t *testing.T) {
+	a := Arrival{Process: ArrivalPoisson, RPS: 500}
+	sched, err := a.Schedule(10*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := OfferedRPS(sched, 10*time.Second)
+	// 5000 expected arrivals: the sample mean should be within a few
+	// percent of the nominal rate.
+	if math.Abs(got-500)/500 > 0.05 {
+		t.Fatalf("poisson offered rate %.1f, want within 5%% of 500", got)
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] < sched[i-1] {
+			t.Fatalf("schedule not monotone at %d: %v < %v", i, sched[i], sched[i-1])
+		}
+	}
+}
+
+func TestRampScheduleAccelerates(t *testing.T) {
+	a := Arrival{Process: ArrivalRamp, RPS: 10, EndRPS: 100}
+	sched, err := a.Schedule(2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rate of a linear 10->100 ramp is 55 rps; allow discretisation
+	// slack.
+	got := OfferedRPS(sched, 2*time.Second)
+	if got < 45 || got > 65 {
+		t.Fatalf("ramp offered rate %.1f, want ~55", got)
+	}
+	// Deterministic regardless of seed (ramp draws nothing random).
+	s2, _ := a.Schedule(2*time.Second, 99)
+	if len(sched) != len(s2) {
+		t.Fatalf("ramp schedule depends on seed: %d vs %d arrivals", len(sched), len(s2))
+	}
+	// The first half must hold fewer arrivals than the second.
+	half := 0
+	for _, off := range sched {
+		if off < time.Second {
+			half++
+		}
+	}
+	if half*2 >= len(sched) {
+		t.Fatalf("ramp not accelerating: %d of %d arrivals in first half", half, len(sched))
+	}
+}
+
+func TestScheduleGuards(t *testing.T) {
+	if _, err := (Arrival{Process: "weibull", RPS: 10}).Schedule(time.Second, 1); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	// The arrival-count guard refuses schedules that would not fit in
+	// memory rather than OOMing the generator.
+	if _, err := (Arrival{Process: ArrivalConstant, RPS: 1e9}).Schedule(time.Hour, 1); err == nil {
+		t.Fatal("oversized schedule accepted")
+	}
+}
+
+func TestWithRateScalesRampProportionally(t *testing.T) {
+	a := Arrival{Process: ArrivalRamp, RPS: 10, EndRPS: 100}
+	b := a.withRate(20)
+	if b.RPS != 20 || math.Abs(b.EndRPS-200) > 1e-9 {
+		t.Fatalf("withRate(20) on 10->100 ramp gave %v->%v, want 20->200", b.RPS, b.EndRPS)
+	}
+	c := Arrival{Process: ArrivalPoisson, RPS: 50}.withRate(75)
+	if c.RPS != 75 {
+		t.Fatalf("withRate on poisson gave %v, want 75", c.RPS)
+	}
+}

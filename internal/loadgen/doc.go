@@ -1,0 +1,40 @@
+// Package loadgen is the open-loop load generator and
+// capacity-planning harness: the instrument that turns the governance
+// knobs (-max-concurrent, -queue, -scan-budget) from guesses into
+// measurements.
+//
+// Open-loop means non-coordinating: requests are fired on a schedule
+// fixed before the run starts — the arrival process — regardless of how
+// fast the server answers. A closed-loop driver (N workers, each
+// waiting for its response before sending the next) implicitly slows
+// its offered load to whatever the server sustains, which hides
+// overload entirely: the coordinated-omission trap. Under an open-loop
+// driver, a server at capacity visibly sheds (429/503) or queues
+// (latency grows), which is exactly the surface capacity planning needs
+// to see.
+//
+// The pieces:
+//
+//   - Scenario: a seeded, JSON-serialisable workload description — an
+//     endpoint mix over MDX (/query), DG-SQL (/sql), the flat-scan
+//     baseline (/flatquery) and /freshness, plus an arrival process
+//     (constant, poisson, ramp). Same scenario + same seed = same
+//     request schedule and same query parameters, so runs are
+//     reproducible and comparable across builds.
+//   - Run: drive one scenario at one offered rate against a target
+//     server, producing a Report — per-endpoint p50/p95/p99, achieved
+//     vs offered RPS, shed rate, and server-side counter deltas scraped
+//     from /metrics.
+//   - SweepRates: repeat Run over a grid of offered rates, producing a
+//     Surface — the latency/throughput/shed-rate capacity surface a
+//     BENCH_8.json records.
+//   - Recommend: find the knee of the surface and derive suggested
+//     -max-concurrent / -queue / -scan-budget settings from it via
+//     Little's law and the observed per-query scan volume.
+//   - StartSelfServe: a hermetic in-process target (synthetic cohort,
+//     governed server, optional artificial service time) so smoke tests
+//     and benches need no external process.
+//
+// docs/CAPACITY.md is the operator-facing guide to running sweeps and
+// reading the output.
+package loadgen

@@ -1,0 +1,26 @@
+package loadgen
+
+import "github.com/ddgms/ddgms/internal/obs"
+
+// Loadgen-side metric families. When the generator runs in-process
+// with a self-serve target they land on the same /metrics page as the
+// server's families, which makes a smoke run fully observable from one
+// scrape; against a remote target they are exposed only if the caller
+// mounts an obs handler.
+var (
+	metricRequests = obs.Default().CounterVec(
+		"ddgms_loadgen_requests_total",
+		"Requests fired by the load generator, by endpoint and HTTP status (or 'error' for transport failures).",
+		"endpoint", "code")
+	metricLatencySeconds = obs.Default().HistogramVec(
+		"ddgms_loadgen_latency_seconds",
+		"Client-observed request latency by endpoint.",
+		nil,
+		"endpoint")
+	metricOfferedRPS = obs.Default().Gauge(
+		"ddgms_loadgen_offered_rps",
+		"Offered request rate of the current/last run.")
+	metricAchievedRPS = obs.Default().Gauge(
+		"ddgms_loadgen_achieved_rps",
+		"Achieved (2xx) request rate of the last completed run.")
+)

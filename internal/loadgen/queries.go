@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+)
+
+// request is one materialised HTTP request of a run.
+type request struct {
+	endpoint string // mix endpoint name, the reporting key
+	method   string
+	path     string
+	body     []byte // nil for GETs
+}
+
+// mdxAttr is one queryable attribute in the DiScRi star schema, in the
+// [Dimension].[Attribute] form MDX addresses.
+type mdxAttr struct{ dim, attr string }
+
+// The parameter pools. These mirror the schema internal/core/discri.go
+// builds, so generated queries are answerable (not 400s) against any
+// DiScRi-shaped platform; distinct row/col pools keep generated axis
+// pairs distinct (the MDX evaluator rejects the same attribute on both
+// axes).
+var (
+	mdxRowAttrs = []mdxAttr{
+		{"PersonalInformation", "AgeBand10"},
+		{"PersonalInformation", "AgeBand5"},
+		{"MedicalCondition", "HypertensionStatus"},
+		{"FastingBloods", "FBGBand"},
+		{"ECG", "RRVarBand"},
+	}
+	mdxColAttrs = []mdxAttr{
+		{"PersonalInformation", "Gender"},
+		{"MedicalCondition", "DiabetesStatus"},
+		{"ExerciseRoutine", "ExerciseFrequency"},
+		{"LimbHealth", "ReflexStatus"},
+	}
+	// Slicer members guaranteed by the cohort generator.
+	mdxSlicers = []string{
+		"[MedicalCondition].[DiabetesStatus].[Yes]",
+		"[MedicalCondition].[DiabetesStatus].[No]",
+		"[PersonalInformation].[Gender].[F]",
+		"[PersonalInformation].[Gender].[M]",
+	}
+	// Flat-table column pools for DG-SQL and /flatquery.
+	flatGroupCols = []string{
+		"Gender", "DiabetesStatus", "FBGBand", "ExerciseFrequency",
+		"HypertensionStatus", "ReflexStatus", "AgeBandClinical",
+	}
+	flatFilters = []struct{ col, val string }{
+		{"DiabetesStatus", "Yes"},
+		{"DiabetesStatus", "No"},
+		{"Gender", "F"},
+		{"Gender", "M"},
+	}
+)
+
+// requestGen produces the seeded per-request query parameters. One
+// generator serves a whole run; every choice it makes comes from its
+// own rand.Rand, so a (scenario, seed) pair replays the identical
+// request sequence.
+type requestGen struct {
+	rng *rand.Rand
+}
+
+func newRequestGen(seed int64) *requestGen {
+	return &requestGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// next materialises one request for the named mix endpoint.
+func (g *requestGen) next(endpoint string) request {
+	switch endpoint {
+	case EndpointMDX:
+		return request{endpoint: endpoint, method: http.MethodPost, path: "/query", body: g.mdxBody()}
+	case EndpointSQL:
+		return request{endpoint: endpoint, method: http.MethodPost, path: "/sql", body: g.sqlBody()}
+	case EndpointFlatquery:
+		return request{endpoint: endpoint, method: http.MethodPost, path: "/flatquery", body: g.flatBody()}
+	case EndpointFreshness:
+		return request{endpoint: endpoint, method: http.MethodGet, path: "/freshness"}
+	default:
+		// Validate rejects unknown endpoints before a run starts.
+		panic(fmt.Sprintf("loadgen: unknown endpoint %q", endpoint))
+	}
+}
+
+// mdxBody generates one MDX query: a single-axis distribution, a
+// two-axis crosstab, or a sliced crosstab with the PatientCount
+// measure (the paper's Fig 4/5 shape).
+func (g *requestGen) mdxBody() []byte {
+	col := mdxColAttrs[g.rng.Intn(len(mdxColAttrs))]
+	row := mdxRowAttrs[g.rng.Intn(len(mdxRowAttrs))]
+	var mdx string
+	switch g.rng.Intn(3) {
+	case 0:
+		mdx = fmt.Sprintf("SELECT {[%s].[%s].MEMBERS} ON COLUMNS FROM [MedicalMeasures]",
+			col.dim, col.attr)
+	case 1:
+		mdx = fmt.Sprintf(
+			"SELECT {[%s].[%s].MEMBERS} ON COLUMNS, {[%s].[%s].MEMBERS} ON ROWS FROM [MedicalMeasures]",
+			col.dim, col.attr, row.dim, row.attr)
+	default:
+		slicer := mdxSlicers[g.rng.Intn(len(mdxSlicers))]
+		mdx = fmt.Sprintf(
+			"SELECT {[%s].[%s].MEMBERS} ON COLUMNS, NON EMPTY {[%s].[%s].MEMBERS} ON ROWS FROM [MedicalMeasures] WHERE (%s, [Measures].[PatientCount])",
+			col.dim, col.attr, row.dim, row.attr, slicer)
+	}
+	b, _ := json.Marshal(map[string]string{"mdx": mdx})
+	return b
+}
+
+// sqlBody generates one DG-SQL aggregation over the flat table.
+func (g *requestGen) sqlBody() []byte {
+	group := flatGroupCols[g.rng.Intn(len(flatGroupCols))]
+	var sql string
+	switch g.rng.Intn(3) {
+	case 0:
+		sql = fmt.Sprintf("SELECT %s, count(*) AS n FROM visits GROUP BY %s ORDER BY %s", group, group, group)
+	case 1:
+		f := g.pickFilter(group)
+		sql = fmt.Sprintf("SELECT %s, count(*) AS n FROM visits WHERE %s = '%s' GROUP BY %s",
+			group, f.col, f.val, group)
+	default:
+		sql = fmt.Sprintf("SELECT %s, count(*) AS n, avg(FBG) AS meanfbg FROM visits GROUP BY %s", group, group)
+	}
+	b, _ := json.Marshal(map[string]string{"sql": sql})
+	return b
+}
+
+// pickFilter draws a filter clause on a column other than the group-by
+// column, so generated queries stay non-degenerate.
+func (g *requestGen) pickFilter(groupCol string) struct{ col, val string } {
+	pool := make([]struct{ col, val string }, 0, len(flatFilters))
+	for _, f := range flatFilters {
+		if f.col != groupCol {
+			pool = append(pool, f)
+		}
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// flatBody generates one flat-scan baseline query body.
+func (g *requestGen) flatBody() []byte {
+	rows := flatGroupCols[g.rng.Intn(len(flatGroupCols))]
+	doc := map[string]any{"rows": []string{rows}, "agg": "count"}
+	if g.rng.Intn(2) == 0 {
+		f := g.pickFilter(rows)
+		doc["filters"] = []map[string]any{{"column": f.col, "values": []string{f.val}}}
+	}
+	b, _ := json.Marshal(doc)
+	return b
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Knee-detection thresholds. A surface point is "healthy" when the
+// server refuses almost nothing and latency has not left the baseline
+// regime; the knee is the last healthy rate before either gives way.
+const (
+	// kneeShedMax is the highest tolerable shed fraction at the knee:
+	// past 1% refusals, the server is already rationing.
+	kneeShedMax = 0.01
+	// kneeP99Factor bounds latency growth: a point whose p99 exceeds
+	// this multiple of the lowest-rate p99 is queueing, not working.
+	kneeP99Factor = 4.0
+	// concurrencyHeadroom over the Little's-law operating point, so the
+	// admission gate is not the first thing a small burst hits.
+	concurrencyHeadroom = 1.25
+	// queueDepthSeconds of knee-rate arrivals the wait queue should
+	// absorb before shedding.
+	queueDepthSeconds = 0.5
+	// scanBudgetHeadroom over the observed rows-per-query, so the
+	// budget catches runaway queries, not the workload's own p99 shape.
+	scanBudgetHeadroom = 8.0
+)
+
+// Recommendation is the governance-flag derivation from one or more
+// capacity surfaces: the knee of each surface, and the serve flags
+// that place the admission gate just past it.
+type Recommendation struct {
+	// KneeRPS maps scenario name to the highest offered rate that
+	// stayed healthy (shed <= 1%, p99 <= 4x baseline).
+	KneeRPS map[string]float64 `json:"knee_rps"`
+	// ServiceTimeMS is the baseline p50 at the lowest offered rate of
+	// the binding scenario — the per-query service time Little's law
+	// multiplies against.
+	ServiceTimeMS float64 `json:"service_time_ms"`
+	// MaxConcurrent is the suggested -max-concurrent: Little's law
+	// (knee rate x service time) plus headroom.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Queue is the suggested -queue: enough depth to absorb half a
+	// second of knee-rate arrivals.
+	Queue int `json:"queue"`
+	// ScanBudget is the suggested -scan-budget (rows), 0 when the
+	// surfaces carried no rows-scanned telemetry.
+	ScanBudget int `json:"scan_budget,omitempty"`
+	// Notes records how each number was derived, for the operator who
+	// (rightly) distrusts a bare integer.
+	Notes []string `json:"notes"`
+}
+
+// Recommend derives governance flags from capacity surfaces. With
+// several scenarios, the binding one — the lowest knee — drives the
+// flags: the server must survive its least favourable advertised mix.
+func Recommend(surfaces []*Surface) (*Recommendation, error) {
+	if len(surfaces) == 0 {
+		return nil, fmt.Errorf("loadgen: recommend needs at least one surface")
+	}
+	rec := &Recommendation{KneeRPS: map[string]float64{}}
+	bindingKnee := math.Inf(1)
+	var bindingName string
+	var bindingBase SurfacePoint
+	var rowsPerOK float64
+	for _, s := range surfaces {
+		if len(s.Points) == 0 {
+			return nil, fmt.Errorf("loadgen: surface %q has no points", s.Scenario)
+		}
+		knee, base := kneeOf(s.Points)
+		rec.KneeRPS[s.Scenario] = knee.OfferedRPS
+		if knee.OfferedRPS < bindingKnee {
+			bindingKnee = knee.OfferedRPS
+			bindingName = s.Scenario
+			bindingBase = base
+		}
+		for _, p := range s.Points {
+			if p.RowsPerOK > rowsPerOK {
+				rowsPerOK = p.RowsPerOK
+			}
+		}
+	}
+
+	rec.ServiceTimeMS = bindingBase.P50ms
+	serviceS := bindingBase.P50ms / 1e3
+	// Little's law: concurrency at the operating point is rate x
+	// service time; headroom keeps small bursts out of the queue.
+	mc := int(math.Ceil(concurrencyHeadroom * bindingKnee * serviceS))
+	if mc < 2 {
+		mc = 2
+	}
+	rec.MaxConcurrent = mc
+	q := int(math.Ceil(queueDepthSeconds * bindingKnee))
+	if q < mc {
+		q = mc
+	}
+	rec.Queue = q
+	if rowsPerOK > 0 {
+		rec.ScanBudget = int(math.Ceil(scanBudgetHeadroom * rowsPerOK))
+	}
+
+	rec.Notes = append(rec.Notes,
+		fmt.Sprintf("binding scenario %q: knee %.1f rps (last point with shed <= %.0f%% and p99 <= %.0fx baseline)",
+			bindingName, bindingKnee, 100*kneeShedMax, kneeP99Factor),
+		fmt.Sprintf("max_concurrent = ceil(%.2f x %.1f rps x %.1f ms) = %d (Little's law + headroom)",
+			concurrencyHeadroom, bindingKnee, rec.ServiceTimeMS, rec.MaxConcurrent),
+		fmt.Sprintf("queue = max(max_concurrent, ceil(%.1fs x %.1f rps)) = %d",
+			queueDepthSeconds, bindingKnee, rec.Queue))
+	if rec.ScanBudget > 0 {
+		rec.Notes = append(rec.Notes,
+			fmt.Sprintf("scan_budget = ceil(%.0f x %.1f rows/query) = %d",
+				scanBudgetHeadroom, rowsPerOK, rec.ScanBudget))
+	} else {
+		rec.Notes = append(rec.Notes,
+			"scan_budget: no rows-scanned telemetry in surfaces; leave -scan-budget unset or derive from a /metrics-enabled run")
+	}
+	return rec, nil
+}
+
+// kneeOf finds the knee point of a rate-ascending surface and the
+// baseline (lowest-rate) point used to anchor the latency threshold.
+// If even the first point is unhealthy, it is the knee — the operator
+// learns the grid started past capacity.
+func kneeOf(points []SurfacePoint) (knee, base SurfacePoint) {
+	base = points[0]
+	knee = points[0]
+	for _, p := range points {
+		if p.ShedRate > kneeShedMax {
+			break
+		}
+		if base.P99ms > 0 && p.P99ms > kneeP99Factor*base.P99ms {
+			break
+		}
+		knee = p
+	}
+	return knee, base
+}
+
+// Flags renders the recommendation as a serve command-line fragment.
+func (r *Recommendation) Flags() string {
+	parts := []string{
+		fmt.Sprintf("-max-concurrent %d", r.MaxConcurrent),
+		fmt.Sprintf("-queue %d", r.Queue),
+	}
+	if r.ScanBudget > 0 {
+		parts = append(parts, fmt.Sprintf("-scan-budget %d", r.ScanBudget))
+	}
+	return strings.Join(parts, " ")
+}

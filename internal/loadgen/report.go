@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// sample is the disposition of one fired request.
+type sample struct {
+	endpoint string
+	status   int  // 0 on transport error
+	errored  bool // transport-level failure (not an HTTP status)
+	latency  time.Duration
+}
+
+// EndpointStats summarises one endpoint's samples.
+type EndpointStats struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"` // 2xx
+	// Status counts responses by HTTP code (JSON object keys must be
+	// strings). Transport errors are under TransportErrors, not here.
+	Status          map[string]int `json:"status,omitempty"`
+	TransportErrors int            `json:"transport_errors,omitempty"`
+	// Latency percentiles over all responded requests (any status), in
+	// milliseconds — shed responses are kept in the distribution
+	// because the client experiences them too; they are cheap, so they
+	// pull percentiles down, never up.
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// ServerDelta is the change in server-side counters over one run,
+// scraped from /metrics before and after. It cross-checks the
+// client-side census (shed seen by the client must equal shed counted
+// by the admission controller) and feeds the scan-budget
+// recommendation.
+type ServerDelta struct {
+	Admitted       float64 `json:"admitted,omitempty"`
+	Shed           float64 `json:"shed,omitempty"`
+	BudgetExceeded float64 `json:"budget_exceeded,omitempty"`
+	RowsScanned    float64 `json:"rows_scanned,omitempty"`
+}
+
+// Report is the census of one run: what was offered, what came back,
+// and how fast.
+type Report struct {
+	Scenario   string  `json:"scenario"`
+	Arrival    string  `json:"arrival"`
+	Seed       int64   `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS counts only 2xx responses: it is the rate of useful
+	// work, which is what flattens (and then degrades) past the knee
+	// while offered keeps climbing.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// ShedRate is (429+503)/sent — the governance pipeline's explicit
+	// refusals. 422 budget trips are reported separately: they indict
+	// the query, not the capacity.
+	ShedRate   float64                  `json:"shed_rate"`
+	BudgetRate float64                  `json:"budget_rate,omitempty"`
+	ErrorRate  float64                  `json:"error_rate,omitempty"` // 5xx other than 503 + transport errors
+	Overall    EndpointStats            `json:"overall"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Server     *ServerDelta             `json:"server,omitempty"`
+}
+
+// PercentileDuration returns the q-th percentile (0 < q <= 100) of ds
+// by the nearest-rank method on a sorted copy: the smallest element
+// such that at least q% of samples are <= it. Exported for reuse by
+// other harnesses (the overload soak reports its admitted p99 through
+// it).
+func PercentileDuration(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[percentileRank(len(sorted), q)]
+}
+
+// percentileRank is the nearest-rank index: ceil(q/100 * n) - 1,
+// clamped to [0, n-1].
+func percentileRank(n int, q float64) int {
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// buildStats folds samples into an EndpointStats.
+func buildStats(samples []sample) EndpointStats {
+	st := EndpointStats{Status: map[string]int{}}
+	var lats []time.Duration
+	var sum time.Duration
+	for _, s := range samples {
+		st.Requests++
+		if s.errored {
+			st.TransportErrors++
+			continue
+		}
+		st.Status[strconv.Itoa(s.status)]++
+		if s.status >= 200 && s.status < 300 {
+			st.OK++
+		}
+		lats = append(lats, s.latency)
+		sum += s.latency
+	}
+	if len(lats) > 0 {
+		st.P50ms = PercentileDuration(lats, 50).Seconds() * 1e3
+		st.P95ms = PercentileDuration(lats, 95).Seconds() * 1e3
+		st.P99ms = PercentileDuration(lats, 99).Seconds() * 1e3
+		st.MeanMs = (sum / time.Duration(len(lats))).Seconds() * 1e3
+	}
+	if len(st.Status) == 0 {
+		st.Status = nil
+	}
+	return st
+}
+
+// buildReport folds a run's samples into the full census.
+func buildReport(sc Scenario, d time.Duration, offered float64, samples []sample, srv *ServerDelta) *Report {
+	rep := &Report{
+		Scenario:   sc.Name,
+		Arrival:    sc.Arrival.Process,
+		Seed:       sc.seed(),
+		DurationS:  d.Seconds(),
+		OfferedRPS: offered,
+		Endpoints:  map[string]EndpointStats{},
+		Server:     srv,
+	}
+	rep.Overall = buildStats(samples)
+	byEndpoint := map[string][]sample{}
+	for _, s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	for ep, ss := range byEndpoint {
+		rep.Endpoints[ep] = buildStats(ss)
+	}
+	if n := rep.Overall.Requests; n > 0 && d > 0 {
+		shed := rep.Overall.Status["429"] + rep.Overall.Status["503"]
+		rep.ShedRate = float64(shed) / float64(n)
+		rep.BudgetRate = float64(rep.Overall.Status["422"]) / float64(n)
+		errs := rep.Overall.TransportErrors
+		for code, c := range rep.Overall.Status {
+			// 503 is accounted as shed, not error; 504 means admitted
+			// work hit the deadline, which is a capacity failure and
+			// counts here.
+			if n, _ := strconv.Atoi(code); n >= 500 && n != 503 {
+				errs += c
+			}
+		}
+		rep.ErrorRate = float64(errs) / float64(n)
+		rep.AchievedRPS = float64(rep.Overall.OK) / d.Seconds()
+	}
+	return rep
+}
+
+// String renders the one-line operator summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"%s/%s: offered %.1f rps -> achieved %.1f rps, p50 %.1fms p95 %.1fms p99 %.1fms, shed %.1f%%, errors %.2f%%",
+		r.Scenario, r.Arrival, r.OfferedRPS, r.AchievedRPS,
+		r.Overall.P50ms, r.Overall.P95ms, r.Overall.P99ms,
+		100*r.ShedRate, 100*r.ErrorRate)
+}

@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// metric families the reporter reads from the target's /metrics. Label
+// sets within a family are summed — the reporter wants "total shed",
+// not per-reason splits (those stay visible on the server's own
+// exposition).
+var scrapedFamilies = map[string]bool{
+	"ddgms_govern_admitted_total":        true,
+	"ddgms_govern_shed_total":            true,
+	"ddgms_govern_budget_exceeded_total": true,
+	"ddgms_exec_rows_scanned_total":      true,
+}
+
+// scrapeMetrics fetches the target's Prometheus exposition and sums
+// the families the reporter cares about. A target without /metrics (or
+// a non-ddgms server) yields an empty map, not an error — server-side
+// deltas are an enrichment, not a requirement.
+func scrapeMetrics(client *http.Client, baseURL string) (map[string]float64, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return map[string]float64{}, nil
+	}
+	return parseFamilySums(resp.Body)
+}
+
+// parseFamilySums reads Prometheus text exposition (version 0.0.4) and
+// returns the per-family value sums for scrapedFamilies.
+func parseFamilySums(r io.Reader) (map[string]float64, error) {
+	sums := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "family{label="v"} 12.3" or "family 12.3"
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !scrapedFamilies[name] {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: parsing metric line %q: %w", line, err)
+		}
+		sums[name] += v
+	}
+	return sums, sc.Err()
+}
+
+// deltaServer converts before/after family sums into a ServerDelta.
+func deltaServer(before, after map[string]float64) *ServerDelta {
+	if len(after) == 0 {
+		return nil
+	}
+	d := func(name string) float64 { return after[name] - before[name] }
+	return &ServerDelta{
+		Admitted:       d("ddgms_govern_admitted_total"),
+		Shed:           d("ddgms_govern_shed_total"),
+		BudgetExceeded: d("ddgms_govern_budget_exceeded_total"),
+		RowsScanned:    d("ddgms_exec_rows_scanned_total"),
+	}
+}

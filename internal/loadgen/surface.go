@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SurfacePoint is one (offered rate → outcome) measurement on the
+// capacity surface.
+type SurfacePoint struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	ShedRate    float64 `json:"shed_rate"`
+	BudgetRate  float64 `json:"budget_rate,omitempty"`
+	ErrorRate   float64 `json:"error_rate,omitempty"`
+	// RowsPerOK is the mean server-side rows scanned per successful
+	// query (from the /metrics scrape); it feeds the -scan-budget
+	// recommendation. Zero when the scrape was unavailable.
+	RowsPerOK float64 `json:"rows_scanned_per_ok,omitempty"`
+	// Status is the full disposition census at this rate.
+	Status map[string]int `json:"status,omitempty"`
+}
+
+// Surface is one scenario's latency/throughput/shed-rate surface over
+// a grid of offered rates — the payload of a BENCH_8.json entry.
+type Surface struct {
+	Scenario  string         `json:"scenario"`
+	Arrival   string         `json:"arrival"`
+	Seed      int64          `json:"seed"`
+	DurationS float64        `json:"duration_s"`
+	Mix       []MixEntry     `json:"mix"`
+	Points    []SurfacePoint `json:"points"`
+}
+
+// SweepRates walks one scenario across a grid of offered rates,
+// producing its capacity surface. Each rate is a fresh open-loop run
+// with the same seed, so points differ only in offered load. A short
+// settle pause between points lets queued work from an overloaded
+// point drain instead of polluting the next measurement.
+func SweepRates(ctx context.Context, cfg RunConfig, rates []float64, settle time.Duration) (*Surface, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep needs at least one rate")
+	}
+	surf := &Surface{
+		Scenario: cfg.Scenario.Name,
+		Arrival:  cfg.Scenario.Arrival.Process,
+		Seed:     cfg.Scenario.seed(),
+		Mix:      cfg.Scenario.Mix,
+	}
+	for i, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("loadgen: sweep rate must be positive, got %v", rate)
+		}
+		if i > 0 && settle > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(settle):
+			}
+		}
+		runCfg := cfg
+		runCfg.RateOverride = rate
+		rep, err := Run(ctx, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep point %v rps: %w", rate, err)
+		}
+		surf.DurationS = rep.DurationS
+		pt := SurfacePoint{
+			OfferedRPS:  rep.OfferedRPS,
+			AchievedRPS: rep.AchievedRPS,
+			P50ms:       rep.Overall.P50ms,
+			P95ms:       rep.Overall.P95ms,
+			P99ms:       rep.Overall.P99ms,
+			ShedRate:    rep.ShedRate,
+			BudgetRate:  rep.BudgetRate,
+			ErrorRate:   rep.ErrorRate,
+			Status:      rep.Overall.Status,
+		}
+		if rep.Server != nil && rep.Overall.OK > 0 && rep.Server.RowsScanned > 0 {
+			pt.RowsPerOK = rep.Server.RowsScanned / float64(rep.Overall.OK)
+		}
+		surf.Points = append(surf.Points, pt)
+	}
+	return surf, nil
+}

@@ -35,7 +35,8 @@ var (
 // routeLabel collapses a request path onto the served endpoint set.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/schema", "/query", "/freshness", "/findings",
+	case "/healthz", "/schema", "/query", "/sql", "/flatquery",
+		"/freshness", "/replication", "/findings",
 		"/findings/reinforce", "/metrics", "/debug/traces":
 		return path
 	}

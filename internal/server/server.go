@@ -198,6 +198,8 @@ func New(p Platform, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /sql", s.handleSQL)
+	s.mux.HandleFunc("POST /flatquery", s.handleFlatQuery)
 	s.mux.HandleFunc("GET /freshness", s.handleFreshness)
 	s.mux.HandleFunc("GET /replication", s.handleReplication)
 	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
@@ -223,7 +225,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Lock()
 	if s.draining {
 		s.drainMu.Unlock()
-		s.writeError(sr, http.StatusServiceUnavailable, "server shutting down")
+		s.writeShed(sr, http.StatusServiceUnavailable, retryAfterDrain, "server shutting down")
 		return
 	}
 	s.inflight.Add(1)
@@ -310,6 +312,48 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Retry-After values (seconds) for the shed paths. The exact numbers
+// matter less than the contract: every capacity refusal (429/503)
+// carries the header, so a well-behaved client herd converges instead
+// of hammering.
+const (
+	// retryAfterBurst: the refusal was instantaneous (full queue, open
+	// breaker); a slot may free up almost immediately.
+	retryAfterBurst = 1
+	// retryAfterQueueWait: the request already waited a full queue
+	// patience; retrying sooner than that would just queue again.
+	retryAfterQueueWait = 2
+	// retryAfterDrain: the process is shutting down; give a replacement
+	// time to come up before retrying here.
+	retryAfterDrain = 5
+)
+
+// writeShed answers a load-shedding refusal. Every 429/503 shed
+// response goes through here so Retry-After is set on all of them —
+// including the drain and shutdown paths — never just the admission
+// ones.
+func (s *Server) writeShed(w http.ResponseWriter, status, retryAfterSeconds int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON POST body into v, answering 413 (body over
+// the configured cap) or 400 (malformed JSON) itself. It reports
+// whether the handler may proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
 }
 
 // handleHealth is liveness; with ?deep=1 it also reports readiness: the
@@ -480,43 +524,36 @@ func (s *Server) evalQuery(ctx context.Context, src string, wantTrace bool, root
 	return s.platform.QueryMDX(src)
 }
 
-// evalQuerySafe is evalQuery with panic containment: an evaluator bug
-// answers 500 (and counts as a breaker failure) without unwinding the
-// whole request path.
-func (s *Server) evalQuerySafe(ctx context.Context, src string, wantTrace bool, root *obs.Span) (cs *cube.CellSet, err error) {
+// governedEval is one query-shaped evaluation running under the
+// governance pipeline: it returns the 200 response document, or an
+// error the shared status mapping in runGoverned translates.
+type governedEval func(ctx context.Context) (any, error)
+
+// safeEval runs eval with panic containment: an evaluator bug answers
+// 500 (and counts as a breaker failure) without unwinding the whole
+// request path.
+func safeEval(ctx context.Context, eval governedEval) (doc any, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			cs, err = nil, fmt.Errorf("%w: %v", errQueryPanic, rec)
+			doc, err = nil, fmt.Errorf("%w: %v", errQueryPanic, rec)
 		}
 	}()
-	return s.evalQuery(ctx, src, wantTrace, root)
+	return eval(ctx)
 }
 
-// handleQuery runs one MDX query under the full governance pipeline:
+// runGoverned runs one evaluation under the full governance pipeline:
 // admission (concurrency gate + bounded FIFO queue), circuit breaker,
-// per-query budget, then a cancellable inline evaluation. There is no
-// side goroutine: when the deadline, the client or a shutdown cancels
-// the context, the execution kernel itself stops scanning within one
-// check interval and the admission slot is released immediately — under
-// overload the server sheds (429/503) instead of stacking up zombie
-// evaluations behind 504s.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooBig.Limit)
-			return
-		}
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	if req.MDX == "" {
-		s.writeError(w, http.StatusBadRequest, "missing mdx field")
-		return
-	}
-
+// per-query budget, then a cancellable inline evaluation. Every
+// query-shaped endpoint (/query, /sql, /flatquery) shares this path,
+// so the governance contract — 429/503 shed with Retry-After, 422
+// budget trips, 504 cancelled timeouts, 499 vanished clients — holds
+// uniformly across query languages. There is no side goroutine: when
+// the deadline, the client or a shutdown cancels the context, the
+// execution kernel itself stops scanning within one check interval and
+// the admission slot is released immediately — under overload the
+// server sheds (429/503) instead of stacking up zombie evaluations
+// behind 504s.
+func (s *Server) runGoverned(w http.ResponseWriter, r *http.Request, route string, eval governedEval) {
 	// Admission first: a shed request must cost nothing downstream, and
 	// the breaker's half-open probe accounting requires that every
 	// successful Allow is matched by a recorded outcome.
@@ -525,11 +562,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			switch {
 			case errors.Is(err, govern.ErrQueueFull):
-				w.Header().Set("Retry-After", "1")
-				s.writeError(w, http.StatusTooManyRequests, "%v", err)
+				s.writeShed(w, http.StatusTooManyRequests, retryAfterBurst, "%v", err)
 			case errors.Is(err, govern.ErrWaitTimeout):
-				w.Header().Set("Retry-After", "2")
-				s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+				s.writeShed(w, http.StatusServiceUnavailable, retryAfterQueueWait, "%v", err)
 			default: // the client gave up while queued
 				s.writeError(w, statusClientClosedRequest, "client closed request while queued")
 			}
@@ -540,8 +575,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	if s.breaker != nil {
 		if err := s.breaker.Allow(); err != nil {
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			s.writeShed(w, http.StatusServiceUnavailable, retryAfterBurst, "%v", err)
 			return
 		}
 	}
@@ -561,13 +595,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	// Tracing is opt-in per request. The platform's traced surface is
-	// consulted only for traced requests, so test doubles overriding
-	// QueryMDX keep intercepting everything else.
-	wantTrace := r.URL.Query().Get("trace") == "1"
-	tr := s.tracer.StartTrace("query")
-	tr.Root().Annotate("mdx", req.MDX)
-
 	// The query context: the request context (client disconnect), a
 	// shutdown hook (expired drains cancel in-flight work), the query
 	// timeout, and the per-query budget, layered in that order.
@@ -584,32 +611,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx = govern.WithBudget(ctx, s.newBudget())
 	}
 
-	cs, err := s.evalQuerySafe(ctx, req.MDX, wantTrace, tr.Root())
-	tr.Finish()
+	doc, err := safeEval(ctx, eval)
 	switch {
 	case err == nil:
 		failed = false
-		doc := cellSetToDoc(cs)
-		if wantTrace && tr != nil {
-			td := tr.Doc()
-			doc.Trace = &td
-		}
 		s.writeJSON(w, http.StatusOK, doc)
 	case errors.Is(err, errQueryPanic):
-		s.log.Printf("server: /query: %v", err)
+		s.log.Printf("server: %s: %v", route, err)
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, govern.ErrBudgetExceeded):
 		failed = false
 		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		govern.CountCancelled("deadline")
-		s.log.Printf("server: /query cancelled: %v", err)
+		s.log.Printf("server: %s cancelled: %v", route, err)
 		s.writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.queryTimeout)
 	case errors.Is(err, context.Canceled):
 		failed = false
 		if errors.Is(context.Cause(ctx), errShuttingDown) {
 			govern.CountCancelled("shutdown")
-			s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			s.writeShed(w, http.StatusServiceUnavailable, retryAfterDrain, "server shutting down")
 			return
 		}
 		govern.CountCancelled("client_gone")
@@ -618,6 +639,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		failed = false
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
+}
+
+// handleQuery runs one MDX query under the governance pipeline (see
+// runGoverned).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.MDX == "" {
+		s.writeError(w, http.StatusBadRequest, "missing mdx field")
+		return
+	}
+
+	// Tracing is opt-in per request. The platform's traced surface is
+	// consulted only for traced requests, so test doubles overriding
+	// QueryMDX keep intercepting everything else.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	s.runGoverned(w, r, "/query", func(ctx context.Context) (any, error) {
+		tr := s.tracer.StartTrace("query")
+		tr.Root().Annotate("mdx", req.MDX)
+		defer tr.Finish() // also on panic, so the ring keeps the partial trace
+		cs, err := s.evalQuery(ctx, req.MDX, wantTrace, tr.Root())
+		if err != nil {
+			return nil, err
+		}
+		doc := cellSetToDoc(cs)
+		if wantTrace && tr != nil {
+			td := tr.Doc()
+			doc.Trace = &td
+		}
+		return doc, nil
+	})
 }
 
 // handleFreshness reports how far the warehouse trails the OLTP store.
@@ -669,8 +723,7 @@ type findingRequest struct {
 
 func (s *Server) handleFindingsAdd(w http.ResponseWriter, r *http.Request) {
 	var req findingRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	id, err := s.platform.RecordFinding(req.Topic, req.Statement, req.Source)
@@ -688,8 +741,7 @@ type reinforceRequest struct {
 
 func (s *Server) handleFindingsReinforce(w http.ResponseWriter, r *http.Request) {
 	var req reinforceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.platform.KB().Reinforce(req.ID); err != nil {

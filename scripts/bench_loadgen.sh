@@ -1,0 +1,22 @@
+#!/bin/sh
+# Capacity surface: sweep the builtin interactive and analytics
+# scenario mixes across a rate grid against the in-process self-serve
+# target, then derive suggested governance flags from the knee. Writes
+# BENCH_8.json at the repo root. The self-serve target pins an
+# artificial 25ms per-query service time so the knee is a property of
+# the governance flags (max-concurrent 8 -> ~320 rps theoretical
+# ceiling), reproducible on any machine rather than an artifact of
+# host speed. docs/CAPACITY.md interprets this exact output.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/loadgen \
+  -scenario interactive,analytics \
+  -sweep 20,60,120,240,360,480 \
+  -duration "${LOADGEN_DURATION:-4s}" \
+  -service-time 25ms \
+  -max-concurrent 8 -queue 16 -queue-wait 200ms \
+  -recommend \
+  -out BENCH_8.json
+
+echo "wrote BENCH_8.json"

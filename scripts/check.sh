@@ -48,4 +48,7 @@ go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \
 	./internal/exec/ ./internal/govern/ ./internal/server/ ./internal/refresh/
 sh scripts/soak.sh
 
+echo "== loadgen smoke (open-loop run against self-serve target, zero 5xx)"
+sh scripts/loadgen_smoke.sh
+
 echo "check: OK"

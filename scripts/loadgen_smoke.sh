@@ -1,0 +1,11 @@
+#!/bin/sh
+# Loadgen smoke gate: boot the in-process self-serve target, fire a
+# tiny constant-rate open-loop run at it, and fail on zero throughput
+# or any 5xx. This keeps the load generator itself honest (scenarios
+# parse, every endpoint routes, the reporter counts) and catches
+# regressions where a healthy unloaded server starts erroring.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/loadgen -smoke -scenario interactive -duration 2s
+go run ./cmd/loadgen -smoke -scenario analytics -duration 2s
