@@ -40,6 +40,7 @@ import (
 	"github.com/ddgms/ddgms/internal/mining"
 	"github.com/ddgms/ddgms/internal/oltp"
 	"github.com/ddgms/ddgms/internal/report"
+	"github.com/ddgms/ddgms/internal/router"
 	"github.com/ddgms/ddgms/internal/server"
 	"github.com/ddgms/ddgms/internal/storage"
 	"github.com/ddgms/ddgms/internal/value"
@@ -70,6 +71,8 @@ func main() {
 		err = cmdStability(args)
 	case "serve":
 		err = cmdServe(args)
+	case "route":
+		err = cmdRoute(args)
 	case "report":
 		err = cmdReport(args)
 	case "sql":
@@ -98,6 +101,7 @@ commands:
   predict    fit the FBG disease-trajectory Markov model and report transitions
   stability  run the decision-optimisation dimension-ablation check
   serve      expose the warehouse over HTTP/JSON (the CDS service model)
+  route      replica-aware routing front over a set of serve nodes
   report     render the strategic screening-programme report
   sql        run a DG-SQL-style query directly over a flat table (no warehouse)
   can        Ewing battery CAN assessment and hand-grip substitute ranking`)
@@ -461,6 +465,72 @@ func cmdServe(args []string) error {
 	if err := h.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
 	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// cmdRoute runs the replica-aware routing front: one address fanning
+// traffic over a cluster of serve nodes. Writes go to the current
+// primary (resolved by epoch from each backend's /replication), reads
+// are balanced over followers within the staleness bound, and the
+// /cluster endpoint shows the resolved view. After a promotion the
+// front re-homes client traffic on its own — no client reconfiguration.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8350", "listen address")
+	backends := fs.String("backends", "", "comma-separated backend base URLs, e.g. http://127.0.0.1:8360,http://127.0.0.1:8361")
+	maxStaleness := fs.Duration("max-staleness", 5*time.Second, "max follower replication staleness for balanced reads")
+	poll := fs.Duration("poll", 250*time.Millisecond, "backend health/replication probe cadence")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe request deadline")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	fs.Parse(args)
+	if *backends == "" {
+		return fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	rt, err := router.New(router.Config{
+		Backends:     list,
+		PollEvery:    *poll,
+		MaxStaleness: *maxStaleness,
+		ProbeTimeout: *probeTimeout,
+		Log:          log.Default(),
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("routing DD-DGMS on http://%s over %d backends (front endpoints: /cluster /routerz /metrics)\n",
+		*addr, len(list))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "shutting down router, draining in-flight requests...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

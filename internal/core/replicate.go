@@ -19,6 +19,10 @@ import (
 type ReplicateListenConfig struct {
 	// Listener accepts follower connections; required.
 	Listener net.Listener
+	// EpochDir, when set, persists the replication epoch durably so a
+	// restarted primary still knows which epoch it led (and a fenced one
+	// cannot forget it was superseded).
+	EpochDir string
 	// MaxLagSegments evicts followers beyond this WAL-segment lag
 	// (repl.PrimaryConfig). 0 means the repl default.
 	MaxLagSegments uint64
@@ -38,6 +42,8 @@ func (p *Platform) AttachPrimary(cfg ReplicateListenConfig) error {
 	pr, err := repl.StartPrimary(repl.PrimaryConfig{
 		Store:          p.store,
 		Listener:       cfg.Listener,
+		Dir:            cfg.EpochDir,
+		OnFenced:       p.demoteOnFence,
 		MaxLagSegments: cfg.MaxLagSegments,
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		Log:            p.cfg.Log,
@@ -47,6 +53,80 @@ func (p *Platform) AttachPrimary(cfg ReplicateListenConfig) error {
 	}
 	p.replPrimary = pr
 	return nil
+}
+
+// demoteOnFence is the primary's OnFenced hook: a higher epoch appeared
+// on the wire, so this node's leadership is over. The store drops back
+// into replica mode immediately — accepting even one more local write
+// would fork the timeline the cluster has moved to. The fenced Primary
+// object is kept attached so /replication keeps reporting
+// fenced=true; rejoining the cluster as a follower of the new primary
+// is an operator action (stop, then serve -replicate-from).
+func (p *Platform) demoteOnFence(higher uint64) {
+	p.store.SetReplica(true)
+	if p.cfg.Log != nil {
+		p.cfg.Log.Printf("core: fenced at epoch %d: store demoted to replica mode, local writes refused", higher)
+	}
+}
+
+// PromoteConfig parameterises Promote.
+type PromoteConfig struct {
+	// Listener accepts re-homing followers; required.
+	Listener net.Listener
+	// MaxLagSegments / HeartbeatEvery tune the new primary; zero means
+	// the repl defaults.
+	MaxLagSegments uint64
+	HeartbeatEvery time.Duration
+}
+
+// Promote turns this replica platform into the primary of the next
+// epoch: the replication session stops, the local WAL tail is verified
+// end to end, the store leaves replica mode (local commits are accepted
+// again) and a replication listener comes up for surviving followers to
+// re-home to. The follow-mode refresh pipeline keeps running
+// throughout — local commits feed CDC exactly as replicated ones did.
+func (p *Platform) Promote(cfg PromoteConfig) error {
+	if p.replFollower == nil {
+		return fmt.Errorf("core: not a replica; nothing to promote")
+	}
+	pr, err := repl.Promote(repl.PromoteConfig{
+		Follower:       p.replFollower,
+		Listener:       cfg.Listener,
+		OnFenced:       p.demoteOnFence,
+		MaxLagSegments: cfg.MaxLagSegments,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		Log:            p.cfg.Log,
+	})
+	if err != nil {
+		return fmt.Errorf("core: promoting replica: %w", err)
+	}
+	p.replFollower = nil
+	p.replPrimary = pr
+	return nil
+}
+
+// PromoteToPrimary is the HTTP-admin form of Promote: it binds the
+// given replication listen address itself and promotes, returning the
+// new primary's status. This is what POST /promote calls, so an
+// operator can cut a replica over with one request against the node.
+func (p *Platform) PromoteToPrimary(listenAddr string) (repl.Status, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return repl.Status{}, fmt.Errorf("core: promote listener: %w", err)
+	}
+	if err := p.Promote(PromoteConfig{Listener: ln}); err != nil {
+		ln.Close()
+		return repl.Status{}, err
+	}
+	return p.replPrimary.Status(), nil
+}
+
+// RehomeReplica points a replica platform's follower at a different
+// primary (after a promotion elsewhere). No-op on non-replicas.
+func (p *Platform) RehomeReplica(addr string) {
+	if p.replFollower != nil {
+		p.replFollower.Rehome(addr)
+	}
 }
 
 // ReplicateFromConfig parameterises AttachReplica.

@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// The node's replication epoch (fencing term) is persisted on the
+// primary side in its own file: a primary must come back after a crash
+// still knowing which epoch it led, or a fenced ex-primary could
+// restart believing itself current. Followers persist their epoch
+// inside the cursor record instead (see cursor.go); a node that has
+// been both reads the max of the two.
+const (
+	epochMagic = "DDGREPO1"
+	epochFile  = "repl.epoch"
+)
+
+// saveEpoch persists the epoch durably under dir.
+func saveEpoch(fs faultfs.FS, dir string, epoch uint64) error {
+	var buf bytes.Buffer
+	buf.WriteString(epochMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], epoch)
+	buf.Write(tmp[:n])
+	sum := crc32.Checksum(buf.Bytes()[len(epochMagic):], castagnoli)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	buf.Write(crc[:])
+	return writeDurable(fs, dir, epochFile, buf.Bytes())
+}
+
+// loadEpoch reads the persisted epoch; ok=false when none exists or the
+// first save was torn.
+func loadEpoch(fs faultfs.FS, dir string) (epoch uint64, ok bool, err error) {
+	f, err := fs.Open(filepath.Join(dir, epochFile))
+	if err != nil {
+		return 0, false, nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, false, fmt.Errorf("repl: reading epoch: %w", err)
+	}
+	if len(data) < len(epochMagic)+4 || string(data[:len(epochMagic)]) != epochMagic {
+		return 0, false, nil // torn first save
+	}
+	body := data[len(epochMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, false, fmt.Errorf("repl: epoch checksum mismatch")
+	}
+	br := bytes.NewReader(body)
+	epoch, err = binary.ReadUvarint(br)
+	if err != nil || br.Len() != 0 {
+		return 0, false, fmt.Errorf("repl: bad epoch payload")
+	}
+	return epoch, true, nil
+}
+
+// knownEpoch is the highest epoch durably recorded under dir, across
+// both the follower cursor record and the primary epoch file. A node
+// that was promoted and later demoted has both; fencing correctness
+// needs the max.
+func knownEpoch(fs faultfs.FS, dir string) (uint64, error) {
+	var max uint64
+	if e, ok, err := loadEpoch(fs, dir); err != nil {
+		return 0, err
+	} else if ok && e > max {
+		max = e
+	}
+	if e, _, ok, err := loadCursor(fs, dir); err != nil {
+		return 0, err
+	} else if ok && e > max {
+		max = e
+	}
+	return max, nil
+}

@@ -55,6 +55,8 @@ type Follower struct {
 	fs  faultfs.FS
 
 	mu         sync.Mutex
+	addr       string // current primary address; Rehome swaps it
+	epoch      uint64 // highest epoch durably adopted
 	cur        oltp.WALCursor
 	state      string
 	connected  bool
@@ -72,6 +74,11 @@ type Follower struct {
 // errProtocol wraps stream-rule violations (LSN regression, frame out
 // of sequence); like every fault it forces a reconnect.
 var errProtocol = errors.New("repl: protocol violation")
+
+// errStaleEpoch marks a frame from an epoch below ours: the sender is a
+// fenced-or-soon-to-be-fenced ex-primary and nothing it ships may be
+// applied.
+var errStaleEpoch = errors.New("repl: frame from stale epoch")
 
 // maxApplyBatch caps how many buffered tx frames coalesce into one
 // ApplyReplicated call (and so one local fsync) during catch-up.
@@ -112,6 +119,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	f := &Follower{
 		cfg:   cfg,
 		fs:    cfg.FS,
+		addr:  cfg.PrimaryAddr,
 		state: "connecting",
 		ready: make(chan struct{}),
 		done:  make(chan struct{}),
@@ -120,14 +128,27 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 		if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 			return nil, fmt.Errorf("repl: creating cursor dir: %w", err)
 		}
-		cur, ok, err := loadCursor(cfg.FS, cfg.Dir)
+		epoch, cur, ok, err := loadCursor(cfg.FS, cfg.Dir)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
+			f.epoch = epoch
 			f.cur = cur
 		}
+		// A node that once led (or fenced) knows an epoch beyond its
+		// cursor's; the cursor indexes an older timeline then and must
+		// not be resumed from.
+		known, err := knownEpoch(cfg.FS, cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if known > f.epoch {
+			f.epoch = known
+			f.cur = oltp.WALCursor{}
+		}
 	}
+	metricEpoch.Set(float64(f.epoch))
 	cfg.Store.SetReplica(true)
 	f.wg.Add(1)
 	go f.run()
@@ -145,6 +166,40 @@ func (f *Follower) Cursor() oltp.WALCursor {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.cur
+}
+
+// Epoch is the highest replication epoch this follower has durably
+// adopted; Promote leads the next one.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// primaryAddr is the address the reconnect loop currently dials.
+func (f *Follower) primaryAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.addr
+}
+
+// Rehome points the follower at a different primary — after a
+// promotion, survivors re-home to the new leader. The live session (if
+// any) is torn down and the reconnect loop redials the new address;
+// epoch rules take care of the rest (the new primary forces a snapshot
+// bootstrap if our cursor indexes a superseded timeline).
+func (f *Follower) Rehome(addr string) {
+	f.mu.Lock()
+	if f.addr == addr {
+		f.mu.Unlock()
+		return
+	}
+	f.addr = addr
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // Close stops the session loop and leaves the store in replica mode
@@ -173,7 +228,8 @@ func (f *Follower) Status() Status {
 	cur := f.cur
 	st := Status{
 		Role:       "follower",
-		Primary:    f.cfg.PrimaryAddr,
+		Epoch:      f.epoch,
+		Primary:    f.addr,
 		ID:         f.cfg.ID,
 		State:      f.state,
 		Connected:  f.connected,
@@ -221,10 +277,11 @@ func (f *Follower) run() {
 		f.mu.Lock()
 		f.reconnects++
 		f.mu.Unlock()
-		conn, err := f.cfg.Dial(f.cfg.PrimaryAddr, f.cfg.DialTimeout)
+		addr := f.primaryAddr()
+		conn, err := f.cfg.Dial(addr, f.cfg.DialTimeout)
 		if err != nil {
 			faultConn.Inc()
-			f.logf("repl: dial %s: %v", f.cfg.PrimaryAddr, err)
+			f.logf("repl: dial %s: %v", addr, err)
 			if !f.sleep(backoff) {
 				return
 			}
@@ -249,7 +306,7 @@ func (f *Follower) run() {
 		}
 		if err != nil {
 			f.countFault(err)
-			f.logf("repl: session with %s ended: %v", f.cfg.PrimaryAddr, err)
+			f.logf("repl: session with %s ended: %v", addr, err)
 		}
 		if productive {
 			backoff = f.cfg.BackoffMin
@@ -264,6 +321,9 @@ func (f *Follower) run() {
 
 func (f *Follower) countFault(err error) {
 	switch {
+	case errors.Is(err, errStaleEpoch):
+		faultEpoch.Inc()
+		metricFenced.Inc()
 	case errors.Is(err, ErrBadFrame):
 		faultFrame.Inc()
 	case errors.Is(err, errProtocol):
@@ -305,9 +365,10 @@ func (f *Follower) nextBackoff(d time.Duration) time.Duration {
 func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 	f.mu.Lock()
 	cur := f.cur
+	epoch := f.epoch
 	f.mu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
-	hello := frame{typ: fHello, lsn: cur, payload: encodeHello(f.cfg.ID, schemaHash(f.cfg.Store.Schema()))}
+	hello := frame{typ: fHello, epoch: epoch, lsn: cur, payload: encodeHello(f.cfg.ID, schemaHash(f.cfg.Store.Schema()))}
 	if err := writeFrame(conn, hello); err != nil {
 		return false, err
 	}
@@ -335,6 +396,18 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 		f.mu.Lock()
 		f.lastFrame = time.Now()
 		f.mu.Unlock()
+
+		// Fencing: no frame from an epoch below ours is ever applied —
+		// its sender is a superseded primary. Frames from a HIGHER epoch
+		// are only acceptable as a snapshot bootstrap (our cursor indexes
+		// the old timeline, so resuming mid-stream would be wrong); the
+		// epoch is adopted durably together with the snapshot cursor.
+		if fr.epoch < epoch && fr.typ != fError {
+			return productive, fmt.Errorf("%w: %s frame from epoch %d, ours %d", errStaleEpoch, fr.typ, fr.epoch, epoch)
+		}
+		if fr.epoch > epoch && fr.typ != fSnapBegin && fr.typ != fError {
+			return productive, fmt.Errorf("%w: %s frame from newer epoch %d without snapshot bootstrap (ours %d)", errProtocol, fr.typ, fr.epoch, epoch)
+		}
 
 		switch fr.typ {
 		case fTx:
@@ -383,10 +456,10 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			}
 			metricTxApplied.Add(uint64(len(batch)))
 			cur = last
-			if err := f.advance(cur); err != nil {
+			if err := f.advance(epoch, cur); err != nil {
 				return productive, err
 			}
-			if err := f.ack(conn, cur); err != nil {
+			if err := f.ack(conn, epoch, cur); err != nil {
 				return productive, err
 			}
 
@@ -399,11 +472,11 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			// cursor may fast-forward even though no tx frames arrived.
 			if cur.Less(fr.lsn) {
 				cur = fr.lsn
-				if err := f.advance(cur); err != nil {
+				if err := f.advance(epoch, cur); err != nil {
 					return productive, err
 				}
 			}
-			if err := f.ack(conn, cur); err != nil {
+			if err := f.ack(conn, epoch, cur); err != nil {
 				return productive, err
 			}
 			f.markReady()
@@ -416,6 +489,11 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			if err != nil {
 				return productive, err
 			}
+			// Adopt the sender's (equal or higher) epoch: it becomes
+			// durable only at fSnapEnd, in the same record as the
+			// snapshot cursor, so a fault mid-bootstrap leaves the old
+			// (epoch, cursor) pair intact.
+			epoch = fr.epoch
 			snapping, snapLSN, snapRows = true, fr.lsn, rows
 			snapAccum = snapAccum[:0]
 			f.setState("snapshotting")
@@ -423,7 +501,7 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			f.resyncs++
 			f.mu.Unlock()
 			metricResyncs.Inc()
-			f.logf("repl: snapshot bootstrap from %s: %d rows at %s", f.cfg.PrimaryAddr, rows, fr.lsn)
+			f.logf("repl: snapshot bootstrap from %s: %d rows at %s (epoch %d)", conn.RemoteAddr(), rows, fr.lsn, epoch)
 
 		case fSnapChunk:
 			if !snapping {
@@ -463,10 +541,10 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 				return productive, err
 			}
 			cur = snapLSN
-			if err := f.advance(cur); err != nil {
+			if err := f.advance(epoch, cur); err != nil {
 				return productive, err
 			}
-			if err := f.ack(conn, cur); err != nil {
+			if err := f.ack(conn, epoch, cur); err != nil {
 				return productive, err
 			}
 			snapping = false
@@ -482,21 +560,23 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 	}
 }
 
-// advance persists the new durable cursor.
-func (f *Follower) advance(cur oltp.WALCursor) error {
+// advance persists the new durable (epoch, cursor) pair.
+func (f *Follower) advance(epoch uint64, cur oltp.WALCursor) error {
 	if f.cfg.Dir != "" {
-		if err := saveCursor(f.fs, f.cfg.Dir, cur); err != nil {
+		if err := saveCursor(f.fs, f.cfg.Dir, epoch, cur); err != nil {
 			return err
 		}
 	}
 	f.mu.Lock()
+	f.epoch = epoch
 	f.cur = cur
 	f.mu.Unlock()
+	metricEpoch.Set(float64(epoch))
 	return nil
 }
 
-// ack reports the applied cursor back to the primary.
-func (f *Follower) ack(conn net.Conn, cur oltp.WALCursor) error {
+// ack reports the applied cursor (and our epoch) back to the primary.
+func (f *Follower) ack(conn net.Conn, epoch uint64, cur oltp.WALCursor) error {
 	conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
-	return writeFrame(conn, frame{typ: fAck, lsn: cur})
+	return writeFrame(conn, frame{typ: fAck, epoch: epoch, lsn: cur})
 }

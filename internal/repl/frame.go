@@ -37,16 +37,23 @@ import (
 //
 //	magic   uint32  "DRPL"
 //	type    uint8
+//	epoch   uint64  sender's replication epoch (fencing term)
 //	lsn.seq uint64
 //	lsn.off uint64  (as uint64 two's complement of the int64 offset)
 //	length  uint32  payload bytes
 //	crc     uint32  CRC32-C over type..length header bytes + payload
 //	payload [length]byte
+//
+// Every frame carries the sender's epoch so fencing needs no extra
+// round trips: a follower rejects any frame from an epoch below its
+// own, and a primary fences itself the moment a hello or ack arrives
+// from a higher epoch. Wire version 2 added the epoch field; there is
+// no cross-version compatibility (both ends ship in this repo).
 const (
 	frameMagic  = uint32(0x4452504C) // "DRPL"
-	headerLen   = 4 + 1 + 8 + 8 + 4 + 4
+	headerLen   = 4 + 1 + 8 + 8 + 8 + 4 + 4
 	maxPayload  = 1 << 26 // matches the WAL's own frame bound
-	wireVersion = 1
+	wireVersion = 2
 )
 
 // frameType discriminates wire frames.
@@ -113,6 +120,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // frame is one wire frame.
 type frame struct {
 	typ     frameType
+	epoch   uint64
 	lsn     oltp.WALCursor
 	payload []byte
 }
@@ -125,12 +133,13 @@ func appendFrame(buf []byte, f frame) ([]byte, error) {
 	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
 	hdr[4] = byte(f.typ)
-	binary.LittleEndian.PutUint64(hdr[5:13], f.lsn.Seq)
-	binary.LittleEndian.PutUint64(hdr[13:21], uint64(f.lsn.Off))
-	binary.LittleEndian.PutUint32(hdr[21:25], uint32(len(f.payload)))
-	crc := crc32.Checksum(hdr[4:25], castagnoli)
+	binary.LittleEndian.PutUint64(hdr[5:13], f.epoch)
+	binary.LittleEndian.PutUint64(hdr[13:21], f.lsn.Seq)
+	binary.LittleEndian.PutUint64(hdr[21:29], uint64(f.lsn.Off))
+	binary.LittleEndian.PutUint32(hdr[29:33], uint32(len(f.payload)))
+	crc := crc32.Checksum(hdr[4:33], castagnoli)
 	crc = crc32.Update(crc, castagnoli, f.payload)
-	binary.LittleEndian.PutUint32(hdr[25:29], crc)
+	binary.LittleEndian.PutUint32(hdr[33:37], crc)
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, f.payload...)
 	return buf, nil
@@ -163,24 +172,25 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, fmt.Errorf("%w: bad magic %08x", ErrBadFrame, binary.LittleEndian.Uint32(hdr[0:4]))
 	}
 	f := frame{
-		typ: frameType(hdr[4]),
+		typ:   frameType(hdr[4]),
+		epoch: binary.LittleEndian.Uint64(hdr[5:13]),
 		lsn: oltp.WALCursor{
-			Seq: binary.LittleEndian.Uint64(hdr[5:13]),
-			Off: int64(binary.LittleEndian.Uint64(hdr[13:21])),
+			Seq: binary.LittleEndian.Uint64(hdr[13:21]),
+			Off: int64(binary.LittleEndian.Uint64(hdr[21:29])),
 		},
 	}
-	length := binary.LittleEndian.Uint32(hdr[21:25])
+	length := binary.LittleEndian.Uint32(hdr[29:33])
 	if length > maxPayload {
 		return frame{}, fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, length, maxPayload)
 	}
-	want := binary.LittleEndian.Uint32(hdr[25:29])
+	want := binary.LittleEndian.Uint32(hdr[33:37])
 	if length > 0 {
 		f.payload = make([]byte, length)
 		if _, err := io.ReadFull(r, f.payload); err != nil {
 			return frame{}, err
 		}
 	}
-	crc := crc32.Checksum(hdr[4:25], castagnoli)
+	crc := crc32.Checksum(hdr[4:33], castagnoli)
 	crc = crc32.Update(crc, castagnoli, f.payload)
 	if crc != want {
 		return frame{}, fmt.Errorf("%w: checksum mismatch on %s frame", ErrBadFrame, f.typ)

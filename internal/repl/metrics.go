@@ -41,10 +41,17 @@ var (
 	metricCursorSaves = obs.Default().Counter(
 		"ddgms_repl_cursor_saves_total",
 		"Durable replication cursor writes (follower side).")
+	metricEpoch = obs.Default().Gauge(
+		"ddgms_repl_epoch",
+		"This node's replication epoch (fencing term); bumps on promotion.")
+	metricFenced = obs.Default().Counter(
+		"ddgms_repl_fenced_total",
+		"Times this node fenced itself or rejected a stale-epoch peer.")
 
 	faultConn     = metricFaults.WithLabelValues("conn")
 	faultFrame    = metricFaults.WithLabelValues("frame")
 	faultTimeout  = metricFaults.WithLabelValues("timeout")
 	faultProtocol = metricFaults.WithLabelValues("protocol")
 	faultApply    = metricFaults.WithLabelValues("apply")
+	faultEpoch    = metricFaults.WithLabelValues("epoch")
 )

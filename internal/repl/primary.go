@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ddgms/ddgms/internal/faultfs"
 	"github.com/ddgms/ddgms/internal/oltp"
 )
 
@@ -18,6 +19,21 @@ type PrimaryConfig struct {
 	// Listener accepts follower connections. The primary owns it and
 	// closes it on Close. Tests inject a faultnet-wrapped listener.
 	Listener net.Listener
+	// Epoch is the replication epoch this primary leads. Zero means
+	// "resolve from Dir": the highest durably recorded epoch, or 1 on a
+	// fresh node. Promote passes follower-epoch+1 explicitly.
+	Epoch uint64
+	// Dir, when set, persists the epoch durably (and is where a
+	// previously-follower node left its cursor record). A primary that
+	// restarts without it cannot prove which epoch it led.
+	Dir string
+	// FS is the filesystem for epoch persistence; nil means the real one.
+	FS faultfs.FS
+	// OnFenced fires (once, from its own goroutine) when this primary
+	// observes a higher epoch on the wire and fences itself: it has
+	// stopped streaming and refuses all sessions. The hook is where the
+	// embedding process demotes the store back to replica mode.
+	OnFenced func(higherEpoch uint64)
 	// MaxLagSegments evicts a follower's retention pin once it falls
 	// more than this many WAL segments behind the durable tail; the
 	// follower must snapshot-bootstrap when it returns. 0 disables
@@ -64,19 +80,45 @@ type Primary struct {
 	store  *oltp.Store
 	ln     net.Listener
 	schema uint64
+	epoch  uint64
 
 	mu        sync.Mutex
 	followers map[string]*followerRec
 	closed    bool
+	fenced    bool
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	fenceOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
 // StartPrimary begins accepting followers on cfg.Listener.
 func StartPrimary(cfg PrimaryConfig) (*Primary, error) {
 	if cfg.Store == nil || cfg.Listener == nil {
 		return nil, errors.New("repl: primary needs a store and a listener")
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS{}
+	}
+	if cfg.Epoch == 0 {
+		if cfg.Dir != "" {
+			known, err := knownEpoch(cfg.FS, cfg.Dir)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Epoch = known
+		}
+		if cfg.Epoch == 0 {
+			cfg.Epoch = 1
+		}
+	}
+	if cfg.Dir != "" {
+		if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+			return nil, fmt.Errorf("repl: creating epoch dir: %w", err)
+		}
+		if err := saveEpoch(cfg.FS, cfg.Dir, cfg.Epoch); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.MaxLagSegments == 0 {
 		cfg.MaxLagSegments = 8
@@ -101,9 +143,11 @@ func StartPrimary(cfg PrimaryConfig) (*Primary, error) {
 		store:     cfg.Store,
 		ln:        cfg.Listener,
 		schema:    schemaHash(cfg.Store.Schema()),
+		epoch:     cfg.Epoch,
 		followers: make(map[string]*followerRec),
 		done:      make(chan struct{}),
 	}
+	metricEpoch.Set(float64(p.epoch))
 	p.wg.Add(2)
 	go p.acceptLoop()
 	go p.janitor()
@@ -112,6 +156,46 @@ func StartPrimary(cfg PrimaryConfig) (*Primary, error) {
 
 // Addr is the listener's address, for followers to dial.
 func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// Epoch is the replication epoch this primary leads.
+func (p *Primary) Epoch() uint64 { return p.epoch }
+
+// Fenced reports whether this primary observed a higher epoch and
+// fenced itself.
+func (p *Primary) Fenced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fenced
+}
+
+// fence marks the primary fenced: it stops every stream by closing the
+// follower connections, refuses all future sessions, and fires OnFenced
+// exactly once so the embedding process can demote the store. The
+// listener stays up on purpose — an arriving follower gets an explicit
+// fError refusal naming the higher epoch, which is a faster signal than
+// a connection refused.
+func (p *Primary) fence(higher uint64) {
+	p.mu.Lock()
+	if p.fenced || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.fenced = true
+	for _, rec := range p.followers {
+		if rec.conn != nil {
+			rec.conn.Close()
+		}
+	}
+	p.mu.Unlock()
+	metricFenced.Inc()
+	p.logf("repl: fenced: observed epoch %d above our %d; streaming stopped", higher, p.epoch)
+	p.fenceOnce.Do(func() {
+		if p.cfg.OnFenced != nil {
+			// Untracked on purpose: the hook may call back into Close.
+			go p.cfg.OnFenced(higher)
+		}
+	})
+}
 
 // Close stops accepting, drops every follower connection and releases
 // their retention pins.
@@ -224,10 +308,30 @@ func (p *Primary) handleConn(conn net.Conn) {
 		p.refuse(conn, fmt.Sprintf("schema hash mismatch: primary %016x, follower %016x", p.schema, schema))
 		return
 	}
+	if hello.epoch > p.epoch {
+		// The cluster moved on without us: someone was promoted to a
+		// higher epoch while we still think we lead. Fence before
+		// refusing — we must not ship another frame.
+		p.fence(hello.epoch)
+		p.refuse(conn, fmt.Sprintf("fenced: follower at epoch %d, we led epoch %d", hello.epoch, p.epoch))
+		return
+	}
+	// A follower from a lower epoch carries a cursor into a superseded
+	// timeline; its position is meaningless against our WAL. Force a
+	// snapshot bootstrap by discarding the resume cursor.
+	resume := hello.lsn
+	if hello.epoch < p.epoch {
+		p.logf("repl: follower %q at stale epoch %d (ours %d): forcing snapshot bootstrap", id, hello.epoch, p.epoch)
+		resume = oltp.WALCursor{}
+	}
 
 	p.mu.Lock()
-	if p.closed {
+	if p.closed || p.fenced {
+		fenced := p.fenced
 		p.mu.Unlock()
+		if fenced {
+			p.refuse(conn, fmt.Sprintf("fenced: this primary's epoch %d was superseded", p.epoch))
+		}
 		return
 	}
 	rec := p.followers[id]
@@ -259,13 +363,13 @@ func (p *Primary) handleConn(conn net.Conn) {
 	// connDone wakes the writer when the ack reader dies.
 	connDone := make(chan struct{})
 	go p.readAcks(conn, rec, connDone)
-	p.stream(conn, rec, hello.lsn, connDone)
+	p.stream(conn, rec, resume, connDone)
 }
 
 func (p *Primary) refuse(conn net.Conn, msg string) {
 	faultProtocol.Inc()
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-	writeFrame(conn, frame{typ: fError, payload: []byte(msg)})
+	writeFrame(conn, frame{typ: fError, epoch: p.epoch, payload: []byte(msg)})
 	p.logf("repl: refused follower from %s: %s", conn.RemoteAddr(), msg)
 }
 
@@ -281,6 +385,10 @@ func (p *Primary) readAcks(conn net.Conn, rec *followerRec, connDone chan struct
 		}
 		if fr.typ != fAck {
 			faultProtocol.Inc()
+			return
+		}
+		if fr.epoch > p.epoch {
+			p.fence(fr.epoch)
 			return
 		}
 		p.mu.Lock()
@@ -354,7 +462,7 @@ func (p *Primary) stream(conn net.Conn, rec *followerRec, from oltp.WALCursor, c
 					return
 				}
 				conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-				if err := writeFrame(conn, frame{typ: fTx, lsn: txs[i].End, payload: payload}); err != nil {
+				if err := writeFrame(conn, frame{typ: fTx, epoch: p.epoch, lsn: txs[i].End, payload: payload}); err != nil {
 					faultConn.Inc()
 					return
 				}
@@ -378,7 +486,7 @@ func (p *Primary) stream(conn net.Conn, rec *followerRec, from oltp.WALCursor, c
 			// Caught up: heartbeat carries the streamed-up-to cursor so
 			// an idle follower's cursor (and pin) tracks the tail.
 			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-			if err := writeFrame(conn, frame{typ: fHeartbeat, lsn: cur}); err != nil {
+			if err := writeFrame(conn, frame{typ: fHeartbeat, epoch: p.epoch, lsn: cur}); err != nil {
 				faultConn.Inc()
 				return
 			}
@@ -413,7 +521,7 @@ func (p *Primary) snapshot(conn net.Conn, rec *followerRec, pin string) (oltp.WA
 	}
 	n := snap.Table.Len()
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-	if err := writeFrame(conn, frame{typ: fSnapBegin, lsn: snap.LSN, payload: encodeSnapBegin(uint64(n))}); err != nil {
+	if err := writeFrame(conn, frame{typ: fSnapBegin, epoch: p.epoch, lsn: snap.LSN, payload: encodeSnapBegin(uint64(n))}); err != nil {
 		faultConn.Inc()
 		return oltp.WALCursor{}, err
 	}
@@ -435,13 +543,13 @@ func (p *Primary) snapshot(conn net.Conn, rec *followerRec, pin string) (oltp.WA
 			return oltp.WALCursor{}, err
 		}
 		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-		if err := writeFrame(conn, frame{typ: fSnapChunk, lsn: snap.LSN, payload: payload}); err != nil {
+		if err := writeFrame(conn, frame{typ: fSnapChunk, epoch: p.epoch, lsn: snap.LSN, payload: payload}); err != nil {
 			faultConn.Inc()
 			return oltp.WALCursor{}, err
 		}
 	}
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-	if err := writeFrame(conn, frame{typ: fSnapEnd, lsn: snap.LSN}); err != nil {
+	if err := writeFrame(conn, frame{typ: fSnapEnd, epoch: p.epoch, lsn: snap.LSN}); err != nil {
 		faultConn.Inc()
 		return oltp.WALCursor{}, err
 	}
@@ -451,7 +559,13 @@ func (p *Primary) snapshot(conn net.Conn, rec *followerRec, pin string) (oltp.WA
 
 // Status reports the primary's view for the /replication endpoint.
 func (p *Primary) Status() Status {
-	st := Status{Role: "primary", Addr: p.ln.Addr().String()}
+	st := Status{
+		Role:    "primary",
+		Epoch:   p.epoch,
+		Addr:    p.ln.Addr().String(),
+		Primary: p.ln.Addr().String(),
+		Fenced:  p.Fenced(),
+	}
 	if durable, err := p.store.DurableLSN(); err == nil {
 		st.DurableLSN = &durable
 	}

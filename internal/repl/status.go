@@ -26,15 +26,28 @@ type FollowerInfo struct {
 type Status struct {
 	// Role is "primary" or "follower".
 	Role string `json:"role"`
+	// Epoch is the node's replication epoch (fencing term). It is
+	// monotonic across promotions: each Promote leads epoch+1, and any
+	// node seeing a higher epoch on the wire knows its own timeline is
+	// stale.
+	Epoch uint64 `json:"epoch"`
+	// Primary is the current primary's replication address as this node
+	// knows it: its own listener address on a primary, the address being
+	// followed on a follower. Routers and operators resolve the cluster
+	// head by taking the highest-epoch non-fenced claimant.
+	Primary string `json:"primary,omitempty"`
 
 	// Primary-side fields.
 	Addr       string          `json:"addr,omitempty"`
 	DurableLSN *oltp.WALCursor `json:"durable_lsn,omitempty"`
 	Followers  []FollowerInfo  `json:"followers,omitempty"`
+	// Fenced is set on an ex-primary that observed a higher epoch: it
+	// has stopped streaming, refuses every replication session, and must
+	// be demoted (core does this via the OnFenced hook).
+	Fenced bool `json:"fenced,omitempty"`
 
 	// Follower-side fields.
-	Primary string `json:"primary,omitempty"`
-	ID      string `json:"id,omitempty"`
+	ID string `json:"id,omitempty"`
 	// State is connecting, snapshotting, streaming or backoff.
 	State     string          `json:"state,omitempty"`
 	Connected bool            `json:"connected,omitempty"`

@@ -1,0 +1,42 @@
+package router
+
+import "github.com/ddgms/ddgms/internal/obs"
+
+// Routing-front metric families. The target label is a role
+// (primary/follower), never a backend address, so request-counter
+// cardinality stays bounded; per-backend gauges use the configured
+// backend list, which is fixed for the router's lifetime.
+var (
+	metricRequests = obs.Default().CounterVec(
+		"ddgms_router_requests_total",
+		"Requests through the routing front, by class and target role.",
+		"class", "target")
+	metricSheds = obs.Default().CounterVec(
+		"ddgms_router_sheds_total",
+		"Requests the router refused or failed itself (502/503), by reason.",
+		"reason")
+	metricReadRetries = obs.Default().Counter(
+		"ddgms_router_read_retries_total",
+		"Read requests replayed against another backend after a transport error.")
+	metricReadsToPrimary = obs.Default().Counter(
+		"ddgms_router_reads_to_primary_total",
+		"Reads served by the primary because no follower was fresh enough.")
+	metricFailovers = obs.Default().Counter(
+		"ddgms_router_failovers_total",
+		"Times the resolved primary changed identity.")
+	metricPrimaryEpoch = obs.Default().Gauge(
+		"ddgms_router_primary_epoch",
+		"Epoch of the currently resolved primary (0 when none).")
+	metricBackendHealthy = obs.Default().GaugeVec(
+		"ddgms_router_backend_healthy",
+		"Whether the backend answered its last health probe (1/0).",
+		"backend")
+	metricBackendEligible = obs.Default().GaugeVec(
+		"ddgms_router_backend_read_eligible",
+		"Whether the backend is currently eligible for balanced reads (1/0).",
+		"backend")
+
+	shedNoPrimary  = metricSheds.WithLabelValues("no_primary")
+	shedNoBackend  = metricSheds.WithLabelValues("no_backend")
+	shedProxyError = metricSheds.WithLabelValues("proxy_error")
+)

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/core"
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/repl"
+)
+
+// TestHandlePromote exercises the HTTP face of failover: a replica is
+// cut over with one POST /promote against the node, after which it
+// reports as the epoch-2 primary; the request is rejected with 400 on
+// a missing listen address and 409 when the node has nothing to
+// promote (it already leads).
+func TestHandlePromote(t *testing.T) {
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 40
+	raw, err := discri.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	primary := core.New(core.Config{DataDir: filepath.Join(dir, "primary")})
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Store().LoadTable(raw); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AttachPrimary(core.ReplicateListenConfig{
+		Listener:       ln,
+		HeartbeatEvery: 25 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := core.New(core.Config{DataDir: filepath.Join(dir, "replica")})
+	t.Cleanup(func() { replica.Close() })
+	if err := replica.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.AttachReplica(core.ReplicateFromConfig{
+		PrimaryAddr: ln.Addr().String(),
+		ID:          "reader-1",
+		CursorDir:   filepath.Join(dir, "replcur"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-replica.ReplicaReady():
+	case <-time.After(10 * time.Second):
+		t.Fatal("replica never caught up")
+	}
+
+	pts := serveHandler(t, New(primary))
+	rts := serveHandler(t, New(replica))
+
+	// Missing listen address: rejected before anything changes.
+	var errBody map[string]string
+	if code := postJSON(t, rts.URL+"/promote", map[string]string{}, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("POST /promote without listen = %d, want 400", code)
+	}
+
+	// A primary has nothing to promote: conflict, not success.
+	if code := postJSON(t, pts.URL+"/promote", map[string]string{"listen": "127.0.0.1:0"}, &errBody); code != http.StatusConflict {
+		t.Fatalf("POST /promote on the primary = %d, want 409", code)
+	}
+
+	// The real cutover: the old primary dies first, then one request
+	// flips the replica.
+	primary.StopReplication()
+	var st repl.Status
+	if code := postJSON(t, rts.URL+"/promote", map[string]string{"listen": "127.0.0.1:0"}, &st); code != http.StatusOK {
+		t.Fatalf("POST /promote on the replica = %d, want 200", code)
+	}
+	if st.Role != "primary" || st.Epoch != 2 || st.Fenced {
+		t.Fatalf("promoted status = %+v", st)
+	}
+	// The node's own /replication now agrees, and local writes work.
+	var again repl.Status
+	if code := getJSON(t, rts.URL+"/replication", &again); code != http.StatusOK || again.Role != "primary" || again.Epoch != 2 {
+		t.Fatalf("GET /replication after promote = %d %+v", code, again)
+	}
+	if replica.Store().IsReplica() {
+		t.Fatal("promoted store still refuses local writes")
+	}
+}
+
+func TestPromoteNotSupported(t *testing.T) {
+	ts := testServer(t) // standalone platform: no replication roles
+	var body map[string]string
+	if code := postJSON(t, ts.URL+"/promote", map[string]string{"listen": "127.0.0.1:0"}, &body); code != http.StatusConflict {
+		t.Fatalf("POST /promote without replication = %d, want 409 (nothing to promote)", code)
+	}
+	if body["error"] == "" {
+		t.Fatal("409 body carries no error message")
+	}
+}

@@ -76,6 +76,14 @@ type ReplicationReporter interface {
 	Replication() (repl.Status, bool)
 }
 
+// Promoter is the optional platform surface behind POST /promote.
+// *core.Platform always satisfies it; a platform that is not currently
+// a replica answers 409 (nothing to promote), and a platform type
+// without the method at all answers 404.
+type Promoter interface {
+	PromoteToPrimary(listenAddr string) (repl.Status, error)
+}
+
 // TracedQuerier is the optional platform surface behind ?trace=1.
 // It is checked only for traced requests, so a test wrapper that
 // overrides QueryMDX (but embeds a type promoting QueryMDXTraced) still
@@ -170,6 +178,11 @@ type Server struct {
 	breaker       *govern.Breaker
 	newBudget     func() *govern.Budget
 
+	// routes records every registered mux pattern so tests (and the
+	// router's classification table) can be checked for drift against
+	// the real endpoint set.
+	routes []string
+
 	inflight sync.WaitGroup
 	drainMu  sync.Mutex
 	draining bool
@@ -195,19 +208,37 @@ func New(p Platform, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /schema", s.handleSchema)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /sql", s.handleSQL)
-	s.mux.HandleFunc("POST /flatquery", s.handleFlatQuery)
-	s.mux.HandleFunc("GET /freshness", s.handleFreshness)
-	s.mux.HandleFunc("GET /replication", s.handleReplication)
-	s.mux.HandleFunc("GET /findings", s.handleFindingsSearch)
-	s.mux.HandleFunc("POST /findings", s.handleFindingsAdd)
-	s.mux.HandleFunc("POST /findings/reinforce", s.handleFindingsReinforce)
-	s.mux.Handle("GET /metrics", obs.Default().Handler())
-	s.mux.Handle("GET /debug/traces", s.tracer.Handler())
+	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
+	s.handle("GET /schema", http.HandlerFunc(s.handleSchema))
+	s.handle("POST /query", http.HandlerFunc(s.handleQuery))
+	s.handle("POST /sql", http.HandlerFunc(s.handleSQL))
+	s.handle("POST /flatquery", http.HandlerFunc(s.handleFlatQuery))
+	s.handle("GET /freshness", http.HandlerFunc(s.handleFreshness))
+	s.handle("GET /replication", http.HandlerFunc(s.handleReplication))
+	s.handle("POST /promote", http.HandlerFunc(s.handlePromote))
+	s.handle("GET /findings", http.HandlerFunc(s.handleFindingsSearch))
+	s.handle("POST /findings", http.HandlerFunc(s.handleFindingsAdd))
+	s.handle("POST /findings/reinforce", http.HandlerFunc(s.handleFindingsReinforce))
+	s.handle("GET /metrics", obs.Default().Handler())
+	s.handle("GET /debug/traces", s.tracer.Handler())
 	return s
+}
+
+// handle registers a route and records its pattern; every mux
+// registration must go through here so Routes stays the single source
+// of truth for the endpoint set.
+func (s *Server) handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.routes = append(s.routes, pattern)
+}
+
+// Routes lists the registered mux patterns ("METHOD /path"). The
+// route-label drift test and the routing front's classification checks
+// are built on it.
+func (s *Server) Routes() []string {
+	out := make([]string, len(s.routes))
+	copy(out, s.routes)
+	return out
 }
 
 // ServeHTTP implements http.Handler: admission control (draining answers
@@ -704,6 +735,40 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 	st, attached := rr.Replication()
 	if !attached {
 		s.writeError(w, http.StatusNotFound, "replication not attached")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// promoteRequest is the POST /promote body: the address the new
+// primary's replication listener binds for re-homing followers.
+type promoteRequest struct {
+	Listen string `json:"listen"`
+}
+
+// handlePromote cuts a replica over to primary (see core.Promote): stop
+// following, verify the local WAL tail, leave replica mode and start a
+// replication listener at the next epoch. 409 (not 5xx) when the node
+// is not a promotable replica — asking the wrong node is an operator
+// error, not a server fault. Deliberately not proxied by the routing
+// front: promotion targets one specific node.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	pr, ok := s.platform.(Promoter)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "platform does not support promotion")
+		return
+	}
+	var req promoteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Listen == "" {
+		s.writeError(w, http.StatusBadRequest, "listen address required (where the new primary ships its WAL from)")
+		return
+	}
+	st, err := pr.PromoteToPrimary(req.Listen)
+	if err != nil {
+		s.writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, st)

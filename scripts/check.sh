@@ -43,6 +43,11 @@ go test -race -count=1 ./internal/faultnet/
 go test -race -run 'TestReplicaFiguresMatchPrimary' -count=1 ./internal/core/
 go test -race -run 'TestApplyReplicated|TestPinWALAtDurable|TestRetentionFloor' -count=1 ./internal/oltp/
 
+echo "== failover suite (promotion, fencing, routing front smoke)"
+go test -race -count=2 ./internal/router/
+go test -race -run 'TestRouterClassifiesEveryRoute|TestHandlePromote' ./internal/server/
+sh scripts/failover_soak.sh
+
 echo "== governance suite (cancellation, admission, budgets, breaker)"
 go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \
 	./internal/exec/ ./internal/govern/ ./internal/server/ ./internal/refresh/

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Failover soak: the promotion and fencing invariants under the race
+# detector, across the deterministic faultnet sweep:
+#
+#   - a promoted follower takes over writes at epoch+1 and surviving
+#     followers re-home onto it (fault-swept: the re-home dial is hit
+#     with drop/partial/corrupt/stall at every early op)
+#   - the returned stale primary is fenced by the higher epoch before
+#     it can fork the timeline (local commits refused)
+#   - replica-mode round trips keep tx-id continuity and a verifiable
+#     WAL tail across SetReplica(true) -> apply -> promote
+#   - platform-level figures stay byte-identical to a never-failed
+#     control across the whole kill -> promote -> re-home cycle
+#
+# This script is the operator entry point and the check.sh gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== promotion + fencing sweep (-race, -count=${FAILOVER_COUNT:-1})"
+go test -race -count="${FAILOVER_COUNT:-1}" \
+	-run 'TestPromote|TestStalePrimaryFencedByHigherEpoch|TestEpochAndCursorPersistence|TestPromotionEpochSurvivesRestart' \
+	./internal/repl/
+
+echo "== replica-mode promotion round trip (-race)"
+go test -race -run 'TestReplicaPromotionRoundTrip|TestVerifyWALTail' ./internal/oltp/
+
+echo "== platform failover soak: figures byte-equivalent to control (-race)"
+go test -race -run 'TestFailoverSoakFiguresByteEquivalent' -count="${FAILOVER_COUNT:-1}" ./internal/core/
+
+echo "failover soak: OK"
