@@ -346,6 +346,8 @@ func cmdServe(args []string) error {
 	replFrom := fs.String("replicate-from", "", "run as a read replica of the primary's -replicate-listen address (implies follow mode; requires -data)")
 	replicaID := fs.String("replica-id", "", "stable follower identity at the primary (required with -replicate-from)")
 	replMaxLag := fs.Uint64("repl-max-lag-segments", 0, "with -replicate-listen, evict followers lagging more than this many WAL segments (0 = default)")
+	promoteListen := fs.String("promote-listen", "", "replication listen address this node binds if promoted; advertised to auto-failover routers and used when POST /promote omits a listen field")
+	peers := fs.String("peers", "", "comma-separated peer base URLs enabling self-healing role recovery: a fenced ex-primary (or a follower stranded on a dead primary) discovers the new primary through them and re-homes itself")
 	fs.Parse(args)
 	if *replFrom != "" && *follow {
 		return fmt.Errorf("-replicate-from implies follow mode; drop -follow")
@@ -385,6 +387,31 @@ func cmdServe(args []string) error {
 			return err
 		}
 		fmt.Printf("shipping WAL to followers on %s\n", ln.Addr())
+	}
+	if *promoteListen != "" {
+		p.SetPromoteListen(*promoteListen)
+	}
+	if *peers != "" {
+		if *replicaID == "" {
+			return fmt.Errorf("-peers requires -replica-id (the identity this node re-homes under)")
+		}
+		if *dataDir == "" {
+			return fmt.Errorf("-peers requires -data (the re-homed follower's cursor lives there)")
+		}
+		var plist []string
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				plist = append(plist, strings.TrimRight(u, "/"))
+			}
+		}
+		if err := p.EnableSelfHeal(core.SelfHealConfig{
+			Peers:     plist,
+			ID:        *replicaID,
+			CursorDir: filepath.Join(*dataDir, "repl"),
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("self-healing enabled over %d peers\n", len(plist))
 	}
 
 	srvOpts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
@@ -487,7 +514,13 @@ func cmdRoute(args []string) error {
 	maxStaleness := fs.Duration("max-staleness", 5*time.Second, "max follower replication staleness for balanced reads")
 	poll := fs.Duration("poll", 250*time.Millisecond, "backend health/replication probe cadence")
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe request deadline")
+	probeBackoffMax := fs.Duration("probe-backoff-max", 5*time.Second, "cap on the exponential probe backoff for persistently dead backends")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	autoFailover := fs.Bool("auto-failover", false, "promote the best follower automatically when the primary is confirmed dead and a majority of backends is reachable (requires -election-dir)")
+	electionDir := fs.String("election-dir", "", "directory for the durable election journal (required with -auto-failover)")
+	failureThreshold := fs.Int("failure-threshold", 3, "consecutive failed observations confirming a backend down")
+	suspicionWindow := fs.Duration("suspicion-window", time.Second, "minimum failure-streak age before a backend is confirmed down")
+	promoteTimeout := fs.Duration("promote-timeout", 3*time.Second, "deadline for each POST /promote the elector issues")
 	fs.Parse(args)
 	if *backends == "" {
 		return fmt.Errorf("-backends is required (comma-separated base URLs)")
@@ -499,11 +532,17 @@ func cmdRoute(args []string) error {
 		}
 	}
 	rt, err := router.New(router.Config{
-		Backends:     list,
-		PollEvery:    *poll,
-		MaxStaleness: *maxStaleness,
-		ProbeTimeout: *probeTimeout,
-		Log:          log.Default(),
+		Backends:         list,
+		PollEvery:        *poll,
+		MaxStaleness:     *maxStaleness,
+		ProbeTimeout:     *probeTimeout,
+		ProbeBackoffMax:  *probeBackoffMax,
+		AutoFailover:     *autoFailover,
+		FailureThreshold: *failureThreshold,
+		SuspicionWindow:  *suspicionWindow,
+		ElectionDir:      *electionDir,
+		PromoteTimeout:   *promoteTimeout,
+		Log:              log.Default(),
 	})
 	if err != nil {
 		return err

@@ -37,22 +37,22 @@ import (
 
 // benchCohort generates one synthetic cohort sized for fast replica
 // bootstrap (the bench measures cutover, not initial sync).
-func benchCohort(b *testing.B, patients int) *storage.Table {
-	b.Helper()
+func benchCohort(tb testing.TB, patients int) *storage.Table {
+	tb.Helper()
 	dcfg := discri.DefaultConfig()
 	dcfg.Patients = patients
 	raw, err := discri.Generate(dcfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return raw
 }
 
-func listen(b *testing.B) net.Listener {
-	b.Helper()
+func listen(tb testing.TB) net.Listener {
+	tb.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return ln
 }
@@ -73,15 +73,15 @@ func (n *failoverNode) close() {
 
 // startFollowing puts the node's platform in follow mode so /query and
 // /freshness answer; the warehouse keeps refreshing across the cutover.
-func startFollowing(b *testing.B, p *core.Platform, cursorDir string) {
-	b.Helper()
+func startFollowing(tb testing.TB, p *core.Platform, cursorDir string) {
+	tb.Helper()
 	if err := p.StartFollow(core.FollowConfig{
 		Pipeline:  core.NewDiScRiPipeline(),
 		Builder:   core.NewDiScRiBuilder(),
 		CursorDir: cursorDir,
 		Setup:     core.FinishDiScRiSetup,
 	}); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 }
 
@@ -89,8 +89,8 @@ func startFollowing(b *testing.B, p *core.Platform, cursorDir string) {
 // until a 2xx answers, returning the elapsed time since start. 429/503
 // sheds and transport errors are the expected mid-cutover answers and
 // are retried; the deadline turns a wedged cutover into a failure.
-func pollThroughFront(b *testing.B, front, path string, body []byte, start time.Time) time.Duration {
-	b.Helper()
+func pollThroughFront(tb testing.TB, front, path string, body []byte, start time.Time) time.Duration {
+	tb.Helper()
 	deadline := time.Now().Add(20 * time.Second)
 	for {
 		resp, err := http.Post(front+path, "application/json", bytes.NewReader(body))
@@ -101,7 +101,7 @@ func pollThroughFront(b *testing.B, front, path string, body []byte, start time.
 			}
 		}
 		if time.Now().After(deadline) {
-			b.Fatalf("front never routed %s after cutover (last err %v)", path, err)
+			tb.Fatalf("front never routed %s after cutover (last err %v)", path, err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -250,6 +250,158 @@ func BenchmarkFailoverPromotion(b *testing.B) {
 
 		front.Close()
 		rt.Close()
+		nodeB.close()
+		a.close()
+	}
+	n := float64(b.N)
+	b.ReportMetric(ttwMS/n, "ttw-ms")
+	b.ReportMetric(ttfrMS/n, "ttfr-ms")
+	b.ReportMetric(shed/n, "shed-rate")
+	b.ReportMetric(errRate/n, "err-rate")
+}
+
+// BenchmarkUnattendedFailover is the autonomous variant: nobody posts
+// /promote. A three-node cluster (quorum needs a majority of the
+// configured backends alive, so two nodes can never self-promote) sits
+// behind a router running the elector; the primary is killed mid-run
+// and the measured ttw/ttfr include the failure detector confirming the
+// death, the quorum check, and the router's own promotion round-trip.
+// Run with -benchtime 1x..3x; every iteration builds a fresh cluster.
+func BenchmarkUnattendedFailover(b *testing.B) {
+	raw := benchCohort(b, 40)
+	var ttwMS, ttfrMS, shed, errRate float64
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+
+		// Node A: the initial primary, seeded with the cohort.
+		pa := core.New(core.Config{DataDir: filepath.Join(dir, "a")})
+		if err := pa.OpenStore(raw.Schema()); err != nil {
+			b.Fatal(err)
+		}
+		if err := pa.Store().LoadTable(raw); err != nil {
+			b.Fatal(err)
+		}
+		startFollowing(b, pa, filepath.Join(dir, "a-cdc"))
+		lnA := listen(b)
+		if err := pa.AttachPrimary(core.ReplicateListenConfig{
+			Listener:       lnA,
+			EpochDir:       filepath.Join(dir, "a-epoch"),
+			HeartbeatEvery: 20 * time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		a := &failoverNode{p: pa, srv: httptest.NewServer(server.New(pa))}
+
+		// Nodes B and C: promotion candidates, each advertising the
+		// replication listener it would bind if elected.
+		replica := func(name string) *failoverNode {
+			p := core.New(core.Config{DataDir: filepath.Join(dir, name)})
+			if err := p.OpenStore(raw.Schema()); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.AttachReplica(core.ReplicateFromConfig{
+				PrimaryAddr: lnA.Addr().String(),
+				ID:          name,
+				CursorDir:   filepath.Join(dir, name+"-cursor"),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			select {
+			case <-p.ReplicaReady():
+			case <-time.After(30 * time.Second):
+				b.Fatalf("replica %s never synced", name)
+			}
+			startFollowing(b, p, filepath.Join(dir, name+"-cdc"))
+			p.SetPromoteListen("127.0.0.1:0")
+			return &failoverNode{p: p, srv: httptest.NewServer(server.New(p))}
+		}
+		nodeB := replica("b")
+		nodeC := replica("c")
+
+		rt, err := router.New(router.Config{
+			Backends:         []string{a.srv.URL, nodeB.srv.URL, nodeC.srv.URL},
+			PollEvery:        30 * time.Millisecond,
+			MaxStaleness:     5 * time.Second,
+			AutoFailover:     true,
+			ElectionDir:      filepath.Join(dir, "election"),
+			FailureThreshold: 3,
+			SuspicionWindow:  150 * time.Millisecond,
+			PromoteTimeout:   3 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		front := httptest.NewServer(rt)
+
+		sc, ok := loadgen.Builtin("interactive")
+		if !ok {
+			b.Fatal("interactive scenario missing")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		var wg sync.WaitGroup
+		var rep *loadgen.Report
+		var runErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, runErr = loadgen.Run(ctx, loadgen.RunConfig{
+				Target:       front.URL,
+				Scenario:     sc,
+				Duration:     4 * time.Second,
+				RateOverride: 40,
+				SkipScrape:   true,
+			})
+		}()
+
+		// Steady state, then the primary dies — and nothing else happens.
+		// Recovery is entirely the router's problem.
+		time.Sleep(1200 * time.Millisecond)
+		a.srv.Close()
+		a.srv = nil
+		pa.StopReplication()
+		killedAt := time.Now()
+
+		findingBody, _ := json.Marshal(map[string]string{
+			"topic":     "failover",
+			"statement": fmt.Sprintf("unattended cutover bench iteration %d", i),
+			"source":    "bench",
+		})
+		queryBody, _ := json.Marshal(map[string]string{
+			"mdx": "SELECT {[PersonalInformation].[Gender].MEMBERS} ON COLUMNS FROM [MedicalMeasures]",
+		})
+		var ttw, ttfr time.Duration
+		var pollWG sync.WaitGroup
+		pollWG.Add(2)
+		go func() {
+			defer pollWG.Done()
+			ttw = pollThroughFront(b, front.URL, "/findings", findingBody, killedAt)
+		}()
+		go func() {
+			defer pollWG.Done()
+			ttfr = pollThroughFront(b, front.URL, "/query", queryBody, killedAt)
+		}()
+		pollWG.Wait()
+
+		wg.Wait()
+		cancel()
+		if runErr != nil {
+			b.Fatal(runErr)
+		}
+		cl := rt.Cluster()
+		if cl.Elections != 1 {
+			b.Fatalf("router issued %d elections, want exactly 1: %+v", cl.Elections, cl)
+		}
+		if cl.Failovers < 1 || cl.Epoch != 2 {
+			b.Fatalf("router never observed the autonomous failover: %+v", cl)
+		}
+		ttwMS += float64(ttw.Nanoseconds()) / 1e6
+		ttfrMS += float64(ttfr.Nanoseconds()) / 1e6
+		shed += rep.ShedRate
+		errRate += rep.ErrorRate
+
+		front.Close()
+		rt.Close()
+		nodeC.close()
 		nodeB.close()
 		a.close()
 	}

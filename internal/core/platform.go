@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"github.com/ddgms/ddgms/internal/cube"
 	"github.com/ddgms/ddgms/internal/etl"
@@ -62,11 +64,27 @@ type Platform struct {
 	// lock that keeps queries out of half-applied refresh batches.
 	follower *refresh.Maintainer
 
+	// replMu guards the replication role fields and self-heal state:
+	// automatic demotion after fencing swaps the role from a background
+	// goroutine while HTTP handlers read status concurrently.
+	replMu sync.Mutex
 	// Exactly one of these is non-nil when replication is attached
 	// (see replicate.go): primaries ship their WAL, replicas apply a
 	// primary's stream into the local store.
 	replPrimary  *repl.Primary
 	replFollower *repl.Follower
+
+	// Self-healing rejoin (see replicate.go): when configured, a fenced
+	// ex-primary demotes in place and re-homes as a follower of the new
+	// primary instead of waiting for an operator.
+	selfHeal     *SelfHealConfig
+	selfHealStop chan struct{}
+	selfHealWG   sync.WaitGroup
+	healBusy     bool
+	// promoteListen is the replication listener this node would bind if
+	// promoted; advertised in Status.PromoteListen so an auto-failover
+	// router knows the node is a viable candidate.
+	promoteListen string
 }
 
 // New creates an empty platform.
@@ -80,6 +98,7 @@ func New(cfg Config) *Platform {
 // Close releases the OLTP store, if one was opened, and detaches any
 // follower and replication role.
 func (p *Platform) Close() error {
+	p.StopSelfHeal()
 	p.StopFollow()
 	p.StopReplication()
 	if p.store == nil {
@@ -98,7 +117,7 @@ func NewPassthroughPipeline() *etl.Pipeline { return &etl.Pipeline{} }
 // store (creating it on first call). Repeated calls append.
 func (p *Platform) Acquire(raw *storage.Table) error {
 	if p.store == nil {
-		s, err := oltp.OpenWith(p.cfg.DataDir, raw.Schema(), oltp.Options{Log: p.cfg.Log})
+		s, err := oltp.OpenWith(p.cfg.DataDir, raw.Schema(), oltp.Options{Log: p.cfg.Log, Meta: p.kbase})
 		if err != nil {
 			return fmt.Errorf("core: opening store: %w", err)
 		}
@@ -117,7 +136,7 @@ func (p *Platform) OpenStore(schema *storage.Schema) error {
 	if p.store != nil {
 		return nil
 	}
-	s, err := oltp.OpenWith(p.cfg.DataDir, schema, oltp.Options{Log: p.cfg.Log})
+	s, err := oltp.OpenWith(p.cfg.DataDir, schema, oltp.Options{Log: p.cfg.Log, Meta: p.kbase})
 	if err != nil {
 		return fmt.Errorf("core: opening store: %w", err)
 	}
@@ -336,9 +355,67 @@ func (p *Platform) ValidateStability(base cube.Query, candidates []cube.AttrRef,
 }
 
 // RecordFinding stores an analysis outcome in the knowledge base — the
-// first half of the knowledge-management loop.
+// first half of the knowledge-management loop. With a store open, the
+// finding travels as a KB event through the OLTP WAL (and therefore
+// through checkpoints, recovery and replication): findings are as
+// durable as the rows they were derived from and survive failover. A
+// storeless platform applies it directly in memory.
 func (p *Platform) RecordFinding(topic, statement, source string) (string, error) {
-	return p.kbase.Add(topic, statement, source)
+	if err := kb.ValidateFinding(topic, statement); err != nil {
+		return "", err
+	}
+	ev := kb.Event{Op: kb.EvAdd, Topic: topic, Statement: statement, Source: source, At: time.Now().UnixNano()}
+	if err := p.commitKBEvent(ev); err != nil {
+		return "", err
+	}
+	f, ok := p.kbase.Lookup(topic, statement)
+	if !ok {
+		return "", fmt.Errorf("core: finding not recorded")
+	}
+	return f.ID, nil
+}
+
+// ReinforceFinding adds one evidence observation to a finding, routed
+// through the same replicated path as RecordFinding.
+func (p *Platform) ReinforceFinding(id string) error {
+	f, err := p.kbase.Get(id)
+	if err != nil {
+		return err
+	}
+	if f.Status == kb.Retracted {
+		return fmt.Errorf("kb: finding %q is retracted", id)
+	}
+	return p.commitKBEvent(kb.Event{Op: kb.EvReinforce, ID: id, At: time.Now().UnixNano()})
+}
+
+// RetractFinding withdraws a finding, routed through the same
+// replicated path as RecordFinding.
+func (p *Platform) RetractFinding(id string) error {
+	if _, err := p.kbase.Get(id); err != nil {
+		return err
+	}
+	return p.commitKBEvent(kb.Event{Op: kb.EvRetract, ID: id, At: time.Now().UnixNano()})
+}
+
+// commitKBEvent routes one KB event through the OLTP store's meta
+// channel when a store is open (the store applies it to the base at
+// commit), or applies it directly for a storeless platform. On a
+// replica the commit is refused with oltp.ErrReplica — KB writes belong
+// on the primary, where replication fans them out.
+func (p *Platform) commitKBEvent(ev kb.Event) error {
+	if p.store == nil {
+		p.kbase.ApplyEvent(ev)
+		return nil
+	}
+	tx := p.store.Begin()
+	defer tx.Rollback()
+	if err := tx.PutMeta(kb.EncodeEvent(ev)); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("core: recording finding: %w", err)
+	}
+	return nil
 }
 
 // AddFeedbackDimension grafts clinician feedback onto the warehouse as a

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
+	"net/http"
 	"time"
 
 	"github.com/ddgms/ddgms/internal/repl"
@@ -14,6 +18,13 @@ import (
 // consumes exactly as if the writes were local — the replica answers
 // /query at full speed from its own warehouse while refusing local
 // writes.
+//
+// With self-healing enabled (EnableSelfHeal), role transitions that
+// used to be operator actions run themselves: a fenced ex-primary tears
+// down its primary session, discovers the new primary through its
+// peers, and re-homes as a follower via the ordinary snapshot-bootstrap
+// path; a follower stranded on a dead primary discovers and re-homes
+// the same way.
 
 // ReplicateListenConfig parameterises AttachPrimary.
 type ReplicateListenConfig struct {
@@ -36,6 +47,8 @@ func (p *Platform) AttachPrimary(cfg ReplicateListenConfig) error {
 	if p.store == nil {
 		return fmt.Errorf("core: no store to replicate")
 	}
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
 	if p.replPrimary != nil || p.replFollower != nil {
 		return fmt.Errorf("core: replication already attached")
 	}
@@ -58,14 +71,25 @@ func (p *Platform) AttachPrimary(cfg ReplicateListenConfig) error {
 // demoteOnFence is the primary's OnFenced hook: a higher epoch appeared
 // on the wire, so this node's leadership is over. The store drops back
 // into replica mode immediately — accepting even one more local write
-// would fork the timeline the cluster has moved to. The fenced Primary
-// object is kept attached so /replication keeps reporting
-// fenced=true; rejoining the cluster as a follower of the new primary
-// is an operator action (stop, then serve -replicate-from).
+// would fork the timeline the cluster has moved to. Without self-heal
+// configured, the fenced Primary object stays attached so /replication
+// keeps reporting fenced=true and rejoining is an operator action; with
+// it, the node re-homes itself (see rejoin).
 func (p *Platform) demoteOnFence(higher uint64) {
 	p.store.SetReplica(true)
 	if p.cfg.Log != nil {
 		p.cfg.Log.Printf("core: fenced at epoch %d: store demoted to replica mode, local writes refused", higher)
+	}
+	p.replMu.Lock()
+	sh, stop := p.selfHeal, p.selfHealStop
+	start := sh != nil && stop != nil && !p.healBusy
+	if start {
+		p.healBusy = true
+		p.selfHealWG.Add(1)
+	}
+	p.replMu.Unlock()
+	if start {
+		go p.rejoin(sh, stop, higher)
 	}
 }
 
@@ -86,6 +110,12 @@ type PromoteConfig struct {
 // re-home to. The follow-mode refresh pipeline keeps running
 // throughout — local commits feed CDC exactly as replicated ones did.
 func (p *Platform) Promote(cfg PromoteConfig) error {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	return p.promoteLocked(cfg)
+}
+
+func (p *Platform) promoteLocked(cfg PromoteConfig) error {
 	if p.replFollower == nil {
 		return fmt.Errorf("core: not a replica; nothing to promote")
 	}
@@ -108,22 +138,44 @@ func (p *Platform) Promote(cfg PromoteConfig) error {
 // PromoteToPrimary is the HTTP-admin form of Promote: it binds the
 // given replication listen address itself and promotes, returning the
 // new primary's status. This is what POST /promote calls, so an
-// operator can cut a replica over with one request against the node.
+// operator — or an auto-failover router — can cut a replica over with
+// one request against the node.
 func (p *Platform) PromoteToPrimary(listenAddr string) (repl.Status, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return repl.Status{}, fmt.Errorf("core: promote listener: %w", err)
 	}
-	if err := p.Promote(PromoteConfig{Listener: ln}); err != nil {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	if err := p.promoteLocked(PromoteConfig{Listener: ln}); err != nil {
 		ln.Close()
 		return repl.Status{}, err
 	}
 	return p.replPrimary.Status(), nil
 }
 
+// SetPromoteListen records the replication listener address this node
+// would bind if promoted. It becomes the default for a POST /promote
+// with no listen field and is advertised in Status.PromoteListen so an
+// auto-failover router can pick this node as a candidate.
+func (p *Platform) SetPromoteListen(addr string) {
+	p.replMu.Lock()
+	p.promoteListen = addr
+	p.replMu.Unlock()
+}
+
+// PromoteListenAddr reports the configured default promote listener.
+func (p *Platform) PromoteListenAddr() string {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	return p.promoteListen
+}
+
 // RehomeReplica points a replica platform's follower at a different
 // primary (after a promotion elsewhere). No-op on non-replicas.
 func (p *Platform) RehomeReplica(addr string) {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
 	if p.replFollower != nil {
 		p.replFollower.Rehome(addr)
 	}
@@ -152,6 +204,12 @@ func (p *Platform) AttachReplica(cfg ReplicateFromConfig) error {
 	if p.store == nil {
 		return fmt.Errorf("core: no store to replicate into")
 	}
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	return p.attachReplicaLocked(cfg)
+}
+
+func (p *Platform) attachReplicaLocked(cfg ReplicateFromConfig) error {
 	if p.replPrimary != nil || p.replFollower != nil {
 		return fmt.Errorf("core: replication already attached")
 	}
@@ -174,6 +232,8 @@ func (p *Platform) AttachReplica(cfg ReplicateFromConfig) error {
 // replica): closed once the local store first reflects the primary as
 // of some recent LSN.
 func (p *Platform) ReplicaReady() <-chan struct{} {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
 	if p.replFollower == nil {
 		return nil
 	}
@@ -181,13 +241,19 @@ func (p *Platform) ReplicaReady() <-chan struct{} {
 }
 
 // Replication reports replication health for the /replication
-// endpoint; ok is false when neither role is attached.
+// endpoint; ok is false when neither role is attached. A follower's
+// status carries the configured promote listener, which is how the
+// routing front learns which nodes it may promote.
 func (p *Platform) Replication() (repl.Status, bool) {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
 	switch {
 	case p.replPrimary != nil:
 		return p.replPrimary.Status(), true
 	case p.replFollower != nil:
-		return p.replFollower.Status(), true
+		st := p.replFollower.Status()
+		st.PromoteListen = p.promoteListen
+		return st, true
 	default:
 		return repl.Status{}, false
 	}
@@ -196,6 +262,8 @@ func (p *Platform) Replication() (repl.Status, bool) {
 // StopReplication detaches either role. Safe to call when none is
 // attached.
 func (p *Platform) StopReplication() {
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
 	if p.replPrimary != nil {
 		p.replPrimary.Close()
 		p.replPrimary = nil
@@ -203,5 +271,271 @@ func (p *Platform) StopReplication() {
 	if p.replFollower != nil {
 		p.replFollower.Close()
 		p.replFollower = nil
+	}
+}
+
+// SelfHealConfig parameterises automatic role recovery.
+type SelfHealConfig struct {
+	// Peers are base HTTP URLs whose /replication endpoint is polled to
+	// discover the current primary — other nodes directly, or a routing
+	// front (whose /replication proxies to its resolved primary).
+	// Required.
+	Peers []string
+	// ID is this node's stable replica identity when it re-homes;
+	// required.
+	ID string
+	// CursorDir persists the re-homed follower's cursor; usually the
+	// same directory as the primary-side epoch file, so fencing
+	// correctness keeps the max of both records.
+	CursorDir string
+	// HeartbeatTimeout tunes the re-homed follower; 0 means default.
+	HeartbeatTimeout time.Duration
+	// BackoffMin/BackoffMax bound the capped, jittered retry delay while
+	// discovery finds no primary. Defaults 500ms / 10s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// ProbeTimeout bounds each discovery request. Default 2s.
+	ProbeTimeout time.Duration
+	// RehomeAfter is how long a follower must be disconnected before the
+	// watchdog starts looking for a successor primary. Default 5s.
+	RehomeAfter time.Duration
+	// WatchEvery is the watchdog cadence. Default 1s.
+	WatchEvery time.Duration
+	// Client issues discovery requests; nil builds a default.
+	Client *http.Client
+}
+
+// EnableSelfHeal arms autonomous role recovery on this platform: a
+// fenced ex-primary demotes and re-homes itself, and a follower whose
+// primary stays unreachable past RehomeAfter discovers the successor
+// and re-homes. Call once, before or after attaching a role; Close (or
+// StopSelfHeal) disarms it.
+func (p *Platform) EnableSelfHeal(cfg SelfHealConfig) error {
+	if len(cfg.Peers) == 0 {
+		return fmt.Errorf("core: self-heal requires at least one peer URL")
+	}
+	if cfg.ID == "" {
+		return fmt.Errorf("core: self-heal requires a replica id")
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 500 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.RehomeAfter <= 0 {
+		cfg.RehomeAfter = 5 * time.Second
+	}
+	if cfg.WatchEvery <= 0 {
+		cfg.WatchEvery = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	p.replMu.Lock()
+	defer p.replMu.Unlock()
+	if p.selfHeal != nil {
+		return fmt.Errorf("core: self-heal already enabled")
+	}
+	p.selfHeal = &cfg
+	p.selfHealStop = make(chan struct{})
+	p.selfHealWG.Add(1)
+	go p.selfHealWatch(&cfg, p.selfHealStop)
+	return nil
+}
+
+// StopSelfHeal disarms self-healing and waits for any in-flight rejoin
+// to wind down. Safe to call when never enabled.
+func (p *Platform) StopSelfHeal() {
+	p.replMu.Lock()
+	stop := p.selfHealStop
+	p.selfHealStop = nil
+	p.selfHeal = nil
+	p.replMu.Unlock()
+	if stop != nil {
+		close(stop)
+		p.selfHealWG.Wait()
+	}
+}
+
+// rejoin is the fenced ex-primary's recovery loop: the (fenced) primary
+// session is torn down in place, then discovery polls the peers until
+// the new primary — the one leading at least the epoch that fenced us —
+// appears, and the node attaches as an ordinary replica. The existing
+// snapshot-bootstrap path heals the diverged timeline: any writes this
+// node committed past the new primary's fork point are wiped and
+// rebuilt from the new primary's snapshot.
+func (p *Platform) rejoin(sh *SelfHealConfig, stop chan struct{}, minEpoch uint64) {
+	defer p.selfHealWG.Done()
+	defer func() {
+		p.replMu.Lock()
+		p.healBusy = false
+		p.replMu.Unlock()
+	}()
+
+	p.replMu.Lock()
+	if p.replPrimary != nil {
+		p.replPrimary.Close()
+		p.replPrimary = nil
+	}
+	p.replMu.Unlock()
+	p.logf("core: self-heal: fenced primary session torn down; discovering successor (epoch >= %d)", minEpoch)
+
+	backoff := sh.BackoffMin
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if addr := p.discoverPrimary(sh, minEpoch); addr != "" {
+			p.replMu.Lock()
+			var err error
+			attached := false
+			if p.replPrimary == nil && p.replFollower == nil {
+				err = p.attachReplicaLocked(ReplicateFromConfig{
+					PrimaryAddr:      addr,
+					ID:               sh.ID,
+					CursorDir:        sh.CursorDir,
+					HeartbeatTimeout: sh.HeartbeatTimeout,
+				})
+				attached = err == nil
+			}
+			p.replMu.Unlock()
+			if attached {
+				p.logf("core: self-heal: re-homed as follower of %s", addr)
+				return
+			}
+			if err == nil {
+				// A role reappeared underneath us (operator action);
+				// nothing left to heal.
+				return
+			}
+			p.logf("core: self-heal: attach to %s failed: %v", addr, err)
+		}
+		// Capped exponential backoff with up to 50% jitter so a fleet of
+		// fenced nodes does not stampede the new primary in lockstep.
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-stop:
+			return
+		case <-time.After(delay):
+		}
+		backoff *= 2
+		if backoff > sh.BackoffMax {
+			backoff = sh.BackoffMax
+		}
+	}
+}
+
+// selfHealWatch is the role watchdog. On a follower: a replica
+// disconnected from its primary past RehomeAfter polls the peers for a
+// successor at a strictly higher epoch and re-homes to it. A mere
+// network blip never re-homes — the old primary answering discovery at
+// the same epoch is not a successor. On a primary: discovery finding
+// any primary at a strictly higher epoch is authoritative proof this
+// node's leadership ended (epochs are fencing terms), so it demotes and
+// re-homes even if nothing ever dialed its replication listener to
+// fence it on the wire — the case of an isolated ex-primary that
+// returns after the cluster has moved on.
+func (p *Platform) selfHealWatch(sh *SelfHealConfig, stop chan struct{}) {
+	defer p.selfHealWG.Done()
+	tick := time.NewTicker(sh.WatchEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		p.replMu.Lock()
+		pr, f := p.replPrimary, p.replFollower
+		busy := p.healBusy
+		p.replMu.Unlock()
+		if busy {
+			continue
+		}
+		if pr != nil {
+			st := pr.Status()
+			if addr := p.discoverPrimary(sh, st.Epoch+1); addr != "" {
+				// Stop accepting local writes before anything else: every
+				// commit past this instant would fork the superseded
+				// timeline further.
+				p.store.SetReplica(true)
+				p.logf("core: self-heal: successor %s leads above epoch %d; demoting in place", addr, st.Epoch)
+				p.replMu.Lock()
+				start := !p.healBusy
+				if start {
+					p.healBusy = true
+					p.selfHealWG.Add(1)
+				}
+				p.replMu.Unlock()
+				if start {
+					go p.rejoin(sh, stop, st.Epoch+1)
+				}
+			}
+			continue
+		}
+		if f == nil {
+			continue
+		}
+		st := f.Status()
+		if st.Connected || st.SecondsSinceFrame < sh.RehomeAfter.Seconds() {
+			continue
+		}
+		addr := p.discoverPrimary(sh, st.Epoch+1)
+		if addr == "" || addr == st.Primary {
+			continue
+		}
+		p.logf("core: self-heal: primary %s unreachable for %.1fs; re-homing to %s",
+			st.Primary, st.SecondsSinceFrame, addr)
+		p.RehomeReplica(addr)
+	}
+}
+
+// discoverPrimary polls the peers' /replication endpoints for a
+// non-fenced primary leading at least minEpoch and returns its
+// replication listener address ("" when none is found yet).
+func (p *Platform) discoverPrimary(sh *SelfHealConfig, minEpoch uint64) string {
+	for _, peer := range sh.Peers {
+		st, err := fetchReplicationStatus(sh.Client, peer, sh.ProbeTimeout)
+		if err != nil {
+			continue
+		}
+		if st.Role == "primary" && !st.Fenced && st.Epoch >= minEpoch && st.Addr != "" {
+			return st.Addr
+		}
+	}
+	return ""
+}
+
+func fetchReplicationStatus(client *http.Client, base string, timeout time.Duration) (repl.Status, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/replication", nil)
+	if err != nil {
+		return repl.Status{}, err
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	defer cancel()
+	resp, err := client.Do(req.WithContext(ctx))
+	if err != nil {
+		return repl.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return repl.Status{}, fmt.Errorf("core: %s/replication answered %d", base, resp.StatusCode)
+	}
+	var st repl.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return repl.Status{}, err
+	}
+	return st, nil
+}
+
+func (p *Platform) logf(format string, args ...any) {
+	if p.cfg.Log != nil {
+		p.cfg.Log.Printf(format, args...)
 	}
 }

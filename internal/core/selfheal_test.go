@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/discri"
+	"github.com/ddgms/ddgms/internal/oltp"
+)
+
+// statusPeer serves a platform's live /replication status over HTTP —
+// the discovery surface self-heal polls. In production this is another
+// node's full HTTP face or the routing front; the tests need only the
+// one endpoint.
+func statusPeer(t *testing.T, p *Platform) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/replication" {
+			http.NotFound(w, r)
+			return
+		}
+		st, ok := p.Replication()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func waitRole(t *testing.T, p *Platform, role, primaryAddr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, ok := p.Replication()
+		if ok && st.Role == role && (primaryAddr == "" || (st.Primary == primaryAddr && st.Connected)) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("platform never reached role=%s primary=%s: %+v ok=%v", role, primaryAddr, st, ok)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// selfHealCluster builds the standard A(primary)+B(replica) pair used
+// by the self-heal tests, with follow mode running on both.
+func selfHealCluster(t *testing.T) (a, b *Platform, lnA net.Listener, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	dcfg := discri.DefaultConfig()
+	dcfg.Patients = 40
+	raw, err := discri.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow := func(p *Platform, name string) {
+		if err := p.StartFollow(FollowConfig{
+			Pipeline:  NewDiScRiPipeline(),
+			Builder:   NewDiScRiBuilder(),
+			CursorDir: filepath.Join(dir, name+"-cdc"),
+			Setup:     FinishDiScRiSetup,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a = New(Config{DataDir: filepath.Join(dir, "a")})
+	t.Cleanup(func() { a.Close() })
+	if err := a.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store().LoadTable(raw); err != nil {
+		t.Fatal(err)
+	}
+	follow(a, "a")
+	lnA, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachPrimary(ReplicateListenConfig{
+		Listener:       lnA,
+		EpochDir:       filepath.Join(dir, "a-repl"),
+		HeartbeatEvery: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	b = New(Config{DataDir: filepath.Join(dir, "b")})
+	t.Cleanup(func() { b.Close() })
+	if err := b.OpenStore(raw.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachReplica(ReplicateFromConfig{
+		PrimaryAddr: lnA.Addr().String(),
+		ID:          "b",
+		CursorDir:   filepath.Join(dir, "b-cursor"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.ReplicaReady():
+	case <-time.After(15 * time.Second):
+		t.Fatal("replica never synced")
+	}
+	follow(b, "b")
+	return a, b, lnA, dir
+}
+
+// TestSelfHealFencedPrimaryRejoinsAutomatically covers the OnFenced
+// path: the old primary is fenced on the wire by a higher-epoch
+// follower handshake, and — with self-heal armed — tears its session
+// down, discovers the new primary through a peer, and re-homes as a
+// follower without any operator action.
+func TestSelfHealFencedPrimaryRejoinsAutomatically(t *testing.T) {
+	a, b, lnA, dir := selfHealCluster(t)
+
+	// Watchdog cadence is deliberately glacial: this test must exercise
+	// the fence hook, not the discovery demotion.
+	if err := a.EnableSelfHeal(SelfHealConfig{
+		Peers:        []string{statusPeer(t, b).URL},
+		ID:           "a",
+		CursorDir:    filepath.Join(dir, "a-repl"),
+		BackoffMin:   20 * time.Millisecond,
+		ProbeTimeout: 500 * time.Millisecond,
+		WatchEvery:   time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// B is promoted (epoch 2) while A is still up — the
+	// split-brain-in-waiting an automatic elector can produce when the
+	// "dead" primary was merely partitioned.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Promote(PromoteConfig{Listener: lnB, HeartbeatEvery: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A follower that joined the epoch-2 timeline is misdirected at A;
+	// its handshake carries the higher epoch and fences A.
+	c := New(Config{DataDir: filepath.Join(dir, "c")})
+	t.Cleanup(func() { c.Close() })
+	if err := c.OpenStore(a.Store().Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachReplica(ReplicateFromConfig{
+		PrimaryAddr: lnB.Addr().String(),
+		ID:          "c",
+		CursorDir:   filepath.Join(dir, "c-cursor"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.ReplicaReady():
+	case <-time.After(15 * time.Second):
+		t.Fatal("follower of promoted primary never synced")
+	}
+	c.RehomeReplica(lnA.Addr().String())
+
+	// Unattended from here: A must fence, demote, discover B and come
+	// back as a connected follower of B.
+	waitRole(t, a, "follower", lnB.Addr().String())
+
+	// The re-homed ex-primary refuses local writes.
+	snap, err := a.Store().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := a.Store().Begin()
+	if _, err := tx.Insert(oltp.Row(snap.Row(0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("re-homed ex-primary accepted a local commit")
+	}
+
+	// And it converges byte-for-byte with the new primary under churn.
+	c.RehomeReplica(lnB.Addr().String())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		commitVisit(t, b, rng)
+	}
+	waitFollowerState(t, b, a)
+}
+
+// TestSelfHealDiscoveryDemotesSupersededPrimary covers the isolation
+// case wire fencing cannot: nothing ever dials the old primary's
+// replication listener, so only peer discovery can tell it a successor
+// leads a higher epoch. The watchdog must demote and re-home it.
+func TestSelfHealDiscoveryDemotesSupersededPrimary(t *testing.T) {
+	a, b, _, dir := selfHealCluster(t)
+
+	if err := a.EnableSelfHeal(SelfHealConfig{
+		Peers:        []string{statusPeer(t, b).URL},
+		ID:           "a",
+		CursorDir:    filepath.Join(dir, "a-repl"),
+		BackoffMin:   20 * time.Millisecond,
+		ProbeTimeout: 500 * time.Millisecond,
+		WatchEvery:   25 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Promote(PromoteConfig{Listener: lnB, HeartbeatEvery: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No follower ever contacts A. Discovery alone must demote it.
+	waitRole(t, a, "follower", lnB.Addr().String())
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		commitVisit(t, b, rng)
+	}
+	waitFollowerState(t, b, a)
+}
+
+// TestSelfHealSurvivorFollowerRehomes covers the third leg: a follower
+// stranded on a dead primary discovers the promoted successor through a
+// peer and re-homes to it by itself.
+func TestSelfHealSurvivorFollowerRehomes(t *testing.T) {
+	a, b, lnA, dir := selfHealCluster(t)
+
+	// C: a second follower of A, the one that will be stranded.
+	c := New(Config{DataDir: filepath.Join(dir, "c")})
+	t.Cleanup(func() { c.Close() })
+	if err := c.OpenStore(a.Store().Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachReplica(ReplicateFromConfig{
+		PrimaryAddr: lnA.Addr().String(),
+		ID:          "c",
+		CursorDir:   filepath.Join(dir, "c-cursor"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.ReplicaReady():
+	case <-time.After(15 * time.Second):
+		t.Fatal("second follower never synced")
+	}
+	if err := c.EnableSelfHeal(SelfHealConfig{
+		Peers:        []string{statusPeer(t, b).URL},
+		ID:           "c",
+		CursorDir:    filepath.Join(dir, "c-cursor"),
+		BackoffMin:   20 * time.Millisecond,
+		ProbeTimeout: 500 * time.Millisecond,
+		WatchEvery:   25 * time.Millisecond,
+		RehomeAfter:  150 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary dies; B is promoted (the router's elector in
+	// production, the test here). C is told nothing.
+	a.StopReplication()
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Promote(PromoteConfig{Listener: lnB, HeartbeatEvery: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitRole(t, c, "follower", lnB.Addr().String())
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		commitVisit(t, b, rng)
+	}
+	waitFollowerState(t, b, c)
+
+	// A same-epoch blip must never have been treated as a successor: C's
+	// one re-home was to the strictly higher epoch.
+	st, ok := c.Replication()
+	if !ok || st.Epoch != 2 {
+		t.Fatalf("re-homed follower epoch = %+v ok=%v, want epoch 2", st, ok)
+	}
+}

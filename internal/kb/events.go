@@ -1,0 +1,183 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Events are the replicated form of KB mutations. Instead of mutating
+// the in-memory base directly, durable deployments encode each change
+// as an Event, commit it through the OLTP store's meta-record channel
+// (oltp.Tx.PutMeta), and let the store apply it — locally at commit, on
+// followers through replication, and at recovery through WAL replay.
+// Apply is total and deterministic: the same event sequence produces
+// the same base on every node, which is what lets findings survive
+// failover with the rows they were derived from.
+
+// Event operations.
+const (
+	// EvAdd records a new candidate finding (or reinforces an identical
+	// one, matching Base.Add's dedup rule).
+	EvAdd = "add"
+	// EvReinforce adds one evidence observation to an existing finding.
+	EvReinforce = "reinforce"
+	// EvRetract withdraws a finding.
+	EvRetract = "retract"
+	// EvState replaces the entire base with the carried state blob; it
+	// is what Snapshot returns and what snapshot bootstrap ships.
+	EvState = "state"
+)
+
+// Event is one KB mutation. At is the producer's clock in unix
+// nanoseconds, carried in the event so replay and replication assign
+// identical timestamps everywhere.
+type Event struct {
+	Op        string          `json:"op"`
+	ID        string          `json:"id,omitempty"`
+	Topic     string          `json:"topic,omitempty"`
+	Statement string          `json:"statement,omitempty"`
+	Source    string          `json:"source,omitempty"`
+	At        int64           `json:"at,omitempty"`
+	State     json.RawMessage `json:"state,omitempty"`
+}
+
+// EncodeEvent serialises an event for the meta channel.
+func EncodeEvent(ev Event) []byte {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		// Event fields are plain strings and ints; Marshal cannot fail.
+		panic(fmt.Sprintf("kb: encoding event: %v", err))
+	}
+	return data
+}
+
+// DecodeEvent parses an EncodeEvent payload.
+func DecodeEvent(payload []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		return Event{}, fmt.Errorf("kb: decoding event: %w", err)
+	}
+	return ev, nil
+}
+
+// Apply folds one encoded event into the base. It satisfies
+// oltp.MetaApplier: by the time it runs the event is committed, so it
+// must be total — malformed payloads and events against missing
+// findings are ignored rather than failed.
+func (b *Base) Apply(payload []byte) {
+	ev, err := DecodeEvent(payload)
+	if err != nil {
+		return
+	}
+	b.ApplyEvent(ev)
+}
+
+// ApplyEvent is Apply for an already-decoded event.
+func (b *Base) ApplyEvent(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	at := time.Unix(0, ev.At)
+	switch ev.Op {
+	case EvAdd:
+		if strings.TrimSpace(ev.Topic) == "" || strings.TrimSpace(ev.Statement) == "" {
+			return
+		}
+		for _, f := range b.findings {
+			if f.Topic == ev.Topic && f.Statement == ev.Statement && f.Status != Retracted {
+				b.reinforceAtLocked(f, at)
+				return
+			}
+		}
+		b.seq++
+		id := fmt.Sprintf("F%04d", b.seq)
+		b.findings[id] = &Finding{
+			ID: id, Topic: ev.Topic, Statement: ev.Statement, Source: ev.Source,
+			Evidence: 1, Status: Candidate, CreatedAt: at, UpdatedAt: at,
+		}
+	case EvReinforce:
+		if f, ok := b.findings[ev.ID]; ok && f.Status != Retracted {
+			b.reinforceAtLocked(f, at)
+		}
+	case EvRetract:
+		if f, ok := b.findings[ev.ID]; ok {
+			f.Status = Retracted
+			f.UpdatedAt = at
+		}
+	case EvState:
+		var p persisted
+		if err := json.Unmarshal(ev.State, &p); err != nil {
+			return
+		}
+		b.restoreLocked(p)
+	}
+}
+
+func (b *Base) reinforceAtLocked(f *Finding, at time.Time) {
+	f.Evidence++
+	f.UpdatedAt = at
+	if f.Status == Candidate && f.Evidence >= b.PromotionThreshold {
+		f.Status = Established
+	}
+}
+
+// restoreLocked replaces all state from a persisted image.
+func (b *Base) restoreLocked(p persisted) {
+	threshold := p.PromotionThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	b.PromotionThreshold = threshold
+	b.seq = p.Seq
+	b.findings = make(map[string]*Finding, len(p.Findings))
+	for _, f := range p.Findings {
+		cp := *f
+		b.findings[f.ID] = &cp
+	}
+}
+
+// Snapshot returns an EvState payload reproducing the current base —
+// the oltp.MetaApplier blob checkpoints and snapshot bootstrap carry.
+func (b *Base) Snapshot() []byte {
+	b.mu.RLock()
+	p := persisted{PromotionThreshold: b.PromotionThreshold, Seq: b.seq}
+	for _, f := range b.findings {
+		cp := *f
+		p.Findings = append(p.Findings, &cp)
+	}
+	b.mu.RUnlock()
+	sortPersisted(&p)
+	state, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("kb: encoding state: %v", err))
+	}
+	return EncodeEvent(Event{Op: EvState, State: state})
+}
+
+// Lookup finds the non-retracted finding with this exact topic and
+// statement — the dedup key EvAdd uses — so a producer can learn which
+// id a committed add landed on.
+func (b *Base) Lookup(topic, statement string) (Finding, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, f := range b.findings {
+		if f.Topic == topic && f.Statement == statement && f.Status != Retracted {
+			return *f, true
+		}
+	}
+	return Finding{}, false
+}
+
+// ValidateFinding checks the fields an EvAdd requires, returning the
+// same errors Add reports, so producers can reject bad input before
+// committing an event.
+func ValidateFinding(topic, statement string) error {
+	if strings.TrimSpace(statement) == "" {
+		return fmt.Errorf("kb: empty statement")
+	}
+	if strings.TrimSpace(topic) == "" {
+		return fmt.Errorf("kb: empty topic")
+	}
+	return nil
+}

@@ -182,11 +182,16 @@ func (b *Base) Len() int {
 	return len(b.Search(""))
 }
 
-// persisted is the on-disk form.
+// persisted is the on-disk form, shared with the EvState event payload.
 type persisted struct {
 	PromotionThreshold int        `json:"promotion_threshold"`
 	Seq                int        `json:"seq"`
 	Findings           []*Finding `json:"findings"`
+}
+
+// sortPersisted orders findings by id so encodings are deterministic.
+func sortPersisted(p *persisted) {
+	sort.Slice(p.Findings, func(a, c int) bool { return p.Findings[a].ID < p.Findings[c].ID })
 }
 
 // Save writes the knowledge base as JSON.
@@ -198,7 +203,7 @@ func (b *Base) Save(path string) error {
 		p.Findings = append(p.Findings, &cp)
 	}
 	b.mu.RUnlock()
-	sort.Slice(p.Findings, func(a, c int) bool { return p.Findings[a].ID < p.Findings[c].ID })
+	sortPersisted(&p)
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return fmt.Errorf("kb: encoding: %w", err)

@@ -80,6 +80,14 @@ func (s *Store) writeCheckpoint(fs faultfs.FS, dir string, seq uint64) (int64, e
 				return err
 			}
 		}
+		// One optional trailing frame: the meta applier's state blob, so
+		// meta records swept with the segments below this checkpoint are
+		// not lost. Readers without an applier skip it.
+		if s.opts.Meta != nil {
+			if err := frame(s.opts.Meta.Snapshot()); err != nil {
+				return err
+			}
+		}
 		if err := bw.Flush(); err != nil {
 			return err
 		}
@@ -181,6 +189,17 @@ func (s *Store) loadCheckpoint(fs faultfs.FS, dir string, seq uint64) error {
 			row[j] = v
 		}
 		s.rows[RowID(id)] = versionedRow{row: row, version: 1}
+	}
+	if off < len(data) {
+		// Trailing meta frame (absent in checkpoints written before meta
+		// records existed, or by stores without an applier).
+		blob, err := nextFrame()
+		if err != nil {
+			return err
+		}
+		if s.opts.Meta != nil && len(blob) > 0 {
+			s.opts.Meta.Apply(blob)
+		}
 	}
 	if off != len(data) {
 		return fmt.Errorf("%w: checkpoint %s: %d trailing bytes at offset %d", errCorrupt, name, len(data)-off, off)

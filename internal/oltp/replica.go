@@ -71,7 +71,7 @@ func (s *Store) ApplyReplicated(txs []CommittedTx) error {
 	}
 	for i := range txs {
 		for _, ch := range txs[i].Changes {
-			if ch.Op == ChangeDelete {
+			if ch.Op == ChangeDelete || ch.Op == ChangeMeta {
 				continue
 			}
 			if err := s.validateRow(ch.Row); err != nil {
@@ -209,7 +209,7 @@ func DecodeTxPayload(p []byte) (CommittedTx, error) {
 			return CommittedTx{}, fmt.Errorf("oltp: tx payload: reading op: %w", err)
 		}
 		op := ChangeOp(opb)
-		if walOp(op) < opInsert || walOp(op) > opDelete {
+		if op != ChangeMeta && (walOp(op) < opInsert || walOp(op) > opDelete) {
 			return CommittedTx{}, fmt.Errorf("oltp: tx payload: bad op %d", opb)
 		}
 		id, err := binary.ReadUvarint(br)

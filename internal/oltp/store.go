@@ -69,6 +69,11 @@ type Options struct {
 	// Log, when set, receives one line per checkpoint with the snapshot's
 	// size on disk. Nil disables checkpoint logging.
 	Log *log.Logger
+	// Meta, when set, receives committed meta records (see meta.go) and
+	// contributes its state blob to checkpoints and snapshots. It must
+	// be registered at open time: recovery replays meta records through
+	// it.
+	Meta MetaApplier
 }
 
 func (o Options) withDefaults() Options {
@@ -273,7 +278,8 @@ type Tx struct {
 	id     uint64
 	reads  map[RowID]uint64 // row id -> version observed (0 = absent)
 	writes map[RowID]*writeOp
-	order  []RowID // write ids in first-write order, for deterministic WAL
+	order  []RowID  // write ids in first-write order, for deterministic WAL
+	metas  [][]byte // buffered meta payloads, logged after the row writes
 	done   bool
 }
 
@@ -438,7 +444,7 @@ func (t *Tx) Commit() error {
 		return ErrTxDone
 	}
 	t.done = true
-	if len(t.writes) == 0 {
+	if len(t.writes) == 0 && len(t.metas) == 0 {
 		return nil
 	}
 	s := t.store
@@ -482,6 +488,9 @@ func (t *Tx) Commit() error {
 
 	for _, id := range t.order {
 		s.applyLocked(t.writes[id])
+	}
+	for _, m := range t.metas {
+		s.applyMetaLocked(m)
 	}
 	s.commits++
 	s.lastCommitNano = time.Now().UnixNano()
@@ -648,13 +657,18 @@ func (s *Store) logCommit(t *Tx) error {
 			return s.failWalLocked(fmt.Errorf("oltp: writing WAL: %w", err))
 		}
 	}
+	for _, m := range t.metas {
+		if err := s.wal.append(walRecord{tx: t.id, op: opMeta, row: metaRow(m)}); err != nil {
+			return s.failWalLocked(fmt.Errorf("oltp: writing WAL meta: %w", err))
+		}
+	}
 	if err := s.wal.append(walRecord{tx: t.id, op: opCommit}); err != nil {
 		return s.failWalLocked(fmt.Errorf("oltp: writing WAL commit: %w", err))
 	}
 	if err := s.wal.sync(); err != nil {
 		return s.failWalLocked(fmt.Errorf("oltp: syncing WAL: %w", err))
 	}
-	metricWalAppends.Add(uint64(len(t.order) + 1))
+	metricWalAppends.Add(uint64(len(t.order) + len(t.metas) + 1))
 	metricWalFsyncs.Inc()
 	s.walSinceCkpt += s.wal.size - before
 	return nil
@@ -679,6 +693,10 @@ func (s *Store) rotateLocked() error {
 // applyLocked applies one write to committed state and indexes. The caller
 // holds s.mu.
 func (s *Store) applyLocked(w *writeOp) {
+	if w.op == opMeta {
+		s.applyMetaLocked(metaPayload(w.row))
+		return
+	}
 	old, existed := s.rows[w.id]
 	switch w.op {
 	case opInsert, opUpdate:

@@ -71,6 +71,8 @@ func (op ChangeOp) String() string {
 		return "update"
 	case ChangeDelete:
 		return "delete"
+	case ChangeMeta:
+		return "meta"
 	}
 	return fmt.Sprintf("ChangeOp(%d)", uint8(op))
 }
@@ -352,6 +354,10 @@ type StoreSnapshot struct {
 	Table *storage.Table
 	IDs   []RowID // row id of each table row, ascending
 	LSN   WALCursor
+	// Meta is the meta applier's state blob at snapshot time (nil when
+	// no applier is registered); replication bootstrap ships it so a
+	// resyncing follower's meta state is replaced with its rows.
+	Meta []byte
 	// Commits and LastCommitUnixNano mirror CommitStats at snapshot time.
 	Commits            uint64
 	LastCommitUnixNano int64
@@ -384,6 +390,9 @@ func (s *Store) SnapshotWithLSN() (*StoreSnapshot, error) {
 		IDs:                ids,
 		Commits:            s.commits,
 		LastCommitUnixNano: s.lastCommitNano,
+	}
+	if s.opts.Meta != nil {
+		snap.Meta = s.opts.Meta.Snapshot()
 	}
 	if s.dir != "" {
 		s.walMu.Lock()

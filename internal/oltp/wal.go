@@ -26,6 +26,10 @@ const (
 	opUpdate
 	opDelete
 	opCommit
+	// opMeta is an opaque side-channel record (see meta.go). It is
+	// encoded exactly like an insert: row id (always 0) plus a
+	// single-string row holding the payload.
+	opMeta
 )
 
 // walRecord is one log entry. Data records carry a row payload; the commit
@@ -530,7 +534,7 @@ func readRecord(br byteReader) (walRecord, error) {
 		return walRecord{}, err
 	}
 	op := walOp(opb)
-	if op < opInsert || op > opCommit {
+	if op < opInsert || op > opMeta {
 		return walRecord{}, fmt.Errorf("oltp: bad WAL op %d", opb)
 	}
 	tx, err := binary.ReadUvarint(br)

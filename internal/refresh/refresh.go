@@ -426,6 +426,9 @@ func (m *Maintainer) apply(txs []oltp.CommittedTx, root *obs.Span) error {
 	events := 0
 	for _, tx := range txs {
 		for _, ch := range tx.Changes {
+			if ch.Op == oltp.ChangeMeta {
+				continue // side-channel records carry no fact rows
+			}
 			events++
 			if old, ok := m.patientOf[ch.ID]; ok {
 				affected[old] = struct{}{}

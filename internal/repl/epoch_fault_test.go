@@ -1,0 +1,83 @@
+package repl
+
+import (
+	"testing"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// The epoch file is the fencing story's durable anchor: a primary that
+// crashes mid-save and restarts must still know the highest epoch it
+// ever led — loading a lower one would let a fenced ex-primary restart
+// believing itself current. These sweeps crash saveEpoch at every
+// injection point (including torn writes) and assert the effective
+// epoch under dir is always old-or-new, never garbage, never lower.
+
+func TestEpochSaveCrashSweepNeverRegresses(t *testing.T) {
+	// Count the injection-point space of one save.
+	counter := faultfs.NewFault(faultfs.OS{})
+	if err := saveEpoch(counter, t.TempDir(), 6); err != nil {
+		t.Fatalf("counting save: %v", err)
+	}
+	total := counter.Ops()
+	if total < 5 {
+		t.Fatalf("save spans %d ops, expected at least create/write/sync/close/rename", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		for _, frac := range []float64{0, 0.5, 1} {
+			dir := t.TempDir()
+			if err := saveEpoch(faultfs.OS{}, dir, 5); err != nil {
+				t.Fatalf("seeding epoch: %v", err)
+			}
+			fault := faultfs.NewFault(faultfs.OS{}).CrashAt(n, frac)
+			if err := saveEpoch(fault, dir, 6); err == nil {
+				t.Fatalf("crash at op %d frac %.1f: save unexpectedly succeeded", n, frac)
+			}
+			e, ok, err := loadEpoch(faultfs.OS{}, dir)
+			if err != nil {
+				t.Fatalf("crash at op %d frac %.1f: reload errored: %v", n, frac, err)
+			}
+			if !ok {
+				t.Fatalf("crash at op %d frac %.1f: epoch file vanished", n, frac)
+			}
+			if e != 5 && e != 6 {
+				t.Fatalf("crash at op %d frac %.1f: loaded epoch %d, want 5 or 6", n, frac, e)
+			}
+			// knownEpoch is what fencing actually consults.
+			if ke, err := knownEpoch(faultfs.OS{}, dir); err != nil || ke < 5 {
+				t.Fatalf("crash at op %d frac %.1f: knownEpoch = %d, %v; regressed below 5", n, frac, ke, err)
+			}
+		}
+	}
+}
+
+func TestEpochFirstSaveCrashSweepTornReadsAsAbsent(t *testing.T) {
+	counter := faultfs.NewFault(faultfs.OS{})
+	if err := saveEpoch(counter, t.TempDir(), 3); err != nil {
+		t.Fatalf("counting save: %v", err)
+	}
+	total := counter.Ops()
+
+	for n := 1; n <= total; n++ {
+		for _, frac := range []float64{0, 0.5} {
+			dir := t.TempDir()
+			fault := faultfs.NewFault(faultfs.OS{}).CrashAt(n, frac)
+			if err := saveEpoch(fault, dir, 3); err == nil {
+				t.Fatalf("first-save crash at op %d frac %.1f: save unexpectedly succeeded", n, frac)
+			}
+			// A torn very first save must read as "no epoch recorded" so a
+			// fresh node still boots — never as an error, never as garbage.
+			e, ok, err := loadEpoch(faultfs.OS{}, dir)
+			if err != nil {
+				t.Fatalf("first-save crash at op %d frac %.1f: reload errored: %v", n, frac, err)
+			}
+			if ok && e != 3 {
+				t.Fatalf("first-save crash at op %d frac %.1f: loaded garbage epoch %d", n, frac, e)
+			}
+			if ke, err := knownEpoch(faultfs.OS{}, dir); err != nil || (ke != 0 && ke != 3) {
+				t.Fatalf("first-save crash at op %d frac %.1f: knownEpoch = %d, %v", n, frac, ke, err)
+			}
+		}
+	}
+}

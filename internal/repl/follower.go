@@ -384,6 +384,7 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 		snapLSN   oltp.WALCursor
 		snapRows  uint64
 		snapAccum []oltp.Change
+		snapMeta  []oltp.Change // meta-state changes; not counted in snapRows
 	)
 
 	for {
@@ -495,7 +496,7 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			// (epoch, cursor) pair intact.
 			epoch = fr.epoch
 			snapping, snapLSN, snapRows = true, fr.lsn, rows
-			snapAccum = snapAccum[:0]
+			snapAccum, snapMeta = snapAccum[:0], snapMeta[:0]
 			f.setState("snapshotting")
 			f.mu.Lock()
 			f.resyncs++
@@ -512,11 +513,15 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 				return productive, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
 			for _, ch := range chunk.Changes {
-				if ch.Op != oltp.ChangeInsert {
+				switch ch.Op {
+				case oltp.ChangeInsert:
+					snapAccum = append(snapAccum, ch)
+				case oltp.ChangeMeta:
+					snapMeta = append(snapMeta, ch)
+				default:
 					return productive, fmt.Errorf("%w: non-insert in snapshot chunk", errProtocol)
 				}
 			}
-			snapAccum = append(snapAccum, chunk.Changes...)
 			if uint64(len(snapAccum)) > snapRows {
 				return productive, fmt.Errorf("%w: snapshot overflow: %d rows announced, %d received", errProtocol, snapRows, len(snapAccum))
 			}
@@ -531,11 +536,15 @@ func (f *Follower) session(conn net.Conn) (productive bool, err error) {
 			// Wipe-and-rebuild as one transaction: deletes of every
 			// current local row, then the snapshot inserts. Idempotent
 			// and atomic through the local WAL.
-			changes := make([]oltp.Change, 0, len(snapAccum)+16)
+			changes := make([]oltp.Change, 0, len(snapAccum)+len(snapMeta)+16)
 			for _, id := range f.cfg.Store.RowIDs() {
 				changes = append(changes, oltp.Change{Op: oltp.ChangeDelete, ID: id})
 			}
 			changes = append(changes, snapAccum...)
+			// Meta-state restore applies after the rows, inside the same
+			// transaction: the follower's KB (or other meta state) is
+			// replaced atomically with its row image.
+			changes = append(changes, snapMeta...)
 			if err := f.cfg.Store.ApplyReplicated([]oltp.CommittedTx{{Changes: changes}}); err != nil {
 				faultApply.Inc()
 				return productive, err

@@ -548,6 +548,21 @@ func (p *Primary) snapshot(conn net.Conn, rec *followerRec, pin string) (oltp.WA
 			return oltp.WALCursor{}, err
 		}
 	}
+	if len(snap.Meta) > 0 {
+		// Meta state (e.g. the findings KB) travels in the bootstrap as
+		// one meta change, applied inside the same wipe-and-rebuild
+		// transaction as the rows. It does not count toward the announced
+		// row total.
+		payload, err := oltp.EncodeTxPayload(oltp.CommittedTx{Changes: []oltp.Change{oltp.MetaChange(snap.Meta)}})
+		if err != nil {
+			return oltp.WALCursor{}, err
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if err := writeFrame(conn, frame{typ: fSnapChunk, epoch: p.epoch, lsn: snap.LSN, payload: payload}); err != nil {
+			faultConn.Inc()
+			return oltp.WALCursor{}, err
+		}
+	}
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 	if err := writeFrame(conn, frame{typ: fSnapEnd, epoch: p.epoch, lsn: snap.LSN}); err != nil {
 		faultConn.Inc()

@@ -1,0 +1,406 @@
+package router
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+)
+
+// The elector is the router's autonomous-failover half: when the
+// failure detector confirms the primary dead and a majority of the
+// configured backends is still reachable (so the router knows it is not
+// the partitioned minority), it picks the best surviving follower and
+// promotes it itself with POST /promote.
+//
+// Every decision is journaled durably *before* the promote request goes
+// out: a router that crashes mid-election reloads the journal on
+// restart and resumes the same election — re-issuing the (idempotent)
+// promote to the same candidate — instead of electing again and
+// double-promoting. Split-brain safety does not rest on the router
+// alone: the promoted node leads a strictly higher epoch, so even a
+// spurious extra promotion is resolved by the replication layer's epoch
+// fencing, with the router following the max-epoch claimant.
+
+const (
+	electMagic = "DDGRELE1"
+	electFile  = "election.journal"
+)
+
+var electCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// electionRecord is one journaled promotion decision. Seq is monotonic
+// across elections; Epoch is the highest cluster epoch observed when
+// the decision was made (the epoch being superseded), so completion is
+// "a primary resolved above Epoch".
+type electionRecord struct {
+	Seq       uint64 `json:"seq"`
+	Epoch     uint64 `json:"epoch"`
+	Candidate string `json:"candidate"` // backend host being promoted
+	Listen    string `json:"listen"`    // replication listen addr for /promote
+	Done      bool   `json:"done"`
+}
+
+// encodeElection frames a record as magic + JSON + CRC32-C, the same
+// shape as the repl epoch file, so a torn write is detectable.
+func encodeElection(rec electionRecord) []byte {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		// Record fields are strings, ints and a bool; Marshal cannot fail.
+		panic(fmt.Sprintf("router: encoding election record: %v", err))
+	}
+	var buf bytes.Buffer
+	buf.WriteString(electMagic)
+	buf.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, electCRC))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+// saveElection durably persists a record under dir (tmp + fsync +
+// rename + dir sync), so a crash at any instant leaves either the old
+// complete record or the new one — never a torn mixture.
+func saveElection(fs faultfs.FS, dir string, rec electionRecord) error {
+	data := encodeElection(rec)
+	final := filepath.Join(dir, electFile)
+	tmpPath := final + ".tmp"
+	f, err := fs.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("router: creating election journal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("router: writing election journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("router: syncing election journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("router: closing election journal: %w", err)
+	}
+	if err := fs.Rename(tmpPath, final); err != nil {
+		return fmt.Errorf("router: publishing election journal: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("router: syncing election journal dir: %w", err)
+	}
+	return nil
+}
+
+// loadElection reads the journal; ok=false when none exists or only a
+// torn first save is present. A checksum mismatch on a complete file is
+// real corruption and is surfaced as an error.
+func loadElection(fs faultfs.FS, dir string) (rec electionRecord, ok bool, err error) {
+	f, err := fs.Open(filepath.Join(dir, electFile))
+	if err != nil {
+		return electionRecord{}, false, nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return electionRecord{}, false, fmt.Errorf("router: reading election journal: %w", err)
+	}
+	if len(data) < len(electMagic)+4 || string(data[:len(electMagic)]) != electMagic {
+		return electionRecord{}, false, nil // torn first save
+	}
+	payload := data[len(electMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, electCRC) != want {
+		return electionRecord{}, false, errors.New("router: election journal checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return electionRecord{}, false, fmt.Errorf("router: decoding election journal: %w", err)
+	}
+	return rec, true, nil
+}
+
+// ElectionStatus is the /cluster view of the elector's last decision.
+type ElectionStatus struct {
+	Seq       uint64 `json:"seq"`
+	Epoch     uint64 `json:"epoch"`
+	Candidate string `json:"candidate"`
+	Done      bool   `json:"done"`
+}
+
+// elector runs the quorum-gated promotion state machine.
+type elector struct {
+	rt  *Router
+	fs  faultfs.FS
+	dir string
+
+	mu sync.Mutex
+	// rec is the pending or last-completed journaled decision; busy is
+	// set while a promote request is in flight; elections counts
+	// promotions this router has successfully issued.
+	rec       *electionRecord
+	busy      bool
+	elections uint64
+}
+
+func newElector(rt *Router) (*elector, error) {
+	if rt.cfg.ElectionDir == "" {
+		return nil, errors.New("router: AutoFailover requires ElectionDir")
+	}
+	fs := faultfs.OS{}
+	if err := fs.MkdirAll(rt.cfg.ElectionDir); err != nil {
+		return nil, fmt.Errorf("router: election dir: %w", err)
+	}
+	el := &elector{rt: rt, fs: fs, dir: rt.cfg.ElectionDir}
+	rec, ok, err := loadElection(el.fs, el.dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		el.rec = &rec
+		if !rec.Done {
+			rt.logf("router: resuming election seq=%d candidate=%s from journal", rec.Seq, rec.Candidate)
+		}
+	}
+	return el, nil
+}
+
+func (el *elector) status() (uint64, *ElectionStatus) {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	if el.rec == nil {
+		return el.elections, nil
+	}
+	return el.elections, &ElectionStatus{
+		Seq: el.rec.Seq, Epoch: el.rec.Epoch,
+		Candidate: el.rec.Candidate, Done: el.rec.Done,
+	}
+}
+
+// observe runs once per probe round with the freshly resolved view. It
+// either marks a pending election complete, does nothing, or decides
+// and executes a promotion — synchronously, so tests driving ProbeOnce
+// see deterministic outcomes and a router restarted onto a pending
+// journal resumes it before serving.
+func (el *elector) observe(v view) {
+	rt := el.rt
+	el.mu.Lock()
+	if el.busy {
+		el.mu.Unlock()
+		return
+	}
+
+	// A resolved primary settles any pending election: completed when it
+	// leads a higher epoch than the one the decision superseded,
+	// abandoned when the old primary recovered first.
+	if v.primary != nil {
+		if el.rec != nil && !el.rec.Done {
+			rec := *el.rec
+			rec.Done = true
+			if err := saveElection(el.fs, el.dir, rec); err != nil {
+				el.mu.Unlock()
+				rt.logf("router: closing election journal entry: %v", err)
+				return
+			}
+			el.rec = &rec
+			el.mu.Unlock()
+			if v.primary.epoch > rec.Epoch {
+				rt.logf("router: election seq=%d complete: %s is primary at epoch %d",
+					rec.Seq, v.primary.b.base.Host, v.primary.epoch)
+			} else {
+				rt.logf("router: election seq=%d abandoned: primary %s recovered at epoch %d",
+					rec.Seq, v.primary.b.base.Host, v.primary.epoch)
+			}
+			return
+		}
+		el.mu.Unlock()
+		return
+	}
+
+	decision, ok := el.decideLocked()
+	if !ok {
+		el.mu.Unlock()
+		return
+	}
+	// Journal the decision durably BEFORE the promote goes out: a crash
+	// from here on resumes this exact election instead of opening a new
+	// one against a different candidate.
+	if el.rec == nil || decision.Seq != el.rec.Seq {
+		if err := saveElection(el.fs, el.dir, decision); err != nil {
+			el.mu.Unlock()
+			rt.logf("router: journaling election: %v", err)
+			return
+		}
+		rec := decision
+		el.rec = &rec
+		rt.logf("router: election seq=%d: promoting %s (superseding epoch %d, quorum ok)",
+			decision.Seq, decision.Candidate, decision.Epoch)
+	}
+	el.busy = true
+	el.mu.Unlock()
+
+	err := el.promote(decision)
+	el.mu.Lock()
+	el.busy = false
+	if err == nil {
+		el.elections++
+	}
+	el.mu.Unlock()
+	if err != nil {
+		rt.logf("router: promote %s failed (will retry next round): %v", decision.Candidate, err)
+	} else {
+		rt.logf("router: promote accepted by %s", decision.Candidate)
+	}
+}
+
+func seqOf(rec *electionRecord) uint64 {
+	if rec == nil {
+		return 0
+	}
+	return rec.Seq
+}
+
+// decideLocked evaluates the election preconditions against the latest
+// probed state and, when they all hold, returns the journal record to
+// act on. Preconditions, in order:
+//
+//  1. Quorum: a strict majority of the configured backends answered
+//     their last probe. A router isolated with a minority cannot tell a
+//     dead primary from its own partition, so it must not promote.
+//  2. No uncertainty: every unreachable backend is *confirmed* down by
+//     the failure detector (FailureThreshold consecutive failures over
+//     at least SuspicionWindow). One dropped probe never cuts over.
+//  3. A viable candidate exists: a healthy, non-fenced follower —
+//     highest durable epoch first, then smallest replication staleness,
+//     then lowest host for determinism.
+//
+// A pending journal entry pins the choice: the same candidate is
+// re-issued (the promote is idempotent) unless that candidate is itself
+// confirmed down, in which case a successor election opens at the next
+// sequence number.
+func (el *elector) decideLocked() (electionRecord, bool) {
+	rt := el.rt
+	now := time.Now()
+	k, window := rt.cfg.FailureThreshold, rt.cfg.SuspicionWindow
+
+	snaps := make([]snapshot, 0, len(rt.backends))
+	healthy := 0
+	var maxEpoch uint64
+	for _, b := range rt.backends {
+		s := b.snapshot()
+		snaps = append(snaps, s)
+		if s.healthy {
+			healthy++
+		} else if !s.confirmedDown(now, k, window) {
+			// Evidence still accumulating; wait for the detector.
+			return electionRecord{}, false
+		}
+		if s.epoch > maxEpoch {
+			maxEpoch = s.epoch
+		}
+	}
+	if healthy < len(rt.backends)/2+1 {
+		return electionRecord{}, false
+	}
+
+	var cand *snapshot
+	for i := range snaps {
+		s := &snaps[i]
+		if !s.healthy || s.fenced || s.role != "follower" {
+			continue
+		}
+		if cand == nil || s.epoch > cand.epoch ||
+			(s.epoch == cand.epoch && s.seconds < cand.seconds) ||
+			(s.epoch == cand.epoch && s.seconds == cand.seconds && s.b.base.Host < cand.b.base.Host) {
+			cand = s
+		}
+	}
+
+	if el.rec != nil && !el.rec.Done {
+		// Resume the journaled election unless its candidate is gone.
+		for i := range snaps {
+			if snaps[i].b.base.Host == el.rec.Candidate {
+				if snaps[i].confirmedDown(now, k, window) {
+					break // candidate died; open a successor election
+				}
+				return *el.rec, true
+			}
+		}
+	}
+	if cand == nil {
+		return electionRecord{}, false
+	}
+	if maxEpoch < el.rec.epochFloor() {
+		maxEpoch = el.rec.epochFloor()
+	}
+	return electionRecord{
+		Seq:       seqOf(el.rec) + 1,
+		Epoch:     maxEpoch,
+		Candidate: cand.b.base.Host,
+		Listen:    cand.promoteListen,
+	}, true
+}
+
+// epochFloor keeps a successor election's superseded epoch monotonic
+// even if probes have not yet observed the epoch a prior election
+// reached.
+func (rec *electionRecord) epochFloor() uint64 {
+	if rec == nil {
+		return 0
+	}
+	return rec.Epoch
+}
+
+// promote issues POST /promote to the journaled candidate. The request
+// is idempotent from the router's point of view: a node that is already
+// primary answers 409, which the caller treats as "settled — let the
+// probes confirm", and a transport error is retried on the next probe
+// round against the same journal entry.
+func (el *elector) promote(rec electionRecord) error {
+	var target *backend
+	for _, b := range el.rt.backends {
+		if b.base.Host == rec.Candidate {
+			target = b
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("candidate %s not in backend set", rec.Candidate)
+	}
+	body, err := json.Marshal(struct {
+		Listen string `json:"listen"`
+	}{rec.Listen})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, target.base.String()+"/promote", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ctx, cancel := contextWithTimeout(req.Context(), el.rt.cfg.PromoteTimeout)
+	defer cancel()
+	resp, err := el.rt.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		// Already promoted (an earlier attempt landed) or no longer a
+		// replica; either way the probes will resolve the truth.
+		return nil
+	default:
+		return fmt.Errorf("candidate %s answered %d to promote", rec.Candidate, resp.StatusCode)
+	}
+}

@@ -1,0 +1,466 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddgms/ddgms/internal/faultfs"
+	"github.com/ddgms/ddgms/internal/repl"
+)
+
+// setFollowerListen is setFollower plus an advertised promote listener,
+// which is what marks the stub as a viable promotion candidate.
+func (s *stub) setFollowerListen(epoch uint64, seconds float64, listen string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hasRepl = true
+	s.st = repl.Status{
+		Role: "follower", Epoch: epoch, SecondsSinceFrame: seconds,
+		Connected: true, PromoteListen: listen,
+	}
+}
+
+// armPromote wires the stub's POST /promote to behave like a real node:
+// it flips the stub to primary at epoch+1 and records the listen field
+// it was sent. Subsequent promotes answer 409, like core does for a
+// node that is no longer a replica.
+func (s *stub) armPromote(t *testing.T) *promoteLog {
+	t.Helper()
+	pl := &promoteLog{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPromote = func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Listen string `json:"listen"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		s.mu.Lock()
+		already := s.st.Role == "primary"
+		if !already {
+			s.st = repl.Status{Role: "primary", Epoch: s.st.Epoch + 1, Addr: "127.0.0.1:0"}
+		}
+		s.mu.Unlock()
+		pl.mu.Lock()
+		pl.listens = append(pl.listens, req.Listen)
+		pl.mu.Unlock()
+		if already {
+			http.Error(w, `{"error":"not a replica"}`, http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+	return pl
+}
+
+type promoteLog struct {
+	mu      sync.Mutex
+	listens []string
+}
+
+func (pl *promoteLog) count() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.listens)
+}
+
+// newAutoRouter fronts the stubs with the elector armed and a detector
+// tuned so two forced probe rounds a few milliseconds apart confirm a
+// dead backend.
+func newAutoRouter(t *testing.T, dir string, stubs ...*stub) *Router {
+	t.Helper()
+	urls := make([]string, 0, len(stubs))
+	for _, s := range stubs {
+		urls = append(urls, s.srv.URL)
+	}
+	rt, err := New(Config{
+		Backends:         urls,
+		PollEvery:        time.Hour, // tests drive rounds via ProbeOnce
+		MaxStaleness:     5 * time.Second,
+		AutoFailover:     true,
+		ElectionDir:      dir,
+		FailureThreshold: 2,
+		SuspicionWindow:  time.Millisecond,
+		PromoteTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// confirmDead runs forced probe rounds until the failure detector's
+// threshold and window are both satisfied for already-dead backends.
+func confirmDead(rt *Router, rounds int) {
+	for i := 0; i < rounds; i++ {
+		time.Sleep(3 * time.Millisecond)
+		rt.ProbeOnce()
+	}
+}
+
+func TestAutoFailoverPromotesBestFollower(t *testing.T) {
+	p, f1, f2 := newStub(t, "p"), newStub(t, "f1"), newStub(t, "f2")
+	p.setPrimary(1, false)
+	f1.setFollowerListen(1, 4.0, "127.0.0.1:7001") // laggier
+	f2.setFollowerListen(1, 0.1, "127.0.0.1:7002") // freshest: the candidate
+	pl1, pl2 := f1.armPromote(t), f2.armPromote(t)
+	rt := newAutoRouter(t, t.TempDir(), p, f1, f2)
+
+	p.srv.Close() // primary dies
+	confirmDead(rt, 3)
+
+	if got := pl2.count(); got != 1 {
+		t.Fatalf("freshest follower got %d promotes, want exactly 1", got)
+	}
+	if got := pl1.count(); got != 0 {
+		t.Fatalf("laggier follower got %d promotes, want 0", got)
+	}
+	pl2.mu.Lock()
+	listen := pl2.listens[0]
+	pl2.mu.Unlock()
+	if listen != "127.0.0.1:7002" {
+		t.Fatalf("promote sent listen %q, want the advertised promote listener", listen)
+	}
+
+	// Extra rounds must not promote again: the journal entry completes
+	// once the probes resolve the new primary.
+	confirmDead(rt, 3)
+	if got := pl2.count() + pl1.count(); got != 1 {
+		t.Fatalf("%d total promotes after extra rounds, want 1", got)
+	}
+	cs := rt.Cluster()
+	if cs.Epoch != 2 || !strings.Contains(cs.Primary, f2.srv.URL) {
+		t.Fatalf("cluster after election = primary %q epoch %d, want %q epoch 2", cs.Primary, cs.Epoch, f2.srv.URL)
+	}
+	if !cs.AutoFailover || cs.Elections != 1 {
+		t.Fatalf("auto_failover=%v elections=%d, want true/1", cs.AutoFailover, cs.Elections)
+	}
+	if cs.Election == nil || !cs.Election.Done || cs.Election.Seq != 1 {
+		t.Fatalf("election status = %+v, want done seq 1", cs.Election)
+	}
+}
+
+func TestAutoFailoverPrefersHigherEpochOverLowerLag(t *testing.T) {
+	p, f1, f2 := newStub(t, "p"), newStub(t, "f1"), newStub(t, "f2")
+	p.setPrimary(2, false)
+	f1.setFollowerListen(2, 0.0, "127.0.0.1:7001") // fresher but older epoch
+	f2.setFollowerListen(3, 9.0, "127.0.0.1:7002") // higher durable epoch wins
+	pl1, pl2 := f1.armPromote(t), f2.armPromote(t)
+	rt := newAutoRouter(t, t.TempDir(), p, f1, f2)
+
+	p.srv.Close()
+	confirmDead(rt, 3)
+	if pl2.count() != 1 || pl1.count() != 0 {
+		t.Fatalf("promotes = f1:%d f2:%d, want the higher-epoch follower only", pl1.count(), pl2.count())
+	}
+}
+
+func TestAutoFailoverRefusesWithoutQuorum(t *testing.T) {
+	p, f1, f2 := newStub(t, "p"), newStub(t, "f1"), newStub(t, "f2")
+	p.setPrimary(1, false)
+	f1.setFollowerListen(1, 0, "127.0.0.1:7001")
+	f2.setFollowerListen(1, 0, "127.0.0.1:7002")
+	pl1 := f1.armPromote(t)
+	rt := newAutoRouter(t, t.TempDir(), p, f1, f2)
+
+	// Two of three backends unreachable: the router may itself be the
+	// partitioned minority, so it must not promote the one follower it
+	// can still see — even after the detector confirms both dead.
+	p.srv.Close()
+	f2.srv.Close()
+	confirmDead(rt, 4)
+	if got := pl1.count(); got != 0 {
+		t.Fatalf("follower promoted %d times without quorum, want 0", got)
+	}
+	if cs := rt.Cluster(); cs.Elections != 0 || cs.Election != nil {
+		t.Fatalf("election ran without quorum: %+v", cs)
+	}
+}
+
+func TestAutoFailoverWaitsForDetectorConfirmation(t *testing.T) {
+	p, f1, f2 := newStub(t, "p"), newStub(t, "f1"), newStub(t, "f2")
+	p.setPrimary(1, false)
+	f1.setFollowerListen(1, 0, "127.0.0.1:7001")
+	f2.setFollowerListen(1, 0, "127.0.0.1:7002")
+	pl1, pl2 := f1.armPromote(t), f2.armPromote(t)
+	rt := newAutoRouter(t, t.TempDir(), p, f1, f2)
+
+	// One dropped probe is suspicion, not confirmation: with
+	// FailureThreshold 2, a single failed round must not cut over.
+	p.srv.Close()
+	rt.ProbeOnce()
+	if got := pl1.count() + pl2.count(); got != 0 {
+		t.Fatalf("promoted after a single failed probe, want 0 promotes (got %d)", got)
+	}
+}
+
+func TestAutoFailoverResumesJournaledElection(t *testing.T) {
+	dir := t.TempDir()
+	p, f1, f2 := newStub(t, "p"), newStub(t, "f1"), newStub(t, "f2")
+	p.setPrimary(1, false)
+	f1.setFollowerListen(1, 5.0, "127.0.0.1:7001") // journaled candidate (laggier)
+	f2.setFollowerListen(1, 0.0, "127.0.0.1:7002") // what a fresh election would pick
+	pl1, pl2 := f1.armPromote(t), f2.armPromote(t)
+
+	// A previous router instance decided for f1 and crashed before (or
+	// during) the promote. The journal pins that choice.
+	host := strings.TrimPrefix(f1.srv.URL, "http://")
+	rec := electionRecord{Seq: 5, Epoch: 1, Candidate: host, Listen: "127.0.0.1:7001"}
+	if err := saveElection(faultfs.OS{}, dir, rec); err != nil {
+		t.Fatalf("pre-writing journal: %v", err)
+	}
+
+	p.srv.Close()
+	rt := newAutoRouter(t, dir, p, f1, f2)
+	confirmDead(rt, 3)
+
+	if pl1.count() != 1 || pl2.count() != 0 {
+		t.Fatalf("promotes = f1:%d f2:%d, want the journaled candidate re-issued exactly once", pl1.count(), pl2.count())
+	}
+	cs := rt.Cluster()
+	if cs.Election == nil || cs.Election.Seq != 5 {
+		t.Fatalf("resumed election seq = %+v, want 5 (no new election opened)", cs.Election)
+	}
+}
+
+func TestAutoFailoverOpensSuccessorElectionWhenCandidateDies(t *testing.T) {
+	// A journal names a candidate that died before the promote landed.
+	// With quorum still held by the two other nodes (both demoted
+	// followers — the cluster has no primary), the elector must abandon
+	// the pinned choice and open a successor election at seq+1 against
+	// the best surviving follower.
+	p2, f3, f4 := newStub(t, "p2"), newStub(t, "f3"), newStub(t, "f4")
+	p2.setFollowerListen(1, 0, "127.0.0.1:7003") // ex-primary already demoted
+	f3.setFollowerListen(1, 0, "127.0.0.1:7004")
+	f4.setFollowerListen(1, 2.0, "127.0.0.1:7005")
+	plp, pl3, pl4 := p2.armPromote(t), f3.armPromote(t), f4.armPromote(t)
+
+	dir2 := t.TempDir()
+	host3 := strings.TrimPrefix(f3.srv.URL, "http://")
+	rec2 := electionRecord{Seq: 3, Epoch: 1, Candidate: host3, Listen: "127.0.0.1:7004"}
+	if err := saveElection(faultfs.OS{}, dir2, rec2); err != nil {
+		t.Fatalf("pre-writing journal: %v", err)
+	}
+	f3.srv.Close() // the journaled candidate is the one that died
+	rt2 := newAutoRouter(t, dir2, p2, f3, f4)
+	confirmDead(rt2, 4)
+
+	if pl3.count() != 0 {
+		t.Fatalf("dead candidate got %d promotes", pl3.count())
+	}
+	if got := plp.count() + pl4.count(); got != 1 {
+		t.Fatalf("successor election issued %d promotes, want exactly 1", got)
+	}
+	cs := rt2.Cluster()
+	if cs.Election == nil || cs.Election.Seq != 4 {
+		t.Fatalf("successor election seq = %+v, want 4 (journaled 3 + 1)", cs.Election)
+	}
+}
+
+func TestElectionJournalCrashSweep(t *testing.T) {
+	// Measure the injection-point space of one save.
+	scratch := t.TempDir()
+	counter := faultfs.NewFault(faultfs.OS{})
+	next := electionRecord{Seq: 2, Epoch: 3, Candidate: "b:1", Listen: "127.0.0.1:2", Done: false}
+	if err := saveElection(counter, scratch, next); err != nil {
+		t.Fatalf("counting save: %v", err)
+	}
+	total := counter.Ops()
+	if total < 5 {
+		t.Fatalf("save spans %d ops, expected at least create/write/sync/close/rename", total)
+	}
+
+	prev := electionRecord{Seq: 1, Epoch: 2, Candidate: "a:1", Listen: "127.0.0.1:1", Done: true}
+	for n := 1; n <= total; n++ {
+		for _, frac := range []float64{0, 0.5, 1} {
+			dir := t.TempDir()
+			if err := saveElection(faultfs.OS{}, dir, prev); err != nil {
+				t.Fatalf("seeding journal: %v", err)
+			}
+			fault := faultfs.NewFault(faultfs.OS{}).CrashAt(n, frac)
+			if err := saveElection(fault, dir, next); err == nil {
+				t.Fatalf("crash at op %d frac %.1f: save unexpectedly succeeded", n, frac)
+			}
+			// The reopened router must find either the old complete record
+			// or the new one — never garbage, never a regression.
+			rec, ok, err := loadElection(faultfs.OS{}, dir)
+			if err != nil {
+				t.Fatalf("crash at op %d frac %.1f: reload errored: %v", n, frac, err)
+			}
+			if !ok {
+				t.Fatalf("crash at op %d frac %.1f: journal vanished", n, frac)
+			}
+			if rec != prev && rec != next {
+				t.Fatalf("crash at op %d frac %.1f: loaded %+v, want old or new record", n, frac, rec)
+			}
+			if rec.Seq < prev.Seq {
+				t.Fatalf("crash at op %d frac %.1f: seq regressed to %d", n, frac, rec.Seq)
+			}
+		}
+	}
+
+	// First-ever save: a torn journal must read as "no election", not an
+	// error, so a brand-new router can still come up.
+	for n := 1; n <= total; n++ {
+		dir := t.TempDir()
+		fault := faultfs.NewFault(faultfs.OS{}).CrashAt(n, 0.5)
+		if err := saveElection(fault, dir, prev); err == nil {
+			t.Fatalf("first-save crash at op %d: save unexpectedly succeeded", n)
+		}
+		rec, ok, err := loadElection(faultfs.OS{}, dir)
+		if err != nil {
+			t.Fatalf("first-save crash at op %d: reload errored: %v", n, err)
+		}
+		if ok && rec != prev {
+			t.Fatalf("first-save crash at op %d: loaded garbage %+v", n, rec)
+		}
+	}
+}
+
+func TestIdempotentReadClassification(t *testing.T) {
+	cases := []struct {
+		method, path string
+		want         bool
+	}{
+		{http.MethodGet, "/freshness", true},
+		{http.MethodGet, "/findings", true},
+		{http.MethodPost, "/query", true},
+		{http.MethodPost, "/sql", true},
+		{http.MethodPost, "/flatquery", true},
+		{http.MethodPost, "/findings", false},
+		{http.MethodPost, "/findings/reinforce", false},
+		{http.MethodPost, "/anything-future", false},
+		{http.MethodDelete, "/query", false},
+	}
+	for _, c := range cases {
+		if got := idempotentRead(c.method, c.path); got != c.want {
+			t.Errorf("idempotentRead(%s %s) = %v, want %v", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+func TestIdempotentReadReplaysNonIdempotentDoesNot(t *testing.T) {
+	// An idempotent read whose first attempt dies mid-flight is replayed
+	// against the next candidate and succeeds.
+	p, f := newStub(t, "p"), newStub(t, "f")
+	p.setPrimary(1, false)
+	f.setFollower(1, 0)
+	f.mu.Lock()
+	f.killNext["/query"] = 1
+	f.mu.Unlock()
+	rt := newRouter(t, p, f)
+
+	rec, e := do(t, rt, http.MethodPost, "/query", `{"agg":"count"}`)
+	if rec.Code != http.StatusOK || e.ServedBy != "p" {
+		t.Fatalf("idempotent retry: code=%d served_by=%q, want 200 from p", rec.Code, e.ServedBy)
+	}
+	if got := f.count("POST /query"); got != 1 {
+		t.Fatalf("killed follower hit %d times, want 1", got)
+	}
+
+	// A non-idempotent POST reaching the read path gets exactly one
+	// attempt: its first try died with unknown effect, so replaying it
+	// against another backend could double-apply.
+	p2, f2 := newStub(t, "p2"), newStub(t, "f2")
+	p2.setPrimary(1, false)
+	f2.setFollower(1, 0)
+	f2.mu.Lock()
+	f2.killNext["/findings"] = 1
+	f2.mu.Unlock()
+	rt2 := newRouter(t, p2, f2)
+
+	req := httptest.NewRequest(http.MethodPost, "/findings", strings.NewReader(`{"x":1}`))
+	w := httptest.NewRecorder()
+	rt2.proxyRead(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("non-idempotent read after transport death: code=%d, want 503 shed", w.Code)
+	}
+	if got := f2.count("POST /findings"); got != 1 {
+		t.Fatalf("dying backend hit %d times, want 1", got)
+	}
+	if got := p2.count("POST /findings"); got != 0 {
+		t.Fatalf("non-idempotent POST replayed to %d other backends, want 0", got)
+	}
+}
+
+func TestConfirmedDownRequiresThresholdAndWindow(t *testing.T) {
+	now := time.Now()
+	base := snapshot{healthy: false, fails: 3, failsSince: now.Add(-2 * time.Second)}
+
+	if !base.confirmedDown(now, 3, time.Second) {
+		t.Fatal("3 fails over 2s not confirmed at k=3 window=1s")
+	}
+	few := base
+	few.fails = 2
+	if few.confirmedDown(now, 3, time.Second) {
+		t.Fatal("2 fails confirmed at k=3")
+	}
+	young := base
+	young.failsSince = now.Add(-100 * time.Millisecond)
+	if young.confirmedDown(now, 3, time.Second) {
+		t.Fatal("100ms-old streak confirmed at window=1s")
+	}
+	alive := base
+	alive.healthy = true
+	if alive.confirmedDown(now, 3, time.Second) {
+		t.Fatal("healthy backend confirmed down")
+	}
+	zero := base
+	zero.failsSince = time.Time{}
+	if zero.confirmedDown(now, 3, time.Second) {
+		t.Fatal("zero failsSince confirmed down")
+	}
+}
+
+func TestProbeBackoffSkipsDeadBackendThenResets(t *testing.T) {
+	s := newStub(t, "s")
+	s.setPrimary(1, false)
+	rt := newRouter(t, s)
+
+	// Kill the backend and confirm the failure arms a backoff window.
+	s.setHealthy(false)
+	rt.ProbeOnce()
+	healthBefore := s.count("GET /healthz")
+
+	// An unforced round inside the backoff window must skip the backend
+	// entirely — this is what keeps a long-dead node from being hammered
+	// at full poll cadence.
+	rt.probeRound(false)
+	if got := s.count("GET /healthz"); got != healthBefore {
+		t.Fatalf("backend probed %d extra times inside backoff window", got-healthBefore)
+	}
+
+	// A forced round still probes (ProbeOnce is the test/startup path),
+	// and a success resets the backoff so the next unforced round probes
+	// again immediately.
+	s.setHealthy(true)
+	rt.ProbeOnce()
+	afterForce := s.count("GET /healthz")
+	if afterForce != healthBefore+1 {
+		t.Fatalf("forced round probed %d times, want 1", afterForce-healthBefore)
+	}
+	rt.probeRound(false)
+	if got := s.count("GET /healthz"); got != afterForce+1 {
+		t.Fatalf("post-reset unforced round probed %d times, want 1", got-afterForce)
+	}
+}
+
+// TestElectionDirRequired pins the config contract: AutoFailover without
+// a journal directory must refuse to start rather than run an elector
+// that cannot survive a restart.
+func TestElectionDirRequired(t *testing.T) {
+	s := newStub(t, "s")
+	if _, err := New(Config{Backends: []string{s.srv.URL}, AutoFailover: true}); err == nil {
+		t.Fatal("New with AutoFailover and no ElectionDir should fail")
+	}
+	if _, err := os.Stat(filepath.Join(t.TempDir(), electFile)); !os.IsNotExist(err) {
+		t.Fatal("sanity: fresh dir should have no journal")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
@@ -26,18 +27,40 @@ type backend struct {
 	seconds  float64 // follower SecondsSinceFrame at probe time
 	probedAt time.Time
 	lastErr  string
+
+	// promoteListen is the replication listener address the node would
+	// bind if promoted (repl.Status.PromoteListen); the elector passes it
+	// back on POST /promote.
+	promoteListen string
+
+	// Failure-detector accounting: consecutive failed observations
+	// (probe or live proxy path) and when the current streak began. A
+	// backend is only *confirmed* down — the precondition for electing a
+	// successor — once the streak is both deep (FailureThreshold) and
+	// old (SuspicionWindow), so one dropped packet never triggers a
+	// cutover.
+	fails      int
+	failsSince time.Time
+
+	// Probe backoff for persistently failing backends: the current
+	// delay (0 = probe every tick) and the earliest next probe instant.
+	backoff   time.Duration
+	nextProbe time.Time
 }
 
 // snapshot is a consistent copy of one backend's probed state.
 type snapshot struct {
-	b        *backend
-	healthy  bool
-	role     string
-	epoch    uint64
-	fenced   bool
-	seconds  float64
-	probedAt time.Time
-	lastErr  string
+	b             *backend
+	healthy       bool
+	role          string
+	epoch         uint64
+	fenced        bool
+	seconds       float64
+	probedAt      time.Time
+	lastErr       string
+	promoteListen string
+	fails         int
+	failsSince    time.Time
 }
 
 func (b *backend) snapshot() snapshot {
@@ -46,19 +69,40 @@ func (b *backend) snapshot() snapshot {
 	return snapshot{
 		b: b, healthy: b.healthy, role: b.role, epoch: b.epoch,
 		fenced: b.fenced, seconds: b.seconds, probedAt: b.probedAt,
-		lastErr: b.lastErr,
+		lastErr: b.lastErr, promoteListen: b.promoteListen,
+		fails: b.fails, failsSince: b.failsSince,
 	}
 }
 
 // markUnhealthy records a transport failure observed on the live proxy
 // path — faster than waiting for the next poll tick, so one dead
-// backend costs one request, not PollEvery's worth of them.
+// backend costs one request, not PollEvery's worth of them. Live-path
+// evidence feeds the same failure-streak accounting as probes, so real
+// traffic accelerates (but cannot by itself shortcut) confirmation.
 func (b *backend) markUnhealthy(err error) {
 	b.mu.Lock()
 	b.healthy = false
 	b.lastErr = err.Error()
+	b.noteFailureLocked(time.Now())
 	b.mu.Unlock()
 	metricBackendHealthy.WithLabelValues(b.base.Host).Set(0)
+}
+
+// noteFailureLocked extends the consecutive-failure streak.
+func (b *backend) noteFailureLocked(now time.Time) {
+	b.fails++
+	if b.fails == 1 {
+		b.failsSince = now
+	}
+}
+
+// confirmedDown reports whether the failure detector considers this
+// backend dead: at least k consecutive failed observations AND a streak
+// at least window old. Both axes must agree — k guards against a single
+// dropped packet, the window against a burst of instant retries.
+func (s snapshot) confirmedDown(now time.Time, k int, window time.Duration) bool {
+	return !s.healthy && s.fails >= k &&
+		!s.failsSince.IsZero() && now.Sub(s.failsSince) >= window
 }
 
 // staleness is the follower's effective read staleness bound at time
@@ -83,6 +127,7 @@ func (rt *Router) probe(b *backend) {
 	var fenced bool
 	var seconds float64
 	var lastErr string
+	var promoteListen string
 
 	if err := rt.probeGet(b, "/healthz?deep=1", nil); err != nil {
 		lastErr = err.Error()
@@ -96,6 +141,7 @@ func (rt *Router) probe(b *backend) {
 			epoch = st.Epoch
 			fenced = st.Fenced
 			seconds = st.SecondsSinceFrame
+			promoteListen = st.PromoteListen
 		case err == errNoReplication:
 			// standalone stays
 		default:
@@ -104,20 +150,57 @@ func (rt *Router) probe(b *backend) {
 		}
 	}
 
+	now := time.Now()
 	b.mu.Lock()
 	b.healthy = healthy
 	b.role = role
 	b.epoch = epoch
 	b.fenced = fenced
 	b.seconds = seconds
-	b.probedAt = time.Now()
+	b.probedAt = now
 	b.lastErr = lastErr
+	b.promoteListen = promoteListen
+	if healthy {
+		// First success resets both the failure streak and the probe
+		// backoff: a recovered backend is re-probed at full cadence.
+		b.fails = 0
+		b.failsSince = time.Time{}
+		b.backoff = 0
+		b.nextProbe = time.Time{}
+	} else {
+		b.noteFailureLocked(now)
+		b.bumpBackoffLocked(now, rt.cfg.PollEvery, rt.cfg.ProbeBackoffMax)
+	}
 	b.mu.Unlock()
 	if healthy {
 		metricBackendHealthy.WithLabelValues(b.base.Host).Set(1)
 	} else {
 		metricBackendHealthy.WithLabelValues(b.base.Host).Set(0)
 	}
+}
+
+// bumpBackoffLocked doubles the probe backoff (starting from the poll
+// interval) up to cap, then schedules the next probe with up to 25%
+// added jitter so a fleet of routers does not hammer a dead backend in
+// lockstep.
+func (b *backend) bumpBackoffLocked(now time.Time, base, limit time.Duration) {
+	if b.backoff == 0 {
+		b.backoff = base
+	} else {
+		b.backoff *= 2
+	}
+	if b.backoff > limit {
+		b.backoff = limit
+	}
+	jitter := time.Duration(rand.Int63n(int64(b.backoff)/4 + 1))
+	b.nextProbe = now.Add(b.backoff + jitter)
+}
+
+// probeDue reports whether the backend's backoff allows a probe now.
+func (b *backend) probeDue(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextProbe.IsZero() || !now.Before(b.nextProbe)
 }
 
 var errNoReplication = fmt.Errorf("router: backend has no /replication")
@@ -152,12 +235,23 @@ func (rt *Router) probeGet(b *backend, path string, out any) error {
 	return nil
 }
 
-// ProbeOnce synchronously probes every backend and re-resolves the
-// primary. New runs it before returning so the router is immediately
-// routable; tests use it to make convergence deterministic.
+// ProbeOnce synchronously probes every backend (ignoring per-backend
+// backoff) and re-resolves the primary. New runs it before returning so
+// the router is immediately routable; tests use it to make convergence
+// deterministic.
 func (rt *Router) ProbeOnce() {
+	rt.probeRound(true)
+}
+
+// probeRound probes the due backends (all of them when forced) and
+// re-resolves.
+func (rt *Router) probeRound(force bool) {
+	now := time.Now()
 	var wg sync.WaitGroup
 	for _, b := range rt.backends {
+		if !force && !b.probeDue(now) {
+			continue
+		}
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
@@ -168,7 +262,9 @@ func (rt *Router) ProbeOnce() {
 	rt.resolve()
 }
 
-// probeLoop drives ProbeOnce at PollEvery until Close.
+// probeLoop drives probe rounds at PollEvery until Close. Individual
+// backends in failure backoff are skipped until their next-probe
+// instant, so a persistently dead node is not hammered every tick.
 func (rt *Router) probeLoop() {
 	defer rt.wg.Done()
 	tick := time.NewTicker(rt.cfg.PollEvery)
@@ -178,7 +274,7 @@ func (rt *Router) probeLoop() {
 		case <-rt.done:
 			return
 		case <-tick.C:
-			rt.ProbeOnce()
+			rt.probeRound(false)
 		}
 	}
 }
@@ -284,5 +380,8 @@ func (rt *Router) resolve() {
 	metricPrimaryEpoch.Set(float64(v.epoch))
 	if addr != logged {
 		rt.logf("router: primary resolved to %q (epoch %d, was %q)", addr, v.epoch, logged)
+	}
+	if rt.elect != nil {
+		rt.elect.observe(v)
 	}
 }

@@ -49,6 +49,27 @@ type Config struct {
 	// MaxBodyBytes caps a buffered (replayable) read body. Default 1MiB,
 	// matching the backends' own body cap.
 	MaxBodyBytes int64
+	// ProbeBackoffMax caps the per-backend exponential probe backoff
+	// applied to persistently failing backends. Default 5s.
+	ProbeBackoffMax time.Duration
+
+	// AutoFailover enables the quorum-gated elector: when the failure
+	// detector confirms the primary dead and a majority of configured
+	// backends is reachable, the router promotes the best follower
+	// itself. Requires ElectionDir.
+	AutoFailover bool
+	// FailureThreshold is how many consecutive failed observations
+	// (probe or live proxy path) confirm a backend down. Default 3.
+	FailureThreshold int
+	// SuspicionWindow is how long the failure streak must have lasted
+	// before a backend is confirmed down. Default 1s.
+	SuspicionWindow time.Duration
+	// ElectionDir holds the durable election journal; a router restarted
+	// mid-election resumes it instead of double-promoting.
+	ElectionDir string
+	// PromoteTimeout bounds each POST /promote attempt. Default 3s.
+	PromoteTimeout time.Duration
+
 	// Client issues probes and proxied requests; nil builds a pooled
 	// default.
 	Client *http.Client
@@ -72,6 +93,9 @@ type Router struct {
 	lastResolved string
 	failovers    uint64
 
+	// elect is the auto-failover state machine (nil unless AutoFailover).
+	elect *elector
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -94,6 +118,18 @@ func New(cfg Config) (*Router, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.ProbeBackoffMax <= 0 {
+		cfg.ProbeBackoffMax = 5 * time.Second
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.SuspicionWindow <= 0 {
+		cfg.SuspicionWindow = time.Second
+	}
+	if cfg.PromoteTimeout <= 0 {
+		cfg.PromoteTimeout = 3 * time.Second
+	}
 	client := cfg.Client
 	if client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
@@ -113,6 +149,13 @@ func New(cfg Config) (*Router, error) {
 		}
 		seen[u.Host] = true
 		rt.backends = append(rt.backends, &backend{base: u})
+	}
+	if cfg.AutoFailover {
+		el, err := newElector(rt)
+		if err != nil {
+			return nil, err
+		}
+		rt.elect = el
 	}
 	rt.ProbeOnce()
 	rt.wg.Add(1)
@@ -292,11 +335,33 @@ func (rt *Router) proxyPrimary(w http.ResponseWriter, r *http.Request, c class) 
 	}
 }
 
+// idempotentRead reports whether a read may be replayed against another
+// backend after a transport error. GETs always may; a POST is
+// replayable only when it targets one of the fixed read-only query
+// endpoints, which execute no writes by construction. Any other POST
+// that reaches the read path — say, after a future classification
+// change — gets exactly one attempt, so a replayed request can never
+// double-apply a mutation whose first attempt died mid-flight with
+// unknown effect.
+func idempotentRead(method, path string) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	if method != http.MethodPost {
+		return false
+	}
+	switch path {
+	case "/query", "/sql", "/flatquery":
+		return true
+	}
+	return false
+}
+
 // proxyRead balances one read over the eligible followers, falling over
 // to the primary when none qualifies. The body is buffered so a
 // transport error can replay the request once against the next
-// candidate — reads are idempotent, so the retry is safe, and it is
-// what keeps a dying follower from surfacing as client-visible 502s.
+// candidate — but only when idempotentRead vouches for it; it is what
+// keeps a dying follower from surfacing as client-visible 502s.
 func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request) {
 	var body []byte
 	if r.Body != nil && r.Body != http.NoBody {
@@ -314,8 +379,12 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	attempts := 1
+	if idempotentRead(r.Method, r.URL.Path) {
+		attempts = 2
+	}
 	tried := map[string]bool{}
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		target, role := rt.pickRead(tried)
 		if target == nil {
 			break
@@ -429,6 +498,9 @@ type BackendStatus struct {
 	// Stale marks a backend whose epoch is behind the resolved cluster
 	// epoch: a not-yet-re-homed follower or a returned old primary.
 	Stale bool `json:"stale,omitempty"`
+	// ConfirmedDown marks a backend the failure detector has declared
+	// dead (FailureThreshold consecutive failures over SuspicionWindow).
+	ConfirmedDown bool `json:"confirmed_down,omitempty"`
 	// StalenessSeconds is the follower's effective read staleness
 	// (reported seconds-since-frame plus probe age).
 	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
@@ -447,6 +519,12 @@ type ClusterStatus struct {
 	Failovers           uint64          `json:"failovers"`
 	MaxStalenessSeconds float64         `json:"max_staleness_seconds"`
 	Backends            []BackendStatus `json:"backends"`
+	// AutoFailover reports whether this router runs the elector.
+	AutoFailover bool `json:"auto_failover,omitempty"`
+	// Elections counts promotions this router has issued itself.
+	Elections uint64 `json:"elections,omitempty"`
+	// Election describes the in-flight or last-completed election.
+	Election *ElectionStatus `json:"election,omitempty"`
 }
 
 // Cluster reports the resolved view (also served on /cluster).
@@ -477,6 +555,7 @@ func (rt *Router) Cluster() ClusterStatus {
 			Epoch:         s.epoch,
 			Fenced:        s.fenced,
 			Stale:         s.healthy && s.epoch < v.epoch,
+			ConfirmedDown: s.confirmedDown(now, rt.cfg.FailureThreshold, rt.cfg.SuspicionWindow),
 			EligibleReads: eligible[b.base.Host],
 			Error:         s.lastErr,
 		}
@@ -487,6 +566,10 @@ func (rt *Router) Cluster() ClusterStatus {
 			bs.ProbeAgeSeconds = now.Sub(s.probedAt).Seconds()
 		}
 		cs.Backends = append(cs.Backends, bs)
+	}
+	if rt.elect != nil {
+		cs.AutoFailover = true
+		cs.Elections, cs.Election = rt.elect.status()
 	}
 	return cs
 }

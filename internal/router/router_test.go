@@ -25,11 +25,17 @@ type stub struct {
 	hasRepl bool
 	st      repl.Status
 	hits    map[string]int
+	// killNext[path] > 0 makes the next request to path die mid-flight
+	// (hijacked connection closed before any response bytes), simulating
+	// a backend crash with the request's effect unknown.
+	killNext map[string]int
+	// onPromote, when set, handles POST /promote (see elect_test).
+	onPromote func(w http.ResponseWriter, r *http.Request)
 }
 
 func newStub(t *testing.T, name string) *stub {
 	t.Helper()
-	s := &stub{name: name, healthy: true, hits: map[string]int{}}
+	s := &stub{name: name, healthy: true, hits: map[string]int{}, killNext: map[string]int{}}
 	s.srv = httptest.NewServer(http.HandlerFunc(s.handler))
 	t.Cleanup(s.srv.Close)
 	return s
@@ -39,7 +45,19 @@ func (s *stub) handler(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	healthy, hasRepl, st := s.healthy, s.hasRepl, s.st
 	s.hits[r.Method+" "+r.URL.Path]++
+	kill := s.killNext[r.URL.Path] > 0
+	if kill {
+		s.killNext[r.URL.Path]--
+	}
+	promote := s.onPromote
 	s.mu.Unlock()
+	if kill {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
 	switch r.URL.Path {
 	case "/healthz":
 		if !healthy {
@@ -53,6 +71,12 @@ func (s *stub) handler(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		json.NewEncoder(w).Encode(st)
+	case "/promote":
+		if promote != nil {
+			promote(w, r)
+			return
+		}
+		fallthrough
 	default:
 		body, _ := io.ReadAll(r.Body)
 		w.Header().Set("Content-Type", "application/json")

@@ -84,6 +84,23 @@ type Promoter interface {
 	PromoteToPrimary(listenAddr string) (repl.Status, error)
 }
 
+// PromoteListenDefaulter is the optional platform surface supplying a
+// default replication listen address for POST /promote bodies that omit
+// one. *core.Platform satisfies it (serve -promote-listen); an
+// auto-failover router can then promote a node without knowing its
+// listener layout.
+type PromoteListenDefaulter interface {
+	PromoteListenAddr() string
+}
+
+// FindingsReinforcer is the optional platform surface behind POST
+// /findings/reinforce. *core.Platform satisfies it and routes the
+// reinforcement through the replicated KB-event path (the OLTP WAL);
+// platforms without it fall back to mutating the in-memory base.
+type FindingsReinforcer interface {
+	ReinforceFinding(id string) error
+}
+
 // TracedQuerier is the optional platform surface behind ?trace=1.
 // It is checked only for traced requests, so a test wrapper that
 // overrides QueryMDX (but embeds a type promoting QueryMDXTraced) still
@@ -763,6 +780,11 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Listen == "" {
+		if d, ok := s.platform.(PromoteListenDefaulter); ok {
+			req.Listen = d.PromoteListenAddr()
+		}
+	}
+	if req.Listen == "" {
 		s.writeError(w, http.StatusBadRequest, "listen address required (where the new primary ships its WAL from)")
 		return
 	}
@@ -793,6 +815,10 @@ func (s *Server) handleFindingsAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.platform.RecordFinding(req.Topic, req.Statement, req.Source)
 	if err != nil {
+		if errors.Is(err, oltp.ErrReplica) {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -809,7 +835,15 @@ func (s *Server) handleFindingsReinforce(w http.ResponseWriter, r *http.Request)
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.platform.KB().Reinforce(req.ID); err != nil {
+	reinforce := s.platform.KB().Reinforce
+	if fr, ok := s.platform.(FindingsReinforcer); ok {
+		reinforce = fr.ReinforceFinding
+	}
+	if err := reinforce(req.ID); err != nil {
+		if errors.Is(err, oltp.ErrReplica) {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}

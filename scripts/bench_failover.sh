@@ -1,23 +1,37 @@
 #!/bin/sh
 # Benchmarks a live failover as a client behind the routing front sees
 # it: the interactive mix runs open-loop through the router while the
-# primary is killed and the replica promoted over POST /promote. Writes
-# machine-readable results to BENCH_9.json at the repo root and fails
-# when the cutover exceeds 5s to writable / 5s to first routed read, or
-# when clients saw raw 5xx errors above 1% of requests — sheds
-# (429/503 with Retry-After) are the designed degraded mode during the
-# gap, error storms are not.
+# primary is killed. Two modes share one harness:
+#
+#   bench_failover.sh         operator cutover — a human posts /promote
+#                             to the replica; results in BENCH_9.json
+#   bench_failover.sh -auto   unattended cutover — three nodes, the
+#                             router's elector detects the death,
+#                             checks quorum and promotes on its own;
+#                             results in BENCH_10.json
+#
+# Both write machine-readable results at the repo root and fail when the
+# cutover exceeds 5s to writable / 5s to first routed read, or when
+# clients saw raw 5xx errors above 1% of requests — sheds (429/503 with
+# Retry-After) are the designed degraded mode during the gap, error
+# storms are not.
 set -eu
 cd "$(dirname "$0")/.."
 
+bench='BenchmarkFailoverPromotion'
 out=BENCH_9.json
+if [ "${1:-}" = "-auto" ]; then
+  bench='BenchmarkUnattendedFailover'
+  out=BENCH_10.json
+fi
+
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # Promotion is one-way, so each iteration builds a fresh cluster; three
 # iterations keep the run short while smoothing probe-phase luck.
 go test -run '^$' \
-  -bench 'BenchmarkFailoverPromotion$' \
+  -bench "${bench}\$" \
   -benchtime "${FAILOVER_ITERS:-3}x" . | tee "$raw"
 
 awk '

@@ -46,7 +46,7 @@ go test -race -run 'TestApplyReplicated|TestPinWALAtDurable|TestRetentionFloor' 
 echo "== failover suite (promotion, fencing, routing front smoke)"
 go test -race -count=2 ./internal/router/
 go test -race -run 'TestRouterClassifiesEveryRoute|TestHandlePromote' ./internal/server/
-sh scripts/failover_soak.sh
+sh scripts/failover_soak.sh -auto
 
 echo "== governance suite (cancellation, admission, budgets, breaker)"
 go test -race -run 'Cancel|Budget|Admission|Breaker|Timeout|Shutdown' \

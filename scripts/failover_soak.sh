@@ -12,6 +12,13 @@
 #   - platform-level figures stay byte-identical to a never-failed
 #     control across the whole kill -> promote -> re-home cycle
 #
+# With -auto it additionally runs the unattended chaos soak: the
+# router's elector does the detection/quorum/promotion and self-heal
+# does the rejoin, with no operator step anywhere, swept across
+# multiple churn seeds (DDGMS_SOAK_SEEDS, space-separated). Each round
+# asserts figures byte-identical to a never-failed control, exactly one
+# election, and that goroutines settle back to baseline afterwards.
+#
 # This script is the operator entry point and the check.sh gate.
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,10 +28,30 @@ go test -race -count="${FAILOVER_COUNT:-1}" \
 	-run 'TestPromote|TestStalePrimaryFencedByHigherEpoch|TestEpochAndCursorPersistence|TestPromotionEpochSurvivesRestart' \
 	./internal/repl/
 
+echo "== epoch + election journal crash sweeps (-race)"
+go test -race -run 'TestEpochSaveCrashSweep|TestEpochFirstSaveCrashSweep' ./internal/repl/
+go test -race -run 'TestElectionJournalCrashSweep' ./internal/router/
+
 echo "== replica-mode promotion round trip (-race)"
 go test -race -run 'TestReplicaPromotionRoundTrip|TestVerifyWALTail' ./internal/oltp/
 
 echo "== platform failover soak: figures byte-equivalent to control (-race)"
 go test -race -run 'TestFailoverSoakFiguresByteEquivalent' -count="${FAILOVER_COUNT:-1}" ./internal/core/
+
+if [ "${1:-}" = "-auto" ]; then
+	echo "== elector + detector suite (-race)"
+	go test -race -run 'TestAutoFailover|TestConfirmedDown|TestProbeBackoff|TestIdempotentRead' \
+		./internal/router/
+
+	echo "== self-heal suite: fence hook, discovery demotion, survivor re-home (-race)"
+	go test -race -run 'TestSelfHeal' ./internal/core/
+
+	echo "== unattended chaos soak: kill -> detect -> elect -> promote -> rejoin (-race)"
+	for seed in ${DDGMS_SOAK_SEEDS:-1 2 3}; do
+		echo "   -- churn seed $seed"
+		DDGMS_SOAK_SEED=$seed go test -race \
+			-run 'TestUnattendedFailoverConvergence' -count=1 .
+	done
+fi
 
 echo "failover soak: OK"
